@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation of the two decode caches DESIGN.md calls out, using
+ * google-benchmark:
+ *
+ *  - the GPU shader decode cache (paper §III-B3: "the entire shader
+ *    program is decoded exactly once") — measured by re-running a
+ *    kernel with and without flushing the cache between jobs;
+ *  - the CPU basic-block decode cache (the DBT analog) — measured on a
+ *    guest busy loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/logging.h"
+#include "cpu/asm/assembler.h"
+#include "gpu/gpu.h"
+#include "runtime/session.h"
+
+namespace {
+
+using namespace bifsim;
+
+const char *kKernel = R"(
+kernel void saxpy(global const float* x, global float* y, int n,
+                  float a) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+)";
+
+void
+BM_GpuShaderDecodeCache(benchmark::State &state)
+{
+    bool flush_between_jobs = state.range(0) == 0;
+    setInformEnabled(false);
+    rt::Session session;
+    constexpr int kN = 4096;
+    rt::Buffer x = session.alloc(kN * 4);
+    rt::Buffer y = session.alloc(kN * 4);
+    rt::KernelHandle k = session.compile(kKernel, "saxpy");
+    for (auto _ : state) {
+        if (flush_between_jobs) {
+            session.system().bus().write(
+                rt::System::kGpuBase + gpu::kRegGpuCmd, 4, 1);
+        }
+        gpu::JobResult r = session.enqueue(
+            k, rt::NDRange{kN, 1, 1}, rt::NDRange{64, 1, 1},
+            {rt::Arg::buf(x), rt::Arg::buf(y), rt::Arg::i32(kN),
+             rt::Arg::f32(2.0f)});
+        if (r.faulted)
+            state.SkipWithError("GPU fault");
+    }
+    gpu::ShaderCacheStats cs = session.system().gpu().shaderCacheStats();
+    state.counters["decodes"] = static_cast<double>(cs.decodes);
+    state.counters["hits"] = static_cast<double>(cs.hits);
+}
+BENCHMARK(BM_GpuShaderDecodeCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cached")
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CpuBlockCache(benchmark::State &state)
+{
+    bool cached = state.range(0) == 1;
+    setInformEnabled(false);
+
+    // A guest busy loop: ~20 instructions per iteration.
+    const char *src = R"(
+        .org 0x80000000
+        li   t0, 0
+        li   t1, 100000
+loop:
+        addi t0, t0, 1
+        addi t2, t0, 3
+        xor  t3, t2, t0
+        and  t4, t3, t2
+        or   t5, t4, t0
+        sll  t6, t5, 2
+        srl  t6, t6, 1
+        add  t2, t2, t3
+        sub  t3, t3, t4
+        bne  t0, t1, loop
+        halt
+)";
+    sa32::Program prog = sa32::assemble(src);
+
+    rt::SystemConfig cfg;
+    cfg.cpuBlockCache = cached;
+    for (auto _ : state) {
+        state.PauseTiming();
+        rt::Session session(cfg, rt::Mode::Direct);
+        prog.loadInto(session.system().mem());
+        session.system().cpu().reset();
+        state.ResumeTiming();
+        bool halted = session.system().runUntilHalt(5'000'000);
+        if (!halted)
+            state.SkipWithError("guest did not halt");
+    }
+}
+BENCHMARK(BM_CpuBlockCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cached")
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#ifndef BIFSIM_BENCH_BENCH_UTIL_H
+#define BIFSIM_BENCH_BENCH_UTIL_H
+
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.  Every bench
+ * accepts `--full` to run at (or near) the paper's input sizes and
+ * `--scale S` for explicit control; defaults are sized so the whole
+ * bench suite completes in minutes on a laptop-class host.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace bifsim::bench {
+
+/** Common command-line options. */
+struct Options
+{
+    double scale = 0.02;
+    bool full = false;
+
+    static Options
+    parse(int argc, char **argv, double default_scale = 0.02)
+    {
+        Options o;
+        o.scale = default_scale;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--full") == 0) {
+                o.full = true;
+                o.scale = 1.0;
+            } else if (std::strcmp(argv[i], "--scale") == 0 &&
+                       i + 1 < argc) {
+                o.scale = std::atof(argv[++i]);
+            }
+        }
+        return o;
+    }
+};
+
+/** Wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    void reset() { start_ = Clock::now(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char *figure, const char *description)
+{
+    std::printf("==== %s ====\n%s\n\n", figure, description);
+}
+
+} // namespace bifsim::bench
+
+#endif // BIFSIM_BENCH_BENCH_UTIL_H

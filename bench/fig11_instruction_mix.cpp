@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 11: instruction mix (arithmetic / load-store / empty slots /
+ * control flow) per benchmark.  The paper finds ~50% arithmetic on
+ * average with load-store and control flow near 10% each, and flags
+ * empty issue slots as an optimisation target.
+ */
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workloads/workload.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bifsim;
+    bench::Options opt = bench::Options::parse(argc, argv, 0.01);
+    setInformEnabled(false);
+
+    bench::banner("Fig. 11 — instruction mixes",
+                  "Share of issue slots per category (thread-"
+                  "weighted).");
+
+    std::printf("%-18s %10s %10s %8s %8s\n", "benchmark", "arith",
+                "load/store", "nop", "ctrlflow");
+    double avg[4] = {0, 0, 0, 0};
+    int count = 0;
+    for (const std::string &name : workloads::allWorkloadNames()) {
+        auto wl = workloads::makeWorkload(name, opt.scale);
+        rt::Session session;
+        workloads::SessionDevice dev(session);
+        dev.build(wl->source(), kclc::CompilerOptions());
+        workloads::RunResult rr = wl->run(dev);
+        if (!rr.ok) {
+            std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                         rr.error.c_str());
+            return 1;
+        }
+        gpu::KernelStats ks = session.system().gpu().totalKernelStats();
+        double total = static_cast<double>(
+            std::max<uint64_t>(ks.totalSlots(), 1));
+        double v[4] = {100.0 * ks.arithInstrs / total,
+                       100.0 * ks.lsInstrs / total,
+                       100.0 * ks.nopSlots / total,
+                       100.0 * ks.cfInstrs / total};
+        for (int i = 0; i < 4; ++i)
+            avg[i] += v[i];
+        count++;
+        std::printf("%-18s %9.1f%% %9.1f%% %7.1f%% %7.1f%%\n",
+                    name.c_str(), v[0], v[1], v[2], v[3]);
+    }
+    std::printf("%-18s %9.1f%% %9.1f%% %7.1f%% %7.1f%%\n", "average",
+                avg[0] / count, avg[1] / count, avg[2] / count,
+                avg[3] / count);
+    std::printf("\n(paper: ~50%% arithmetic on average; local memory "
+                "and control flow ~10%% each)\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fig. 14: SLAMBench (KFusion) under standard / fast3 / express
+ * configurations — simulated metrics relative to standard, plus a
+ * frame-rate proxy.  The paper's measured FPS gains are 3.35x (fast3)
+ * and 7.72x (express); the simulated metrics predict the ordering
+ * without hardware.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workloads/cost_model.h"
+#include "workloads/kfusion.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bifsim;
+    using workloads::KFusionConfig;
+    using workloads::KFusionResult;
+
+    bench::Options opt = bench::Options::parse(argc, argv);
+    setInformEnabled(false);
+
+    bench::banner("Fig. 14 — SLAMBench configurations",
+                  "Per-metric ratios of fast3/express vs standard and "
+                  "an FPS proxy from the mobile cost model.");
+
+    uint32_t size = opt.full ? 160 : 64;
+    uint32_t frames = opt.full ? 8 : 2;
+
+    std::vector<KFusionConfig> configs = {
+        KFusionConfig::standard(size, size, frames),
+        KFusionConfig::fast3(size, size, frames),
+        KFusionConfig::express(size, size, frames),
+    };
+    std::vector<KFusionResult> res;
+    for (const KFusionConfig &cfg : configs) {
+        rt::Session session;
+        KFusionResult r = workloads::runKFusion(session, cfg);
+        if (!r.ok) {
+            std::fprintf(stderr, "%s: %s\n", cfg.name.c_str(),
+                         r.error.c_str());
+            return 1;
+        }
+        res.push_back(r);
+    }
+
+    struct Metric
+    {
+        const char *name;
+        double (*get)(const KFusionResult &);
+    };
+    const Metric metrics[] = {
+        {"Arithmetic Instr.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.arithInstrs);
+         }},
+        {"Avg. Clause Size",
+         [](const KFusionResult &r) {
+             return r.kernel.avgClauseSize();
+         }},
+        {"CF Instr.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.cfInstrs);
+         }},
+        {"Constant Reads",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.constReads);
+         }},
+        {"Control Regs.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.system.ctrlRegReads +
+                                        r.system.ctrlRegWrites);
+         }},
+        {"GRF Acc.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.grfReads +
+                                        r.kernel.grfWrites);
+         }},
+        {"Global LS Instr.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.globalLdSt);
+         }},
+        {"Interrupts",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.system.irqsAsserted);
+         }},
+        {"Kernels",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernelLaunches);
+         }},
+        {"Local LS Instr.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.localLdSt);
+         }},
+        {"NOP Instr.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.nopSlots);
+         }},
+        {"Num. Clauses",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.clausesExecuted);
+         }},
+        {"Num. Workgroups",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.workgroups);
+         }},
+        {"Pages Acc.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.system.pagesAccessed);
+         }},
+        {"Temp. Reg. Acc.",
+         [](const KFusionResult &r) {
+             return static_cast<double>(r.kernel.tempAccesses);
+         }},
+    };
+
+    std::printf("%-22s %8s %8s\n", "metric (vs standard)", "fast3",
+                "express");
+    for (const Metric &m : metrics) {
+        double base = m.get(res[0]);
+        std::printf("%-22s %8.3f %8.3f\n", m.name,
+                    base ? m.get(res[1]) / base : 0.0,
+                    base ? m.get(res[2]) / base : 0.0);
+    }
+
+    workloads::CostModel mali = workloads::maliCostModel();
+    double c0 = workloads::evalCost(res[0].kernel, mali);
+    std::printf("\nFPS (relative, mobile cost model): standard 1.00x, "
+                "fast3 %.2fx, express %.2fx\n",
+                c0 / workloads::evalCost(res[1].kernel, mali),
+                c0 / workloads::evalCost(res[2].kernel, mali));
+    std::printf("(paper, measured on HW: fast3 3.35x, express "
+                "7.72x)\n");
+    return 0;
+}

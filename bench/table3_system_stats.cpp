@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table III: system-level statistics only a full-system simulator can
+ * report — pages touched by the GPU, control-register traffic,
+ * interrupts, and compute-job counts — for BFS, BinomialOption,
+ * SobelFilter and Stencil, with every submission flowing through the
+ * guest driver.
+ */
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workloads/workload.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bifsim;
+    bench::Options opt = bench::Options::parse(argc, argv, 0.01);
+    setInformEnabled(false);
+
+    bench::banner("Table III — CPU-GPU system statistics",
+                  "Collected with the guest driver in the loop "
+                  "(full-system mode).");
+
+    std::printf("%-16s %10s %10s %10s %8s %8s\n", "benchmark",
+                "pages", "reg-reads", "reg-writes", "irqs", "jobs");
+    for (const char *name :
+         {"bfs", "binomialoption", "sobelfilter", "stencil"}) {
+        auto wl = workloads::makeWorkload(name, opt.scale);
+        rt::Session session(rt::SystemConfig(), rt::Mode::FullSystem);
+        workloads::SessionDevice dev(session);
+        dev.build(wl->source(), kclc::CompilerOptions());
+        workloads::RunResult rr = wl->run(dev);
+        if (!rr.ok) {
+            std::fprintf(stderr, "%s: %s\n", name, rr.error.c_str());
+            return 1;
+        }
+        gpu::SystemStats s = session.system().gpu().systemStats();
+        std::printf("%-16s %10llu %10llu %10llu %8llu %8llu\n", name,
+                    static_cast<unsigned long long>(s.pagesAccessed),
+                    static_cast<unsigned long long>(s.ctrlRegReads),
+                    static_cast<unsigned long long>(s.ctrlRegWrites),
+                    static_cast<unsigned long long>(s.irqsAsserted),
+                    static_cast<unsigned long long>(s.computeJobs));
+    }
+    std::printf("\n(paper: BFS 51723 pages / 1003 jobs, Stencil 99603 "
+                "pages / 100 jobs, SobelFilter 4609 pages / 1 job, "
+                "BinomialOption 31 pages / 1 job — page use spans three "
+                "orders of magnitude, BFS dominates control traffic)\n");
+    return 0;
+}

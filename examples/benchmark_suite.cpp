@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Runs the full Table II benchmark suite on the simulated platform,
+ * verifying every kernel's output against its host reference and
+ * printing per-workload instrumentation (the data behind Figs. 11-13).
+ *
+ * Usage: benchmark_suite [--scale S] [--full-system] [--only NAME]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "workloads/workload.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bifsim;
+    using Clock = std::chrono::steady_clock;
+
+    double scale = 0.02;
+    bool full_system = false;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            scale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--full-system") == 0)
+            full_system = true;
+        else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
+            only = argv[++i];
+    }
+    setInformEnabled(false);
+
+    std::printf("%-18s %-6s %8s %12s %8s %8s %7s %7s\n", "workload",
+                "check", "launches", "instrs", "arith%", "ls%", "nop%",
+                "time");
+    int failures = 0;
+    for (const std::string &name : workloads::allWorkloadNames()) {
+        if (!only.empty() && name != only)
+            continue;
+        auto wl = workloads::makeWorkload(name, scale);
+
+        rt::SystemConfig cfg;
+        rt::Session session(cfg, full_system ? rt::Mode::FullSystem
+                                             : rt::Mode::Direct);
+        workloads::SessionDevice dev(session);
+        auto t0 = Clock::now();
+        workloads::RunResult rr;
+        try {
+            dev.build(wl->source(), kclc::CompilerOptions());
+            rr = wl->run(dev);
+        } catch (const SimError &e) {
+            rr.ok = false;
+            rr.error = e.what();
+        }
+        auto t1 = Clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+
+        gpu::KernelStats ks = session.system().gpu().totalKernelStats();
+        double total =
+            static_cast<double>(std::max<uint64_t>(ks.totalSlots(), 1));
+        std::printf("%-18s %-6s %8llu %12llu %7.1f%% %7.1f%% %6.1f%% "
+                    "%6.2fs\n",
+                    name.c_str(), rr.ok ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(rr.launches),
+                    static_cast<unsigned long long>(ks.totalInstrs()),
+                    100.0 * ks.arithInstrs / total,
+                    100.0 * ks.lsInstrs / total,
+                    100.0 * ks.nopSlots / total, secs);
+        if (!rr.ok) {
+            std::printf("    error: %s\n", rr.error.c_str());
+            failures++;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

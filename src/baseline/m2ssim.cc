@@ -1,0 +1,581 @@
+#include "baseline/m2ssim.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace bifsim::baseline {
+
+namespace {
+
+using bif::Op;
+
+/** Offsets of each clause in the raw binary (built once per launch;
+ *  the *instructions* are still re-decoded on every execution). */
+struct ClauseIndex
+{
+    struct Entry
+    {
+        size_t offset;      ///< Byte offset of the first tuple.
+        unsigned tuples;
+        bool isBarrier;
+    };
+
+    std::vector<Entry> entries;
+    size_t romOffset = 0;
+    uint32_t romWords = 0;
+};
+
+bool
+buildIndex(const std::vector<uint8_t> &bin, ClauseIndex &idx,
+           std::string &error)
+{
+    auto get32 = [&](size_t off) {
+        uint32_t v;
+        std::memcpy(&v, bin.data() + off, 4);
+        return v;
+    };
+    if (bin.size() < 32 || get32(0) != bif::kBinaryMagic) {
+        error = "bad shader binary";
+        return false;
+    }
+    uint32_t num_clauses = get32(4);
+    size_t off = get32(8);
+    idx.romOffset = get32(12);
+    idx.romWords = get32(16);
+    for (uint32_t c = 0; c < num_clauses; ++c) {
+        if (off + 4 > bin.size()) {
+            error = "truncated clause stream";
+            return false;
+        }
+        uint32_t hdr = get32(off);
+        unsigned tuples = (hdr & 7) + 1;
+        ClauseIndex::Entry e;
+        e.offset = off + 4;
+        e.tuples = tuples;
+        e.isBarrier = false;
+        if (e.offset + tuples * 16 > bin.size()) {
+            error = "truncated clause body";
+            return false;
+        }
+        // Detect barrier clauses (needed for phased execution).
+        for (unsigned t = 0; t < tuples; ++t) {
+            uint64_t w1;
+            std::memcpy(&w1, bin.data() + e.offset + t * 16 + 8, 8);
+            if (static_cast<Op>(w1 & 0xff) == Op::Barrier)
+                e.isBarrier = true;
+        }
+        idx.entries.push_back(e);
+        off = e.offset + tuples * 16;
+    }
+    return true;
+}
+
+/** One work-item's execution state. */
+struct Item
+{
+    uint32_t grf[bif::kNumGrfRegs] = {};
+    uint32_t temp[bif::kNumTempRegs] = {};
+    uint32_t localId[3] = {};
+    uint32_t pc = 0;
+    bool done = false;
+};
+
+float
+asF(uint32_t u)
+{
+    return std::bit_cast<float>(u);
+}
+
+uint32_t
+asU(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+bool
+cmpResult(bif::CmpMode m, bool unordered, int q)
+{
+    if (unordered)
+        return m == bif::CmpMode::Ne;
+    switch (m) {
+      case bif::CmpMode::Eq: return q == 0;
+      case bif::CmpMode::Ne: return q != 0;
+      case bif::CmpMode::Lt: return q < 0;
+      case bif::CmpMode::Le: return q <= 0;
+      case bif::CmpMode::Gt: return q > 0;
+      case bif::CmpMode::Ge: return q >= 0;
+    }
+    return false;
+}
+
+} // namespace
+
+M2sSim::M2sSim(size_t mem_bytes) : mem_(mem_bytes, 0) {}
+
+uint32_t
+M2sSim::alloc(size_t bytes)
+{
+    heap_ = static_cast<uint32_t>(roundUp(heap_, 4096));
+    uint32_t off = heap_;
+    heap_ += static_cast<uint32_t>(roundUp(std::max<size_t>(bytes, 4), 4));
+    if (heap_ > mem_.size())
+        simError("m2ssim device memory exhausted");
+    return off;
+}
+
+void
+M2sSim::write(uint32_t offset, const void *src, size_t len)
+{
+    std::memcpy(mem_.data() + offset, src, len);
+}
+
+void
+M2sSim::read(uint32_t offset, void *dst, size_t len) const
+{
+    std::memcpy(dst, mem_.data() + offset, len);
+}
+
+bool
+M2sSim::launch(const std::vector<uint8_t> &binary, const uint32_t grid[3],
+               const uint32_t wg[3], const std::vector<uint32_t> &args,
+               std::string &error)
+{
+    ClauseIndex idx;
+    if (!buildIndex(binary, idx, error))
+        return false;
+
+    uint32_t header_local;
+    std::memcpy(&header_local, binary.data() + 24, 4);
+
+    uint32_t groups[3];
+    for (int d = 0; d < 3; ++d) {
+        if (wg[d] == 0 || grid[d] == 0 || grid[d] % wg[d] != 0) {
+            error = "bad dimensions";
+            return false;
+        }
+        groups[d] = grid[d] / wg[d];
+    }
+    uint32_t group_items = wg[0] * wg[1] * wg[2];
+    std::vector<uint8_t> local(header_local, 0);
+
+    auto rom = [&](uint32_t i) -> uint32_t {
+        if (i >= idx.romWords)
+            return 0;
+        uint32_t v;
+        std::memcpy(&v, binary.data() + idx.romOffset + i * 4, 4);
+        return v;
+    };
+
+    // Executes item threads of one group phase-by-phase so barriers
+    // synchronise; "phase" ends at a barrier clause or completion.
+    for (uint32_t gz = 0; gz < groups[2]; ++gz)
+    for (uint32_t gy = 0; gy < groups[1]; ++gy)
+    for (uint32_t gx = 0; gx < groups[0]; ++gx) {
+        stats_.workGroups++;
+        std::fill(local.begin(), local.end(), 0);
+        std::vector<Item> items(group_items);
+        for (uint32_t t = 0; t < group_items; ++t) {
+            items[t].localId[0] = t % wg[0];
+            items[t].localId[1] = (t / wg[0]) % wg[1];
+            items[t].localId[2] = t / (wg[0] * wg[1]);
+        }
+        stats_.workItems += group_items;
+
+        uint32_t group_id[3] = {gx, gy, gz};
+        bool any_running = true;
+        while (any_running) {
+            any_running = false;
+            for (Item &it : items) {
+                if (it.done)
+                    continue;
+                // Run this item until barrier / completion.
+                for (;;) {
+                    if (it.pc >= idx.entries.size()) {
+                        it.done = true;
+                        break;
+                    }
+                    const ClauseIndex::Entry &ce = idx.entries[it.pc];
+                    if (ce.isBarrier) {
+                        it.pc++;   // Phase boundary.
+                        break;
+                    }
+                    uint32_t next = it.pc + 1;
+                    bool exited = false;
+                    for (unsigned tu = 0; tu < ce.tuples && !exited;
+                         ++tu) {
+                        for (int s = 0; s < 2; ++s) {
+                            // Per-execution decode: the Multi2Sim-style
+                            // interpretive cost the paper contrasts
+                            // with its decode-once model.
+                            uint64_t w;
+                            std::memcpy(&w,
+                                        binary.data() + ce.offset +
+                                            tu * 16 + s * 8,
+                                        8);
+                            bif::Instr in = bif::Instr::decode(w);
+                            stats_.slotDecodes++;
+                            if (in.op == Op::Nop)
+                                continue;
+                            stats_.instructions++;
+                            switch (bif::category(in.op)) {
+                              case bif::Category::Arith:
+                                stats_.arith++;
+                                break;
+                              case bif::Category::LoadStore:
+                                stats_.loadStore++;
+                                break;
+                              case bif::Category::ControlFlow:
+                                stats_.controlFlow++;
+                                break;
+                              default:
+                                break;
+                            }
+
+                            auto read_op = [&](uint8_t o) -> uint32_t {
+                                using namespace bif;
+                                if (isGrf(o))
+                                    return it.grf[o];
+                                if (isTemp(o))
+                                    return it.temp[o - kOperandTemp0];
+                                switch (o) {
+                                  case kSrLaneId: return 0;
+                                  case kSrLocalIdX:
+                                    return it.localId[0];
+                                  case kSrLocalIdY:
+                                    return it.localId[1];
+                                  case kSrLocalIdZ:
+                                    return it.localId[2];
+                                  case kSrGroupIdX: return group_id[0];
+                                  case kSrGroupIdY: return group_id[1];
+                                  case kSrGroupIdZ: return group_id[2];
+                                  case kSrLocalSizeX: return wg[0];
+                                  case kSrLocalSizeY: return wg[1];
+                                  case kSrLocalSizeZ: return wg[2];
+                                  case kSrGridSizeX: return grid[0];
+                                  case kSrGridSizeY: return grid[1];
+                                  case kSrGridSizeZ: return grid[2];
+                                  case kSrNumGroupsX: return groups[0];
+                                  case kSrNumGroupsY: return groups[1];
+                                  case kSrNumGroupsZ: return groups[2];
+                                  default: return 0;
+                                }
+                            };
+                            auto write_op = [&](uint8_t o, uint32_t v) {
+                                if (bif::isGrf(o))
+                                    it.grf[o] = v;
+                                else if (bif::isTemp(o))
+                                    it.temp[o - bif::kOperandTemp0] = v;
+                            };
+                            auto gmem = [&](uint32_t addr, unsigned size,
+                                            bool wr,
+                                            uint32_t &val) -> bool {
+                                if (addr % size != 0 ||
+                                    static_cast<uint64_t>(addr) + size >
+                                        mem_.size()) {
+                                    error = strfmt(
+                                        "global access out of range "
+                                        "at 0x%x", addr);
+                                    return false;
+                                }
+                                if (wr)
+                                    std::memcpy(mem_.data() + addr, &val,
+                                                size);
+                                else {
+                                    val = 0;
+                                    std::memcpy(&val, mem_.data() + addr,
+                                                size);
+                                }
+                                return true;
+                            };
+                            auto lmem = [&](uint32_t addr, bool wr,
+                                            uint32_t &val) -> bool {
+                                if (addr % 4 != 0 ||
+                                    static_cast<uint64_t>(addr) + 4 >
+                                        local.size()) {
+                                    error = strfmt(
+                                        "local access out of range "
+                                        "at 0x%x", addr);
+                                    return false;
+                                }
+                                if (wr)
+                                    std::memcpy(local.data() + addr,
+                                                &val, 4);
+                                else
+                                    std::memcpy(&val,
+                                                local.data() + addr, 4);
+                                return true;
+                            };
+
+                            uint32_t a = read_op(in.src0);
+                            uint32_t b = read_op(in.src1);
+                            uint32_t c = read_op(in.src2);
+                            uint32_t r = 0;
+                            bool wr_dst = true;
+                            switch (in.op) {
+                              case Op::FAdd:
+                                r = asU(asF(a) + asF(b));
+                                break;
+                              case Op::FSub:
+                                r = asU(asF(a) - asF(b));
+                                break;
+                              case Op::FMul:
+                                r = asU(asF(a) * asF(b));
+                                break;
+                              case Op::FFma:
+                                r = asU(asF(a) * asF(b) + asF(c));
+                                break;
+                              case Op::FMin:
+                                r = asU(std::fmin(asF(a), asF(b)));
+                                break;
+                              case Op::FMax:
+                                r = asU(std::fmax(asF(a), asF(b)));
+                                break;
+                              case Op::FAbs:
+                                r = asU(std::fabs(asF(a)));
+                                break;
+                              case Op::FNeg: r = asU(-asF(a)); break;
+                              case Op::FFloor:
+                                r = asU(std::floor(asF(a)));
+                                break;
+                              case Op::IAdd: r = a + b; break;
+                              case Op::ISub: r = a - b; break;
+                              case Op::IMul: r = a * b; break;
+                              case Op::IAnd: r = a & b; break;
+                              case Op::IOr: r = a | b; break;
+                              case Op::IXor: r = a ^ b; break;
+                              case Op::INot: r = ~a; break;
+                              case Op::IShl: r = a << (b & 31); break;
+                              case Op::IShr: r = a >> (b & 31); break;
+                              case Op::IAsr:
+                                r = static_cast<uint32_t>(
+                                    static_cast<int32_t>(a) >> (b & 31));
+                                break;
+                              case Op::IMin:
+                                r = static_cast<int32_t>(a) <
+                                            static_cast<int32_t>(b)
+                                        ? a : b;
+                                break;
+                              case Op::IMax:
+                                r = static_cast<int32_t>(a) >
+                                            static_cast<int32_t>(b)
+                                        ? a : b;
+                                break;
+                              case Op::UMin: r = std::min(a, b); break;
+                              case Op::UMax: r = std::max(a, b); break;
+                              case Op::FCmp: {
+                                float fa = asF(a), fb = asF(b);
+                                bool un = std::isnan(fa) ||
+                                          std::isnan(fb);
+                                int q = un ? 0
+                                        : fa < fb ? -1
+                                        : fa > fb ? 1 : 0;
+                                r = cmpResult(
+                                    static_cast<bif::CmpMode>(in.imm & 7),
+                                    un, q);
+                                break;
+                              }
+                              case Op::ICmp: {
+                                int32_t sa = static_cast<int32_t>(a);
+                                int32_t sb = static_cast<int32_t>(b);
+                                r = cmpResult(
+                                    static_cast<bif::CmpMode>(in.imm & 7),
+                                    false,
+                                    sa < sb ? -1 : sa > sb ? 1 : 0);
+                                break;
+                              }
+                              case Op::UCmp:
+                                r = cmpResult(
+                                    static_cast<bif::CmpMode>(in.imm & 7),
+                                    false, a < b ? -1 : a > b ? 1 : 0);
+                                break;
+                              case Op::CSel:
+                                r = a != 0 ? b : c;
+                                break;
+                              case Op::Mov: r = a; break;
+                              case Op::MovImm:
+                                r = static_cast<uint32_t>(in.imm);
+                                break;
+                              case Op::F2I: {
+                                float f = asF(a);
+                                if (std::isnan(f))
+                                    r = 0;
+                                else if (f >= 2147483647.0f)
+                                    r = 0x7fffffffu;
+                                else if (f <= -2147483648.0f)
+                                    r = 0x80000000u;
+                                else
+                                    r = static_cast<uint32_t>(
+                                        static_cast<int32_t>(f));
+                                break;
+                              }
+                              case Op::F2U: {
+                                float f = asF(a);
+                                if (std::isnan(f) || f <= 0.0f)
+                                    r = 0;
+                                else if (f >= 4294967295.0f)
+                                    r = 0xffffffffu;
+                                else
+                                    r = static_cast<uint32_t>(f);
+                                break;
+                              }
+                              case Op::I2F:
+                                r = asU(static_cast<float>(
+                                    static_cast<int32_t>(a)));
+                                break;
+                              case Op::U2F:
+                                r = asU(static_cast<float>(a));
+                                break;
+                              case Op::FRcp:
+                                r = asU(1.0f / asF(a));
+                                break;
+                              case Op::FRsqrt:
+                                r = asU(1.0f / std::sqrt(asF(a)));
+                                break;
+                              case Op::FSqrt:
+                                r = asU(std::sqrt(asF(a)));
+                                break;
+                              case Op::FExp2:
+                                r = asU(std::exp2(asF(a)));
+                                break;
+                              case Op::FLog2:
+                                r = asU(std::log2(asF(a)));
+                                break;
+                              case Op::FSin:
+                                r = asU(std::sin(asF(a)));
+                                break;
+                              case Op::FCos:
+                                r = asU(std::cos(asF(a)));
+                                break;
+                              case Op::IDiv: {
+                                int32_t sa = static_cast<int32_t>(a);
+                                int32_t sb = static_cast<int32_t>(b);
+                                if (sb == 0)
+                                    r = 0;
+                                else if (sa == std::numeric_limits<
+                                                   int32_t>::min() &&
+                                         sb == -1)
+                                    r = a;
+                                else
+                                    r = static_cast<uint32_t>(sa / sb);
+                                break;
+                              }
+                              case Op::IRem: {
+                                int32_t sa = static_cast<int32_t>(a);
+                                int32_t sb = static_cast<int32_t>(b);
+                                if (sb == 0 ||
+                                    (sa == std::numeric_limits<
+                                               int32_t>::min() &&
+                                     sb == -1))
+                                    r = 0;
+                                else
+                                    r = static_cast<uint32_t>(sa % sb);
+                                break;
+                              }
+                              case Op::UDiv: r = b ? a / b : 0; break;
+                              case Op::URem: r = b ? a % b : 0; break;
+                              case Op::LdRom: r = rom(in.imm); break;
+                              case Op::LdArg:
+                                r = static_cast<size_t>(in.imm) <
+                                            args.size()
+                                        ? args[in.imm] : 0;
+                                break;
+                              case Op::LdGlobal:
+                                if (!gmem(a + in.imm, 4, false, r))
+                                    return false;
+                                break;
+                              case Op::LdGlobalU8:
+                                if (!gmem(a + in.imm, 1, false, r))
+                                    return false;
+                                r &= 0xff;
+                                break;
+                              case Op::StGlobal:
+                                if (!gmem(a + in.imm, 4, true, b))
+                                    return false;
+                                wr_dst = false;
+                                break;
+                              case Op::StGlobalU8: {
+                                uint32_t v = b & 0xff;
+                                if (!gmem(a + in.imm, 1, true, v))
+                                    return false;
+                                wr_dst = false;
+                                break;
+                              }
+                              case Op::LdLocal:
+                                if (!lmem(a + in.imm, false, r))
+                                    return false;
+                                break;
+                              case Op::StLocal:
+                                if (!lmem(a + in.imm, true, b))
+                                    return false;
+                                wr_dst = false;
+                                break;
+                              case Op::AtomAddG: {
+                                uint32_t old = 0;
+                                if (!gmem(a + in.imm, 4, false, old))
+                                    return false;
+                                uint32_t nv = old + b;
+                                if (!gmem(a + in.imm, 4, true, nv))
+                                    return false;
+                                r = old;
+                                break;
+                              }
+                              case Op::AtomAddL: {
+                                uint32_t old = 0;
+                                if (!lmem(a + in.imm, false, old))
+                                    return false;
+                                uint32_t nv = old + b;
+                                if (!lmem(a + in.imm, true, nv))
+                                    return false;
+                                r = old;
+                                break;
+                              }
+                              case Op::Branch:
+                                next = static_cast<uint32_t>(in.imm);
+                                wr_dst = false;
+                                break;
+                              case Op::BranchZ:
+                                if (a == 0)
+                                    next =
+                                        static_cast<uint32_t>(in.imm);
+                                wr_dst = false;
+                                break;
+                              case Op::BranchNZ:
+                                if (a != 0)
+                                    next =
+                                        static_cast<uint32_t>(in.imm);
+                                wr_dst = false;
+                                break;
+                              case Op::Ret:
+                                exited = true;
+                                wr_dst = false;
+                                break;
+                              default:
+                                wr_dst = false;
+                                break;
+                            }
+                            if (wr_dst &&
+                                in.dst != bif::kOperandNone) {
+                                write_op(in.dst, r);
+                            }
+                        }
+                    }
+                    if (exited) {
+                        it.done = true;
+                        break;
+                    }
+                    it.pc = next;
+                }
+                if (!it.done)
+                    any_running = true;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace bifsim::baseline

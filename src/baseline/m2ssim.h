@@ -1,0 +1,92 @@
+#ifndef BIFSIM_BASELINE_M2SSIM_H
+#define BIFSIM_BASELINE_M2SSIM_H
+
+/**
+ * @file
+ * m2ssim — a Multi2Sim-functional-style baseline GPU simulator.
+ *
+ * This is the comparison system for Fig. 8/9: it reproduces the
+ * architectural shortcuts the paper criticises in Multi2Sim-class
+ * simulators:
+ *
+ *  - GPU-only simulation: no job manager, no GPU MMU, no interrupts —
+ *    kernels are launched through an *intercepted runtime* (a direct
+ *    host function call), not through a driver.
+ *  - Flat memory: buffers live in one host array addressed by offset;
+ *    there is no shared CPU/GPU memory system.
+ *  - Interpretive execution with *per-instruction re-decode*: every
+ *    executed slot is decoded from the binary again (no decode cache).
+ *  - Single-threaded, one work-item at a time (functional mode).
+ *  - Reports only an instruction breakdown and the job dimensions.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/isa/bif.h"
+
+namespace bifsim::baseline {
+
+/** The statistics Multi2Sim functional mode reports. */
+struct M2sStats
+{
+    uint64_t instructions = 0;
+    uint64_t arith = 0;
+    uint64_t loadStore = 0;
+    uint64_t controlFlow = 0;
+    uint64_t slotDecodes = 0;     ///< Per-execution decode operations.
+    uint64_t workItems = 0;
+    uint64_t workGroups = 0;
+};
+
+/**
+ * The baseline simulator instance (one flat device memory).
+ */
+class M2sSim
+{
+  public:
+    explicit M2sSim(size_t mem_bytes = 64u << 20);
+
+    /** Allocates @p bytes of device memory; returns its offset. */
+    uint32_t alloc(size_t bytes);
+
+    /** Raw device memory. */
+    std::vector<uint8_t> &memory() { return mem_; }
+
+    /** Copies into device memory. */
+    void write(uint32_t offset, const void *src, size_t len);
+
+    /** Copies out of device memory. */
+    void read(uint32_t offset, void *dst, size_t len) const;
+
+    /**
+     * Launches a kernel (intercepted-runtime style).
+     *
+     * @param binary  Encoded BIF shader binary.
+     * @param grid    Global work size per dimension.
+     * @param wg      Workgroup size per dimension.
+     * @param args    Argument table words (buffer args are offsets
+     *                returned by alloc()).
+     * @param error   Receives a message on failure.
+     * @return false on a malformed binary or an out-of-range access.
+     */
+    bool launch(const std::vector<uint8_t> &binary,
+                const uint32_t grid[3], const uint32_t wg[3],
+                const std::vector<uint32_t> &args, std::string &error);
+
+    /** Cumulative statistics. */
+    const M2sStats &stats() const { return stats_; }
+
+    /** Clears statistics. */
+    void resetStats() { stats_ = M2sStats{}; }
+
+  private:
+    std::vector<uint8_t> mem_;
+    uint32_t heap_ = 4096;
+    M2sStats stats_;
+};
+
+} // namespace bifsim::baseline
+
+#endif // BIFSIM_BASELINE_M2SSIM_H

@@ -1,0 +1,99 @@
+#ifndef BIFSIM_COMMON_BITS_H
+#define BIFSIM_COMMON_BITS_H
+
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction encoders/decoders.
+ */
+
+#include <cstdint>
+
+namespace bifsim {
+
+/** Extracts bits [hi:lo] (inclusive) of @p val, right-aligned. */
+constexpr uint64_t
+bits(uint64_t val, unsigned hi, unsigned lo)
+{
+    unsigned nbits = hi - lo + 1;
+    if (nbits >= 64)
+        return val >> lo;
+    return (val >> lo) & ((uint64_t{1} << nbits) - 1);
+}
+
+/** Extracts a single bit of @p val. */
+constexpr uint64_t
+bit(uint64_t val, unsigned pos)
+{
+    return (val >> pos) & 1;
+}
+
+/** Returns @p val with bits [hi:lo] replaced by the low bits of @p field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned hi, unsigned lo, uint64_t field)
+{
+    unsigned nbits = hi - lo + 1;
+    uint64_t mask = nbits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << nbits) - 1);
+    return (val & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extends the low @p nbits bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    if (nbits == 0 || nbits >= 64)
+        return static_cast<int64_t>(val);
+    uint64_t sign = uint64_t{1} << (nbits - 1);
+    uint64_t mask = (uint64_t{1} << nbits) - 1;
+    val &= mask;
+    return static_cast<int64_t>((val ^ sign) - sign);
+}
+
+/** Sign-extends the low @p nbits bits of @p val to 32 bits. */
+constexpr int32_t
+sext32(uint32_t val, unsigned nbits)
+{
+    return static_cast<int32_t>(sext(val, nbits));
+}
+
+/** Returns true if @p val fits in a signed @p nbits-bit field. */
+constexpr bool
+fitsSigned(int64_t val, unsigned nbits)
+{
+    int64_t lo = -(int64_t{1} << (nbits - 1));
+    int64_t hi = (int64_t{1} << (nbits - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** Returns true if @p val fits in an unsigned @p nbits-bit field. */
+constexpr bool
+fitsUnsigned(uint64_t val, unsigned nbits)
+{
+    if (nbits >= 64)
+        return true;
+    return val < (uint64_t{1} << nbits);
+}
+
+/** Returns true if @p addr is aligned to @p align (a power of two). */
+constexpr bool
+isAligned(uint64_t addr, uint64_t align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/** Rounds @p val up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t val, uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p val down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+roundDown(uint64_t val, uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+} // namespace bifsim
+
+#endif // BIFSIM_COMMON_BITS_H

@@ -1,0 +1,102 @@
+#ifndef BIFSIM_COMMON_HISTOGRAM_H
+#define BIFSIM_COMMON_HISTOGRAM_H
+
+/**
+ * @file
+ * A fixed-bucket histogram used by the instrumentation layer
+ * (e.g.\ the clause-size distribution of Fig. 13).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bifsim {
+
+/**
+ * Histogram over integer bucket indices [0, numBuckets).
+ *
+ * Samples outside the range are clamped into the first/last bucket.
+ */
+class Histogram
+{
+  public:
+    /** Creates a histogram with @p num_buckets buckets. */
+    explicit Histogram(size_t num_buckets = 0) : counts_(num_buckets, 0) {}
+
+    /** Adds @p weight samples to the bucket of @p value (clamped). */
+    void
+    sample(int64_t value, uint64_t weight = 1)
+    {
+        if (counts_.empty())
+            return;
+        if (value < 0)
+            value = 0;
+        size_t idx = static_cast<size_t>(value);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        counts_[idx] += weight;
+    }
+
+    /** Number of buckets. */
+    size_t size() const { return counts_.size(); }
+
+    /** Raw count in bucket @p idx. */
+    uint64_t count(size_t idx) const { return counts_.at(idx); }
+
+    /** Total sample weight across all buckets. */
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t c : counts_)
+            t += c;
+        return t;
+    }
+
+    /** Fraction of total weight in bucket @p idx (0 if empty). */
+    double
+    fraction(size_t idx) const
+    {
+        uint64_t t = total();
+        return t == 0 ? 0.0 : static_cast<double>(counts_.at(idx)) / t;
+    }
+
+    /** Weighted mean of bucket indices (0 if empty). */
+    double
+    mean() const
+    {
+        uint64_t t = total();
+        if (t == 0)
+            return 0.0;
+        double sum = 0.0;
+        for (size_t i = 0; i < counts_.size(); ++i)
+            sum += static_cast<double>(i) * static_cast<double>(counts_[i]);
+        return sum / static_cast<double>(t);
+    }
+
+    /** Merges another histogram of the same shape into this one. */
+    void
+    merge(const Histogram &other)
+    {
+        if (counts_.size() < other.counts_.size())
+            counts_.resize(other.counts_.size(), 0);
+        for (size_t i = 0; i < other.counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+    }
+
+    /** Resets all buckets to zero. */
+    void
+    reset()
+    {
+        for (uint64_t &c : counts_)
+            c = 0;
+    }
+
+  private:
+    std::vector<uint64_t> counts_;
+};
+
+} // namespace bifsim
+
+#endif // BIFSIM_COMMON_HISTOGRAM_H

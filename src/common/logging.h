@@ -1,0 +1,75 @@
+#ifndef BIFSIM_COMMON_LOGGING_H
+#define BIFSIM_COMMON_LOGGING_H
+
+/**
+ * @file
+ * Status-message and error-reporting helpers, following the gem5
+ * panic/fatal/warn/inform convention:
+ *
+ *  - panic():  an internal simulator bug.  Never the user's fault.
+ *              Prints a message and aborts (core dump friendly).
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid input).  Exits with code 1.
+ *  - warn():   something is modelled approximately but probably works.
+ *  - inform(): a normal operating message.
+ *
+ * Messages use printf-style formatting.
+ */
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace bifsim {
+
+/** Formats a printf-style message into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Formats a printf-style message into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Reports an internal simulator bug and aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Reports an unrecoverable user error and exits with status 1. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Reports a condition that is modelled imprecisely but non-fatally. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Reports a normal status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally enables/disables inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** Returns whether inform() output is currently enabled. */
+bool informEnabled();
+
+/**
+ * Exception carrying a user-facing simulation error.
+ *
+ * Library code that may run inside tests throws SimError instead of
+ * calling fatal() directly so callers can recover; fatal() remains for
+ * command-line tools.
+ */
+class SimError : public std::exception
+{
+  public:
+    explicit SimError(std::string message) : message_(std::move(message)) {}
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+  private:
+    std::string message_;
+};
+
+/** Throws SimError with a printf-style formatted message. */
+[[noreturn]] void simError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace bifsim
+
+#endif // BIFSIM_COMMON_LOGGING_H

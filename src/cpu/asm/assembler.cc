@@ -1,0 +1,598 @@
+#include "cpu/asm/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "cpu/sa32.h"
+
+namespace bifsim::sa32 {
+
+uint32_t
+encR(uint32_t funct, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return (kOpAluR << 26) | (rd << 21) | (rs1 << 16) | (rs2 << 11) |
+           (funct & 0x7ff);
+}
+
+uint32_t
+encI(uint32_t opcode, unsigned rd, unsigned rs1, uint32_t imm16)
+{
+    return (opcode << 26) | (rd << 21) | (rs1 << 16) | (imm16 & 0xffff);
+}
+
+uint32_t
+encS(uint32_t opcode, unsigned rs2, unsigned rs1, uint32_t imm16)
+{
+    return (opcode << 26) | (rs2 << 21) | (rs1 << 16) | (imm16 & 0xffff);
+}
+
+uint32_t
+encB(uint32_t opcode, unsigned rs1, unsigned rs2, uint32_t imm16)
+{
+    return (opcode << 26) | (rs1 << 21) | (rs2 << 16) | (imm16 & 0xffff);
+}
+
+uint32_t
+encJ(unsigned rd, uint32_t imm21)
+{
+    return (kOpJal << 26) | (rd << 21) | (imm21 & 0x1fffff);
+}
+
+uint32_t
+encSys(uint32_t funct)
+{
+    return (kOpSys << 26) | (funct & 0xffff);
+}
+
+uint32_t
+encCsr(uint32_t opcode, unsigned rd, unsigned rs1, uint32_t csr)
+{
+    return (opcode << 26) | (rd << 21) | (rs1 << 16) | (csr & 0xffff);
+}
+
+int
+parseRegister(const std::string &name)
+{
+    static const std::map<std::string, int> aliases = {
+        {"zero", 0}, {"ra", 1}, {"sp", 2}, {"gp", 3}, {"tp", 4},
+        {"t0", 5},  {"t1", 6},  {"t2", 7},  {"s0", 8}, {"fp", 8},
+        {"s1", 9},  {"a0", 10}, {"a1", 11}, {"a2", 12}, {"a3", 13},
+        {"a4", 14}, {"a5", 15}, {"a6", 16}, {"a7", 17}, {"s2", 18},
+        {"s3", 19}, {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+        {"s8", 24}, {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29}, {"t5", 30}, {"t6", 31},
+    };
+    if (name.size() >= 2 && name[0] == 'x') {
+        int n = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                return -1;
+            n = n * 10 + (name[i] - '0');
+        }
+        return n < 32 ? n : -1;
+    }
+    auto it = aliases.find(name);
+    return it == aliases.end() ? -1 : it->second;
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        simError("unknown symbol '%s'", name.c_str());
+    return it->second;
+}
+
+void
+Program::loadInto(PhysMem &mem) const
+{
+    if (!mem.contains(base, bytes.size()))
+        simError("program image [0x%llx, +%zu) outside guest RAM",
+                 static_cast<unsigned long long>(base), bytes.size());
+    mem.writeBlock(base, bytes.data(), bytes.size());
+}
+
+namespace {
+
+const std::map<std::string, uint32_t> kCsrNames = {
+    {"satp", kCsrSatp},       {"mstatus", kCsrMStatus},
+    {"mie", kCsrMIe},         {"mtvec", kCsrMTvec},
+    {"mscratch", kCsrMScratch}, {"mepc", kCsrMEpc},
+    {"mcause", kCsrMCause},   {"mtval", kCsrMTval},
+    {"mip", kCsrMIp},         {"mcycle", kCsrMCycle},
+    {"minstret", kCsrMInstRet}, {"mhartid", kCsrMHartId},
+};
+
+struct Line
+{
+    int number = 0;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+/** Assembler working state for one assemble() call. */
+class Assembler
+{
+  public:
+    explicit Assembler(const std::map<std::string, Addr> &predefined)
+    {
+        for (const auto &[k, v] : predefined)
+            symbols_[k] = v;
+    }
+
+    Program run(const std::string &source);
+
+  private:
+    std::map<std::string, Addr> symbols_;
+    Program prog_;
+    int line_ = 0;
+
+    [[noreturn]] void
+    err(const char *msg, const std::string &detail = "") const
+    {
+        simError("asm line %d: %s%s%s", line_, msg,
+                 detail.empty() ? "" : ": ", detail.c_str());
+    }
+
+    unsigned
+    reg(const std::string &s) const
+    {
+        int r = parseRegister(s);
+        if (r < 0)
+            err("bad register", s);
+        return static_cast<unsigned>(r);
+    }
+
+    /** Evaluates a number / symbol / sym+off / sym-off expression. */
+    int64_t
+    expr(const std::string &s) const
+    {
+        // Find a top-level + or - that is not a leading sign.
+        for (size_t i = 1; i < s.size(); ++i) {
+            if (s[i] == '+' || s[i] == '-') {
+                int64_t lhs = expr(s.substr(0, i));
+                int64_t rhs = expr(s.substr(i + 1));
+                return s[i] == '+' ? lhs + rhs : lhs - rhs;
+            }
+        }
+        std::string t = s;
+        bool neg = false;
+        if (!t.empty() && t[0] == '-') {
+            neg = true;
+            t = t.substr(1);
+        }
+        int64_t v;
+        if (!t.empty() &&
+            (std::isdigit(static_cast<unsigned char>(t[0])))) {
+            try {
+                v = static_cast<int64_t>(std::stoull(t, nullptr, 0));
+            } catch (...) {
+                err("bad number", s);
+            }
+        } else {
+            auto it = symbols_.find(t);
+            if (it == symbols_.end())
+                err("unknown symbol", t);
+            v = static_cast<int64_t>(it->second);
+        }
+        return neg ? -v : v;
+    }
+
+    int64_t
+    branchOffset(const std::string &target, Addr pc, unsigned bits_avail)
+        const
+    {
+        int64_t t = expr(target);
+        int64_t delta = t - static_cast<int64_t>(pc);
+        if (delta % 4 != 0)
+            err("misaligned branch target", target);
+        int64_t words = delta / 4;
+        if (!fitsSigned(words, bits_avail))
+            err("branch target out of range", target);
+        return words;
+    }
+
+    void
+    emit32(uint32_t word)
+    {
+        prog_.bytes.push_back(word & 0xff);
+        prog_.bytes.push_back((word >> 8) & 0xff);
+        prog_.bytes.push_back((word >> 16) & 0xff);
+        prog_.bytes.push_back((word >> 24) & 0xff);
+    }
+
+    Addr here() const { return prog_.base + prog_.bytes.size(); }
+
+    std::vector<Line> parse(const std::string &source, bool first_pass);
+    void encodeLine(const Line &ln);
+    size_t instructionSize(const Line &ln) const;
+    void directive(const Line &ln, bool first_pass, Addr &cursor);
+};
+
+std::vector<Line>
+Assembler::parse(const std::string &source, bool)
+{
+    std::vector<Line> out;
+    size_t pos = 0;
+    int number = 0;
+    while (pos < source.size()) {
+        size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        std::string text = source.substr(pos, eol - pos);
+        pos = eol + 1;
+        number++;
+
+        // Strip comments.
+        for (const char *c : {"#", "//", ";"}) {
+            size_t p = text.find(c);
+            if (p != std::string::npos)
+                text = text.substr(0, p);
+        }
+
+        size_t i = 0;
+        auto skip_ws = [&] {
+            while (i < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[i]))) {
+                i++;
+            }
+        };
+
+        // Labels (possibly several on one line).
+        for (;;) {
+            skip_ws();
+            size_t j = i;
+            while (j < text.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                    text[j] == '_' || text[j] == '.')) {
+                j++;
+            }
+            if (j > i && j < text.size() && text[j] == ':') {
+                Line lbl;
+                lbl.number = number;
+                lbl.mnemonic = ":label";
+                lbl.operands.push_back(text.substr(i, j - i));
+                out.push_back(lbl);
+                i = j + 1;
+            } else {
+                break;
+            }
+        }
+        skip_ws();
+        if (i >= text.size())
+            continue;
+
+        Line ln;
+        ln.number = number;
+        size_t j = i;
+        while (j < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[j]))) {
+            j++;
+        }
+        ln.mnemonic = text.substr(i, j - i);
+        i = j;
+        skip_ws();
+
+        // Operands: comma-separated; strings kept intact.
+        std::string rest = text.substr(i);
+        if (ln.mnemonic == ".asciz") {
+            ln.operands.push_back(rest);
+        } else {
+            std::string cur;
+            for (char c : rest) {
+                if (c == ',') {
+                    ln.operands.push_back(cur);
+                    cur.clear();
+                } else if (!std::isspace(static_cast<unsigned char>(c))) {
+                    cur += c;
+                }
+            }
+            if (!cur.empty())
+                ln.operands.push_back(cur);
+        }
+        out.push_back(ln);
+    }
+    return out;
+}
+
+size_t
+Assembler::instructionSize(const Line &ln) const
+{
+    const std::string &m = ln.mnemonic;
+    if (m == "li" || m == "la")
+        return 8;   // Always lui+ori so both passes agree.
+    if (m == "call")
+        return 4;
+    return 4;
+}
+
+void
+Assembler::directive(const Line &ln, bool first_pass, Addr &cursor)
+{
+    const std::string &m = ln.mnemonic;
+    auto need = [&](size_t n) {
+        if (ln.operands.size() != n)
+            err("wrong operand count for directive", m);
+    };
+
+    if (m == ".org") {
+        need(1);
+        Addr a = static_cast<Addr>(expr(ln.operands[0]));
+        if (!prog_.bytes.empty() || cursor != prog_.base)
+            err(".org must appear before any output");
+        prog_.base = a;
+        cursor = a;
+    } else if (m == ".equ") {
+        need(2);
+        if (first_pass)
+            symbols_[ln.operands[0]] =
+                static_cast<Addr>(expr(ln.operands[1]));
+    } else if (m == ".word") {
+        for (const std::string &op : ln.operands) {
+            if (first_pass) {
+                cursor += 4;
+            } else {
+                emit32(static_cast<uint32_t>(expr(op)));
+            }
+        }
+        if (!first_pass)
+            cursor += 4 * ln.operands.size();
+    } else if (m == ".space") {
+        need(1);
+        size_t n = static_cast<size_t>(expr(ln.operands[0]));
+        if (!first_pass)
+            prog_.bytes.insert(prog_.bytes.end(), n, 0);
+        cursor += n;
+    } else if (m == ".align") {
+        need(1);
+        uint64_t a = static_cast<uint64_t>(expr(ln.operands[0]));
+        Addr target = roundUp(cursor, a);
+        if (!first_pass)
+            prog_.bytes.insert(prog_.bytes.end(), target - cursor, 0);
+        cursor = target;
+    } else if (m == ".asciz") {
+        need(1);
+        std::string raw = ln.operands[0];
+        size_t q1 = raw.find('"');
+        size_t q2 = raw.rfind('"');
+        if (q1 == std::string::npos || q2 <= q1)
+            err(".asciz needs a quoted string");
+        std::string s;
+        for (size_t i = q1 + 1; i < q2; ++i) {
+            if (raw[i] == '\\' && i + 1 < q2) {
+                i++;
+                s += raw[i] == 'n' ? '\n' : raw[i] == 't' ? '\t' : raw[i];
+            } else {
+                s += raw[i];
+            }
+        }
+        if (!first_pass) {
+            for (char c : s)
+                prog_.bytes.push_back(static_cast<uint8_t>(c));
+            prog_.bytes.push_back(0);
+        }
+        cursor += s.size() + 1;
+    } else {
+        err("unknown directive", m);
+    }
+}
+
+void
+Assembler::encodeLine(const Line &ln)
+{
+    const std::string &m = ln.mnemonic;
+    const std::vector<std::string> &ops = ln.operands;
+    Addr pc = here();
+
+    auto need = [&](size_t n) {
+        if (ops.size() != n)
+            err("wrong operand count", m);
+    };
+    auto imm16s = [&](const std::string &s) {
+        int64_t v = expr(s);
+        if (!fitsSigned(v, 16))
+            err("immediate out of signed 16-bit range", s);
+        return static_cast<uint32_t>(v);
+    };
+    auto imm16u = [&](const std::string &s) {
+        int64_t v = expr(s);
+        if (v < 0 || !fitsUnsigned(static_cast<uint64_t>(v), 16))
+            err("immediate out of unsigned 16-bit range", s);
+        return static_cast<uint32_t>(v);
+    };
+    /** Splits "off(reg)" into offset expression and register. */
+    auto mem_operand = [&](const std::string &s, unsigned &r) {
+        size_t lp = s.find('(');
+        size_t rp = s.rfind(')');
+        if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+            err("expected off(reg) operand", s);
+        r = reg(s.substr(lp + 1, rp - lp - 1));
+        std::string off = s.substr(0, lp);
+        return off.empty() ? uint32_t{0} : imm16s(off);
+    };
+    auto csr_num = [&](const std::string &s) -> uint32_t {
+        auto it = kCsrNames.find(s);
+        if (it != kCsrNames.end())
+            return it->second;
+        return static_cast<uint32_t>(expr(s));
+    };
+
+    static const std::map<std::string, uint32_t> r_ops = {
+        {"add", kFnAdd}, {"sub", kFnSub}, {"and", kFnAnd}, {"or", kFnOr},
+        {"xor", kFnXor}, {"sll", kFnSll}, {"srl", kFnSrl}, {"sra", kFnSra},
+        {"slt", kFnSlt}, {"sltu", kFnSltu}, {"mul", kFnMul},
+        {"mulh", kFnMulh}, {"mulhu", kFnMulhu}, {"div", kFnDiv},
+        {"divu", kFnDivu}, {"rem", kFnRem}, {"remu", kFnRemu},
+    };
+    static const std::map<std::string, uint32_t> i_ops = {
+        {"addi", kOpAddI}, {"andi", kOpAndI}, {"ori", kOpOrI},
+        {"xori", kOpXorI}, {"slti", kOpSltI}, {"sltui", kOpSltuI},
+        {"slli", kOpSllI}, {"srli", kOpSrlI}, {"srai", kOpSraI},
+    };
+    static const std::map<std::string, uint32_t> load_ops = {
+        {"lb", kOpLb}, {"lbu", kOpLbu}, {"lh", kOpLh}, {"lhu", kOpLhu},
+        {"lw", kOpLw},
+    };
+    static const std::map<std::string, uint32_t> store_ops = {
+        {"sb", kOpSb}, {"sh", kOpSh}, {"sw", kOpSw},
+    };
+    static const std::map<std::string, uint32_t> branch_ops = {
+        {"beq", kOpBeq}, {"bne", kOpBne}, {"blt", kOpBlt},
+        {"bge", kOpBge}, {"bltu", kOpBltu}, {"bgeu", kOpBgeu},
+    };
+    static const std::map<std::string, uint32_t> sys_ops = {
+        {"ecall", kSysECall}, {"ebreak", kSysEBreak}, {"mret", kSysMRet},
+        {"wfi", kSysWfi}, {"fence", kSysFence}, {"sfence", kSysSFence},
+        {"halt", kSysHalt},
+    };
+
+    if (auto it = r_ops.find(m); it != r_ops.end()) {
+        need(3);
+        emit32(encR(it->second, reg(ops[0]), reg(ops[1]), reg(ops[2])));
+    } else if (auto it = i_ops.find(m); it != i_ops.end()) {
+        need(3);
+        bool logical = m == "andi" || m == "ori" || m == "xori" ||
+                       m == "slli" || m == "srli" || m == "srai";
+        uint32_t imm = logical ? imm16u(ops[2]) : imm16s(ops[2]);
+        emit32(encI(it->second, reg(ops[0]), reg(ops[1]), imm));
+    } else if (auto it = load_ops.find(m); it != load_ops.end()) {
+        need(2);
+        unsigned base;
+        uint32_t off = mem_operand(ops[1], base);
+        emit32(encI(it->second, reg(ops[0]), base, off));
+    } else if (auto it = store_ops.find(m); it != store_ops.end()) {
+        need(2);
+        unsigned base;
+        uint32_t off = mem_operand(ops[1], base);
+        emit32(encS(it->second, reg(ops[0]), base, off));
+    } else if (auto it = branch_ops.find(m); it != branch_ops.end()) {
+        need(3);
+        int64_t words = branchOffset(ops[2], pc, 16);
+        emit32(encB(it->second, reg(ops[0]), reg(ops[1]),
+                    static_cast<uint32_t>(words)));
+    } else if (auto it = sys_ops.find(m); it != sys_ops.end()) {
+        need(0);
+        emit32(encSys(it->second));
+    } else if (m == "lui") {
+        need(2);
+        emit32(encI(kOpLui, reg(ops[0]), 0, imm16u(ops[1])));
+    } else if (m == "auipc") {
+        need(2);
+        emit32(encI(kOpAuipc, reg(ops[0]), 0, imm16u(ops[1])));
+    } else if (m == "jal") {
+        // jal rd, target  |  jal target  (rd = ra)
+        unsigned rd = ops.size() == 2 ? reg(ops[0]) : 1;
+        const std::string &target = ops.size() == 2 ? ops[1] : ops[0];
+        if (ops.size() != 1 && ops.size() != 2)
+            err("wrong operand count", m);
+        int64_t words = branchOffset(target, pc, 21);
+        emit32(encJ(rd, static_cast<uint32_t>(words)));
+    } else if (m == "jalr") {
+        need(2);
+        unsigned base;
+        uint32_t off = mem_operand(ops[1], base);
+        emit32(encI(kOpJalr, reg(ops[0]), base, off));
+    } else if (m == "csrrw" || m == "csrrs" || m == "csrrc") {
+        need(3);
+        uint32_t opc = m == "csrrw" ? kOpCsrRw
+                     : m == "csrrs" ? kOpCsrRs : kOpCsrRc;
+        emit32(encCsr(opc, reg(ops[0]), reg(ops[2]), csr_num(ops[1])));
+    }
+    // ---- pseudo-instructions ----
+    else if (m == "li" || m == "la") {
+        need(2);
+        uint32_t v = static_cast<uint32_t>(expr(ops[1]));
+        unsigned rd = reg(ops[0]);
+        emit32(encI(kOpLui, rd, 0, v >> 16));
+        emit32(encI(kOpOrI, rd, rd, v & 0xffff));
+    } else if (m == "mv") {
+        need(2);
+        emit32(encI(kOpAddI, reg(ops[0]), reg(ops[1]), 0));
+    } else if (m == "nop") {
+        need(0);
+        emit32(encI(kOpAddI, 0, 0, 0));
+    } else if (m == "j") {
+        need(1);
+        emit32(encJ(0, static_cast<uint32_t>(branchOffset(ops[0], pc, 21))));
+    } else if (m == "call") {
+        need(1);
+        emit32(encJ(1, static_cast<uint32_t>(branchOffset(ops[0], pc, 21))));
+    } else if (m == "jr") {
+        need(1);
+        emit32(encI(kOpJalr, 0, reg(ops[0]), 0));
+    } else if (m == "ret") {
+        need(0);
+        emit32(encI(kOpJalr, 0, 1, 0));
+    } else if (m == "beqz" || m == "bnez") {
+        need(2);
+        int64_t words = branchOffset(ops[1], pc, 16);
+        uint32_t opc = m == "beqz" ? kOpBeq : kOpBne;
+        emit32(encB(opc, reg(ops[0]), 0, static_cast<uint32_t>(words)));
+    } else if (m == "csrr") {
+        need(2);
+        emit32(encCsr(kOpCsrRs, reg(ops[0]), 0, csr_num(ops[1])));
+    } else if (m == "csrw") {
+        need(2);
+        emit32(encCsr(kOpCsrRw, 0, reg(ops[1]), csr_num(ops[0])));
+    } else if (m == "csrs") {
+        need(2);
+        emit32(encCsr(kOpCsrRs, 0, reg(ops[1]), csr_num(ops[0])));
+    } else if (m == "csrc") {
+        need(2);
+        emit32(encCsr(kOpCsrRc, 0, reg(ops[1]), csr_num(ops[0])));
+    } else {
+        err("unknown mnemonic", m);
+    }
+}
+
+Program
+Assembler::run(const std::string &source)
+{
+    std::vector<Line> lines = parse(source, true);
+
+    // Pass 1: compute label addresses.
+    Addr cursor = prog_.base;
+    for (const Line &ln : lines) {
+        line_ = ln.number;
+        if (ln.mnemonic == ":label") {
+            symbols_[ln.operands[0]] = cursor;
+        } else if (ln.mnemonic[0] == '.') {
+            directive(ln, true, cursor);
+        } else {
+            cursor += instructionSize(ln);
+        }
+    }
+
+    // Pass 2: encode.
+    cursor = prog_.base;
+    for (const Line &ln : lines) {
+        line_ = ln.number;
+        if (ln.mnemonic == ":label")
+            continue;
+        cursor = here();
+        if (ln.mnemonic[0] == '.') {
+            directive(ln, false, cursor);
+        } else {
+            encodeLine(ln);
+        }
+    }
+
+    prog_.symbols = symbols_;
+    return prog_;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source,
+         const std::map<std::string, Addr> &predefined)
+{
+    Assembler as(predefined);
+    return as.run(source);
+}
+
+} // namespace bifsim::sa32

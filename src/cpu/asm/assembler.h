@@ -1,0 +1,74 @@
+#ifndef BIFSIM_CPU_ASM_ASSEMBLER_H
+#define BIFSIM_CPU_ASM_ASSEMBLER_H
+
+/**
+ * @file
+ * A two-pass assembler for the SA32 guest ISA.
+ *
+ * The mini guest OS, its GPU driver, and guest test programs are written
+ * in this assembly dialect and assembled at simulator start-up — the
+ * stand-in for cross-compiling the paper's guest software stack.
+ *
+ * Supported syntax:
+ *   - labels (`name:`), `#`/`//` comments
+ *   - directives: .org, .equ, .word, .space, .align, .asciz
+ *   - all SA32 instructions with x0..x31 or ABI register names
+ *   - pseudo-instructions: li, la, mv, nop, j, jr, jal label, call,
+ *     ret, beqz, bnez, csrr, csrw, csrs, csrc
+ *   - operands: decimal/hex immediates, .equ symbols, labels,
+ *     `sym+off` / `sym-off`
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/device.h"
+#include "mem/phys_mem.h"
+
+namespace bifsim::sa32 {
+
+/** An assembled guest program image. */
+struct Program
+{
+    Addr base = 0;                         ///< Load address (.org).
+    std::vector<uint8_t> bytes;            ///< Raw image.
+    std::map<std::string, Addr> symbols;   ///< Labels and .equ values.
+
+    /** Returns the address of @p symbol, throwing SimError if unknown. */
+    Addr symbol(const std::string &name) const;
+
+    /** Copies the image into guest physical memory. */
+    void loadInto(PhysMem &mem) const;
+};
+
+/**
+ * Assembles SA32 source text.
+ *
+ * @param source  The assembly text.
+ * @param predefined  Extra symbols visible to the program (e.g.\ device
+ *                    base addresses injected by the platform).
+ * @throws SimError on any syntax or range error (message includes the
+ *         line number).
+ */
+Program assemble(const std::string &source,
+                 const std::map<std::string, Addr> &predefined = {});
+
+/** @name Raw instruction encoders (used by tests and the assembler).
+ *  @{ */
+uint32_t encR(uint32_t funct, unsigned rd, unsigned rs1, unsigned rs2);
+uint32_t encI(uint32_t opcode, unsigned rd, unsigned rs1, uint32_t imm16);
+uint32_t encS(uint32_t opcode, unsigned rs2, unsigned rs1, uint32_t imm16);
+uint32_t encB(uint32_t opcode, unsigned rs1, unsigned rs2, uint32_t imm16);
+uint32_t encJ(unsigned rd, uint32_t imm21);
+uint32_t encSys(uint32_t funct);
+uint32_t encCsr(uint32_t opcode, unsigned rd, unsigned rs1, uint32_t csr);
+/** @} */
+
+/** Parses a register name (x0..x31 or ABI alias); returns -1 if bad. */
+int parseRegister(const std::string &name);
+
+} // namespace bifsim::sa32
+
+#endif // BIFSIM_CPU_ASM_ASSEMBLER_H

@@ -1,0 +1,199 @@
+#include "cpu/sa32.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace bifsim::sa32 {
+
+namespace {
+
+struct OpInfo
+{
+    const char *name;
+    Format fmt;
+};
+
+const OpInfo &
+info(Op op)
+{
+    static const OpInfo table[] = {
+        {"add", Format::R},   {"sub", Format::R},   {"and", Format::R},
+        {"or", Format::R},    {"xor", Format::R},   {"sll", Format::R},
+        {"srl", Format::R},   {"sra", Format::R},   {"slt", Format::R},
+        {"sltu", Format::R},  {"mul", Format::R},   {"mulh", Format::R},
+        {"mulhu", Format::R}, {"div", Format::R},   {"divu", Format::R},
+        {"rem", Format::R},   {"remu", Format::R},
+        {"addi", Format::I},  {"andi", Format::I},  {"ori", Format::I},
+        {"xori", Format::I},  {"slti", Format::I},  {"sltui", Format::I},
+        {"slli", Format::I},  {"srli", Format::I},  {"srai", Format::I},
+        {"lui", Format::I},   {"auipc", Format::I},
+        {"lb", Format::I},    {"lbu", Format::I},   {"lh", Format::I},
+        {"lhu", Format::I},   {"lw", Format::I},
+        {"sb", Format::S},    {"sh", Format::S},    {"sw", Format::S},
+        {"beq", Format::B},   {"bne", Format::B},   {"blt", Format::B},
+        {"bge", Format::B},   {"bltu", Format::B},  {"bgeu", Format::B},
+        {"jal", Format::J},   {"jalr", Format::I},
+        {"ecall", Format::Sys}, {"ebreak", Format::Sys},
+        {"mret", Format::Sys},  {"wfi", Format::Sys},
+        {"fence", Format::Sys}, {"sfence", Format::Sys},
+        {"halt", Format::Sys},
+        {"csrrw", Format::Csr}, {"csrrs", Format::Csr},
+        {"csrrc", Format::Csr},
+        {"illegal", Format::Sys},
+    };
+    return table[static_cast<size_t>(op)];
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    return info(op).name;
+}
+
+bool
+endsBlock(Op op)
+{
+    switch (op) {
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu: case Op::Jal: case Op::Jalr:
+      case Op::ECall: case Op::EBreak: case Op::MRet: case Op::Wfi:
+      case Op::Fence: case Op::SFence: case Op::Halt:
+      case Op::CsrRw: case Op::CsrRs: case Op::CsrRc:
+      case Op::Illegal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+DecodedInst
+decode(uint32_t word)
+{
+    DecodedInst d;
+    d.raw = word;
+
+    uint32_t opc = bits(word, 31, 26);
+    uint32_t f1 = bits(word, 25, 21);     // rd or rs2/rs1 per format
+    uint32_t f2 = bits(word, 20, 16);
+    uint32_t f3 = bits(word, 15, 11);
+    uint32_t imm16 = bits(word, 15, 0);
+    int32_t simm16 = sext32(imm16, 16);
+
+    auto rtype = [&](Op op) {
+        d.op = op; d.rd = f1; d.rs1 = f2; d.rs2 = f3;
+    };
+    auto itype = [&](Op op, bool sign_extend) {
+        d.op = op; d.rd = f1; d.rs1 = f2;
+        d.imm = sign_extend ? simm16 : static_cast<int32_t>(imm16);
+    };
+
+    switch (opc) {
+      case kOpAluR: {
+        uint32_t funct = bits(word, 10, 0);
+        static constexpr Op alu_ops[] = {
+            Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Sll,
+            Op::Srl, Op::Sra, Op::Slt, Op::Sltu, Op::Mul, Op::Mulh,
+            Op::Mulhu, Op::Div, Op::Divu, Op::Rem, Op::Remu,
+        };
+        if (funct < std::size(alu_ops))
+            rtype(alu_ops[funct]);
+        break;
+      }
+      case kOpAddI:  itype(Op::AddI, true); break;
+      case kOpAndI:  itype(Op::AndI, false); break;
+      case kOpOrI:   itype(Op::OrI, false); break;
+      case kOpXorI:  itype(Op::XorI, false); break;
+      case kOpSltI:  itype(Op::SltI, true); break;
+      case kOpSltuI: itype(Op::SltuI, true); break;
+      case kOpSllI:  itype(Op::SllI, false); d.imm &= 31; break;
+      case kOpSrlI:  itype(Op::SrlI, false); d.imm &= 31; break;
+      case kOpSraI:  itype(Op::SraI, false); d.imm &= 31; break;
+      case kOpLui:   itype(Op::Lui, false); break;
+      case kOpAuipc: itype(Op::Auipc, false); break;
+      case kOpLb:    itype(Op::Lb, true); break;
+      case kOpLbu:   itype(Op::Lbu, true); break;
+      case kOpLh:    itype(Op::Lh, true); break;
+      case kOpLhu:   itype(Op::Lhu, true); break;
+      case kOpLw:    itype(Op::Lw, true); break;
+      case kOpSb: case kOpSh: case kOpSw:
+        d.op = opc == kOpSb ? Op::Sb : opc == kOpSh ? Op::Sh : Op::Sw;
+        d.rs2 = f1;   // data
+        d.rs1 = f2;   // base
+        d.imm = simm16;
+        break;
+      case kOpBeq: case kOpBne: case kOpBlt:
+      case kOpBge: case kOpBltu: case kOpBgeu: {
+        static constexpr Op br_ops[] = {
+            Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu, Op::Bgeu,
+        };
+        d.op = br_ops[opc - kOpBeq];
+        d.rs1 = f1;
+        d.rs2 = f2;
+        d.imm = simm16;   // word offset relative to branch PC
+        break;
+      }
+      case kOpJal:
+        d.op = Op::Jal;
+        d.rd = f1;
+        d.imm = sext32(bits(word, 20, 0), 21);   // word offset
+        break;
+      case kOpJalr: itype(Op::Jalr, true); break;
+      case kOpSys:
+        switch (imm16) {
+          case kSysECall:  d.op = Op::ECall; break;
+          case kSysEBreak: d.op = Op::EBreak; break;
+          case kSysMRet:   d.op = Op::MRet; break;
+          case kSysWfi:    d.op = Op::Wfi; break;
+          case kSysFence:  d.op = Op::Fence; break;
+          case kSysSFence: d.op = Op::SFence; break;
+          case kSysHalt:   d.op = Op::Halt; break;
+          default: break;
+        }
+        break;
+      case kOpCsrRw: itype(Op::CsrRw, false); break;
+      case kOpCsrRs: itype(Op::CsrRs, false); break;
+      case kOpCsrRc: itype(Op::CsrRc, false); break;
+      default:
+        break;
+    }
+    return d;
+}
+
+std::string
+disassemble(const DecodedInst &d, Addr pc)
+{
+    const OpInfo &oi = info(d.op);
+    switch (oi.fmt) {
+      case Format::R:
+        return strfmt("%s x%u, x%u, x%u", oi.name, d.rd, d.rs1, d.rs2);
+      case Format::I:
+        if (d.op == Op::Lui || d.op == Op::Auipc)
+            return strfmt("%s x%u, 0x%x", oi.name, d.rd,
+                          static_cast<unsigned>(d.imm));
+        if (d.op == Op::Lb || d.op == Op::Lbu || d.op == Op::Lh ||
+            d.op == Op::Lhu || d.op == Op::Lw || d.op == Op::Jalr) {
+            return strfmt("%s x%u, %d(x%u)", oi.name, d.rd, d.imm, d.rs1);
+        }
+        return strfmt("%s x%u, x%u, %d", oi.name, d.rd, d.rs1, d.imm);
+      case Format::S:
+        return strfmt("%s x%u, %d(x%u)", oi.name, d.rs2, d.imm, d.rs1);
+      case Format::B:
+        return strfmt("%s x%u, x%u, 0x%llx", oi.name, d.rs1, d.rs2,
+                      static_cast<unsigned long long>(
+                          pc + static_cast<int64_t>(d.imm) * 4));
+      case Format::J:
+        return strfmt("%s x%u, 0x%llx", oi.name, d.rd,
+                      static_cast<unsigned long long>(
+                          pc + static_cast<int64_t>(d.imm) * 4));
+      case Format::Sys:
+        return oi.name;
+      case Format::Csr:
+        return strfmt("%s x%u, 0x%x, x%u", oi.name, d.rd,
+                      static_cast<unsigned>(d.imm), d.rs1);
+    }
+    return "<bad>";
+}
+
+} // namespace bifsim::sa32

@@ -1,0 +1,172 @@
+#ifndef BIFSIM_CPU_SA32_H
+#define BIFSIM_CPU_SA32_H
+
+/**
+ * @file
+ * The SA32 guest instruction set.
+ *
+ * SA32 is the open 32-bit RISC ISA this project substitutes for the
+ * paper's Arm guest.  It is defined by the instruction table in
+ * decoder.cc, in the spirit of the high-level architecture descriptions
+ * the paper's retargetable framework consumes: one table row per
+ * instruction (mnemonic, opcode, format, semantic tag), from which the
+ * decoder, disassembler and assembler are all driven.
+ *
+ * Encoding (32-bit words, little-endian):
+ *
+ *   [31:26] opcode
+ *   R-type : rd[25:21] rs1[20:16] rs2[15:11] funct[10:0]
+ *   I-type : rd[25:21] rs1[20:16] imm16[15:0]
+ *   S-type : rs2[25:21] rs1[20:16] imm16[15:0]          (stores)
+ *   B-type : rs1[25:21] rs2[20:16] imm16[15:0]          (branches)
+ *   J-type : rd[25:21] imm21[20:0]                      (jal)
+ *
+ * Branch/JAL immediates are signed word offsets relative to the
+ * instruction's own PC.  x0 is hardwired to zero.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "mem/device.h"
+
+namespace bifsim::sa32 {
+
+/** Number of architectural integer registers. */
+constexpr unsigned kNumRegs = 32;
+
+/** Semantic operation, the decoded form dispatched by the executor. */
+enum class Op : uint8_t
+{
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    Mul, Mulh, Mulhu, Div, Divu, Rem, Remu,
+    AddI, AndI, OrI, XorI, SltI, SltuI, SllI, SrlI, SraI,
+    Lui, Auipc,
+    Lb, Lbu, Lh, Lhu, Lw,
+    Sb, Sh, Sw,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Jal, Jalr,
+    ECall, EBreak, MRet, Wfi, Fence, SFence, Halt,
+    CsrRw, CsrRs, CsrRc,
+    Illegal,
+};
+
+/** Major opcode values (bits [31:26] of the instruction word). */
+enum Opcode : uint32_t
+{
+    kOpAluR  = 0x00,
+    kOpAddI  = 0x01, kOpAndI = 0x02, kOpOrI  = 0x03, kOpXorI = 0x04,
+    kOpSltI  = 0x05, kOpSltuI = 0x06, kOpSllI = 0x07, kOpSrlI = 0x08,
+    kOpSraI  = 0x09, kOpLui  = 0x0A, kOpAuipc = 0x0B,
+    kOpLb    = 0x10, kOpLbu  = 0x11, kOpLh   = 0x12, kOpLhu  = 0x13,
+    kOpLw    = 0x14,
+    kOpSb    = 0x18, kOpSh   = 0x19, kOpSw   = 0x1A,
+    kOpBeq   = 0x20, kOpBne  = 0x21, kOpBlt  = 0x22, kOpBge  = 0x23,
+    kOpBltu  = 0x24, kOpBgeu = 0x25,
+    kOpJal   = 0x28, kOpJalr = 0x29,
+    kOpSys   = 0x30,
+    kOpCsrRw = 0x34, kOpCsrRs = 0x35, kOpCsrRc = 0x36,
+};
+
+/** R-type funct values. */
+enum AluFunct : uint32_t
+{
+    kFnAdd = 0, kFnSub = 1, kFnAnd = 2, kFnOr = 3, kFnXor = 4,
+    kFnSll = 5, kFnSrl = 6, kFnSra = 7, kFnSlt = 8, kFnSltu = 9,
+    kFnMul = 10, kFnMulh = 11, kFnMulhu = 12, kFnDiv = 13,
+    kFnDivu = 14, kFnRem = 15, kFnRemu = 16,
+};
+
+/** SYS-opcode immediate selectors. */
+enum SysFunct : uint32_t
+{
+    kSysECall = 0, kSysEBreak = 1, kSysMRet = 2, kSysWfi = 3,
+    kSysFence = 4, kSysSFence = 5, kSysHalt = 6,
+};
+
+/** Control and status register numbers. */
+enum Csr : uint32_t
+{
+    kCsrSatp     = 0x180,
+    kCsrMStatus  = 0x300,
+    kCsrMIe      = 0x304,
+    kCsrMTvec    = 0x305,
+    kCsrMScratch = 0x340,
+    kCsrMEpc     = 0x341,
+    kCsrMCause   = 0x342,
+    kCsrMTval    = 0x343,
+    kCsrMIp      = 0x344,
+    kCsrMCycle   = 0xB00,
+    kCsrMInstRet = 0xB02,
+    kCsrMHartId  = 0xF14,
+};
+
+/** mstatus bit positions. */
+enum MStatusBits : uint32_t
+{
+    kMStatusMie  = 1u << 3,
+    kMStatusMpie = 1u << 7,
+    kMStatusMppShift = 11,                 ///< 2-bit previous privilege
+    kMStatusMppMask  = 3u << kMStatusMppShift,
+};
+
+/** Interrupt numbers (bit positions in mie/mip and cause values). */
+enum IrqNum : uint32_t
+{
+    kIrqTimer    = 7,
+    kIrqExternal = 11,
+};
+
+/** Synchronous trap cause values. */
+enum TrapCause : uint32_t
+{
+    kCauseFetchFault     = 1,
+    kCauseIllegalInst    = 2,
+    kCauseBreakpoint     = 3,
+    kCauseLoadMisaligned = 4,
+    kCauseLoadFault      = 5,
+    kCauseStoreMisaligned = 6,
+    kCauseStoreFault     = 7,
+    kCauseECallU         = 8,
+    kCauseECallM         = 11,
+    kCauseFetchPageFault = 12,
+    kCauseLoadPageFault  = 13,
+    kCauseStorePageFault = 15,
+};
+
+/** Interrupt flag in mcause. */
+constexpr uint32_t kCauseInterrupt = 0x80000000u;
+
+/** Privilege levels. */
+enum class Priv : uint8_t { User = 0, Machine = 3 };
+
+/** Instruction formats, used by the decoder/assembler tables. */
+enum class Format : uint8_t { R, I, S, B, J, Sys, Csr };
+
+/** A decoded SA32 instruction. */
+struct DecodedInst
+{
+    Op op = Op::Illegal;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;        ///< Sign- or zero-extended per instruction.
+    uint32_t raw = 0;       ///< Original encoding (for mtval / disasm).
+};
+
+/** Decodes one instruction word. */
+DecodedInst decode(uint32_t word);
+
+/** Renders a decoded instruction as assembly text. */
+std::string disassemble(const DecodedInst &inst, Addr pc);
+
+/** Returns the canonical mnemonic for @p op. */
+const char *opName(Op op);
+
+/** Returns true for ops that can redirect control flow or change
+ *  translation/privilege state (these end decode-cache blocks). */
+bool endsBlock(Op op);
+
+} // namespace bifsim::sa32
+
+#endif // BIFSIM_CPU_SA32_H

@@ -1,0 +1,53 @@
+#include "gpu/gmmu.h"
+
+#include "common/bits.h"
+
+namespace bifsim::gpu {
+
+bool
+GpuMmu::translate(uint32_t va, bool write, GpuTlb &tlb, Addr &pa_out)
+{
+    uint32_t vpn = va >> 12;
+    GpuTlb::Entry &e = tlb.entries[vpn % GpuTlb::kEntries];
+    if (e.valid && e.vpn == vpn) {
+        if (write && !e.writable)
+            return false;
+        pa_out = (static_cast<Addr>(e.ppn) << 12) | (va & 0xfff);
+        return true;
+    }
+
+    Addr root = root_.load(std::memory_order_acquire);
+    if (root == 0)
+        return false;
+    walks_.fetch_add(1, std::memory_order_relaxed);
+
+    uint32_t vpn1 = bits(va, 31, 22);
+    uint32_t vpn0 = bits(va, 21, 12);
+
+    Addr l1_addr = root + vpn1 * 4;
+    if (!mem_.contains(l1_addr, 4))
+        return false;
+    uint32_t pte1 = mem_.read<uint32_t>(l1_addr);
+    if (!(pte1 & kGpuPteValid))
+        return false;
+
+    Addr l0 = static_cast<Addr>((pte1 >> 10) & 0xfffffu) << 12;
+    Addr l0_addr = l0 + vpn0 * 4;
+    if (!mem_.contains(l0_addr, 4))
+        return false;
+    uint32_t pte0 = mem_.read<uint32_t>(l0_addr);
+    if (!(pte0 & kGpuPteValid))
+        return false;
+
+    e.valid = true;
+    e.vpn = vpn;
+    e.ppn = (pte0 >> 10) & 0xfffffu;
+    e.writable = (pte0 & kGpuPteWrite) != 0;
+
+    if (write && !e.writable)
+        return false;
+    pa_out = (static_cast<Addr>(e.ppn) << 12) | (va & 0xfff);
+    return true;
+}
+
+} // namespace bifsim::gpu

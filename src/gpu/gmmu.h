@@ -1,0 +1,95 @@
+#ifndef BIFSIM_GPU_GMMU_H
+#define BIFSIM_GPU_GMMU_H
+
+/**
+ * @file
+ * The GPU's memory management unit (paper §III-B5).
+ *
+ * The driver running on the simulated CPU builds page tables in guest
+ * memory and hands the root pointer to the GPU through the AS_TRANSTAB
+ * register; every shader memory access is translated through these
+ * tables.  Faults are reported back through AS_FAULTSTATUS /
+ * AS_FAULTADDRESS and an interrupt, exactly like the modelled hardware.
+ *
+ * GPU page-table format (distinct from the CPU's, as on the real SoC):
+ * two levels of 1024 32-bit entries, 4 KiB pages.
+ *
+ *   PTE: bit0 VALID, bit1 WRITE; PPN in bits [29:10]
+ *   level-1 entries are always pointers (no huge pages).
+ */
+
+#include <atomic>
+#include <cstdint>
+
+#include "mem/phys_mem.h"
+
+namespace bifsim::gpu {
+
+/** GPU PTE bits. */
+enum GpuPteBits : uint32_t
+{
+    kGpuPteValid = 1u << 0,
+    kGpuPteWrite = 1u << 1,
+};
+
+/** A small per-worker TLB; workers own one each so no locking is needed
+ *  on the translation fast path. */
+struct GpuTlb
+{
+    static constexpr size_t kEntries = 64;
+
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t vpn = 0;
+        uint32_t ppn = 0;
+        bool writable = false;
+    };
+
+    Entry entries[kEntries];
+
+    void
+    flush()
+    {
+        for (Entry &e : entries)
+            e.valid = false;
+    }
+};
+
+/**
+ * Stateless page-table walker for the GPU address space.  The root
+ * pointer is atomic so the job-manager thread and MMIO writes from the
+ * CPU thread can exchange it safely.
+ */
+class GpuMmu
+{
+  public:
+    explicit GpuMmu(PhysMem &mem) : mem_(mem) {}
+
+    /** Sets the page-table root physical address (AS_TRANSTAB). */
+    void setRoot(Addr root_pa) { root_.store(root_pa); }
+
+    /** Current page-table root. */
+    Addr root() const { return root_.load(); }
+
+    /**
+     * Translates GPU virtual address @p va.
+     * @param write  Whether the access is a store.
+     * @param tlb    The calling worker's TLB.
+     * @param pa_out Receives the physical address.
+     * @return false on translation fault.
+     */
+    bool translate(uint32_t va, bool write, GpuTlb &tlb, Addr &pa_out);
+
+    /** Translation statistics (monotonic, approximate under threads). */
+    uint64_t walkCount() const { return walks_.load(); }
+
+  private:
+    PhysMem &mem_;
+    std::atomic<Addr> root_{0};
+    std::atomic<uint64_t> walks_{0};
+};
+
+} // namespace bifsim::gpu
+
+#endif // BIFSIM_GPU_GMMU_H

@@ -1,0 +1,415 @@
+#include "gpu/gpu.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace bifsim::gpu {
+
+namespace {
+
+constexpr uint32_t kMaxGroupThreads = 1024;
+
+} // namespace
+
+GpuDevice::GpuDevice(PhysMem &mem, GpuConfig cfg, IrqFn irq)
+    : mem_(mem), cfg_(cfg), irq_(std::move(irq)), mmu_(mem)
+{
+    if (cfg_.hostThreads == 0)
+        cfg_.hostThreads = 1;
+    executors_.resize(cfg_.hostThreads);
+    workers_.reserve(cfg_.hostThreads);
+    for (unsigned i = 0; i < cfg_.hostThreads; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+    jmThread_ = std::thread([this] { jmMain(); });
+}
+
+GpuDevice::~GpuDevice()
+{
+    {
+        std::lock_guard<std::mutex> g(lock_);
+        shutdown_ = true;
+        cv_.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> g(poolLock_);
+        poolCv_.notify_all();
+    }
+    jmThread_.join();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+GpuDevice::updateIrqOutput()
+{
+    bool level = (irqRaw_ & irqMask_) != 0;
+    if (level != irqLevel_) {
+        irqLevel_ = level;
+        if (irq_)
+            irq_(level);
+    }
+}
+
+void
+GpuDevice::raiseIrqLocked(uint32_t bits)
+{
+    irqRaw_ |= bits;
+    sys_.irqsAsserted++;
+    updateIrqOutput();
+}
+
+uint32_t
+GpuDevice::mmioRead(Addr offset)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    sys_.ctrlRegReads++;
+    switch (offset) {
+      case kRegGpuId:          return 0x47310000u | cfg_.numCores;
+      case kRegIrqRawStat:     return irqRaw_;
+      case kRegIrqMask:        return irqMask_;
+      case kRegIrqStatus:      return irqRaw_ & irqMask_;
+      case kRegJsStatus:       return jsStatus_;
+      case kRegJsJobCount:     return jobCount_;
+      case kRegAsTranstab:
+        return static_cast<uint32_t>(mmu_.root());
+      case kRegAsFaultStatus:  return faultStatus_;
+      case kRegAsFaultAddress: return faultAddress_;
+      case kRegScCount:        return cfg_.numCores;
+      case kRegScThreads:      return cfg_.hostThreads;
+      default:                 return 0;
+    }
+}
+
+void
+GpuDevice::mmioWrite(Addr offset, uint32_t value)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    sys_.ctrlRegWrites++;
+    switch (offset) {
+      case kRegIrqClear:
+        irqRaw_ &= ~value;
+        updateIrqOutput();
+        break;
+      case kRegIrqMask:
+        irqMask_ = value;
+        updateIrqOutput();
+        break;
+      case kRegGpuCmd:
+        if (value == 1)
+            shaderCache_.clear();
+        break;
+      case kRegJsSubmit:
+        submitQueue_.push_back(value);
+        jsStatus_ = kJsRunning;
+        cv_.notify_all();
+        break;
+      case kRegAsTranstab:
+        mmu_.setRoot(value);
+        break;
+      case kRegAsCommand:
+        // TLB flush: worker TLBs are flushed at job start, so a flush
+        // between jobs is implicit; nothing more to do functionally.
+        break;
+      default:
+        break;
+    }
+}
+
+void
+GpuDevice::waitIdle()
+{
+    std::unique_lock<std::mutex> l(lock_);
+    cv_.wait(l, [&] {
+        return submitQueue_.empty() && !chainActive_;
+    });
+}
+
+JobResult
+GpuDevice::lastJob() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return lastJob_;
+}
+
+KernelStats
+GpuDevice::totalKernelStats() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return total_;
+}
+
+SystemStats
+GpuDevice::systemStats() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return sys_;
+}
+
+ShaderCacheStats
+GpuDevice::shaderCacheStats() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return cacheStats_;
+}
+
+void
+GpuDevice::resetStats()
+{
+    std::lock_guard<std::mutex> g(lock_);
+    sys_ = SystemStats{};
+    total_ = KernelStats{};
+    lastJob_ = JobResult{};
+    cacheStats_ = ShaderCacheStats{};
+}
+
+bool
+GpuDevice::readVaRange(uint32_t va, size_t len, std::vector<uint8_t> &out)
+{
+    out.resize(len);
+    GpuTlb tlb;
+    size_t done = 0;
+    while (done < len) {
+        uint32_t cur = va + static_cast<uint32_t>(done);
+        size_t in_page = 4096 - (cur & 0xfff);
+        size_t chunk = std::min(in_page, len - done);
+        Addr pa = 0;
+        if (!mmu_.translate(cur, false, tlb, pa) ||
+            !mem_.contains(pa, chunk)) {
+            return false;
+        }
+        mem_.readBlock(pa, out.data() + done, chunk);
+        done += chunk;
+    }
+    return true;
+}
+
+std::shared_ptr<DecodedShader>
+GpuDevice::getShader(uint32_t binary_va, std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> g(lock_);
+        auto it = shaderCache_.find(binary_va);
+        if (it != shaderCache_.end()) {
+            cacheStats_.hits++;
+            return it->second;
+        }
+    }
+
+    // Decode phase (paper §III-B2): executed exactly once per shader.
+    std::vector<uint8_t> header;
+    if (!readVaRange(binary_va, 32, header)) {
+        error = "shader header unreadable";
+        return nullptr;
+    }
+    uint32_t num_clauses, clause_off, rom_off, rom_words;
+    std::memcpy(&num_clauses, header.data() + 4, 4);
+    std::memcpy(&clause_off, header.data() + 8, 4);
+    std::memcpy(&rom_off, header.data() + 12, 4);
+    std::memcpy(&rom_words, header.data() + 16, 4);
+    (void)num_clauses;
+    (void)clause_off;
+    size_t total = static_cast<size_t>(rom_off) + rom_words * 4;
+    if (total < 32 || total > (64u << 20)) {
+        error = "implausible shader size";
+        return nullptr;
+    }
+    std::vector<uint8_t> bytes;
+    if (!readVaRange(binary_va, total, bytes)) {
+        error = "shader body unreadable";
+        return nullptr;
+    }
+    bif::Module mod;
+    if (!bif::decode(bytes.data(), bytes.size(), mod, error))
+        return nullptr;
+
+    auto shader =
+        std::make_shared<DecodedShader>(DecodedShader::build(std::move(mod)));
+    std::lock_guard<std::mutex> g(lock_);
+    cacheStats_.decodes++;
+    shaderCache_[binary_va] = shader;
+    return shader;
+}
+
+bool
+GpuDevice::runJob(const JobDescriptor &desc)
+{
+    auto fail = [&](JobFaultKind kind, uint32_t va, std::string detail) {
+        std::lock_guard<std::mutex> g(lock_);
+        lastJob_ = JobResult{};
+        lastJob_.faulted = true;
+        lastJob_.fault = JobFault{kind, va, std::move(detail)};
+        faultStatus_ = static_cast<uint32_t>(kind);
+        faultAddress_ = va;
+        raiseIrqLocked(kind == JobFaultKind::MmuFault ? kIrqMmuFault
+                                                      : kIrqJobFault);
+        return false;
+    };
+
+    if (desc.jobType != JobDescriptor::kTypeCompute) {
+        return fail(JobFaultKind::BadDescriptor, 0,
+                    strfmt("unsupported job type %u", desc.jobType));
+    }
+    for (int d = 0; d < 3; ++d) {
+        if (desc.wg[d] == 0 || desc.grid[d] == 0 ||
+            desc.grid[d] % desc.wg[d] != 0) {
+            return fail(JobFaultKind::BadDimensions, 0,
+                        "grid not a multiple of workgroup size");
+        }
+    }
+    uint32_t group_threads = desc.wg[0] * desc.wg[1] * desc.wg[2];
+    if (group_threads == 0 || group_threads > kMaxGroupThreads) {
+        return fail(JobFaultKind::BadDimensions, 0,
+                    "workgroup too large");
+    }
+
+    std::string err;
+    std::shared_ptr<DecodedShader> shader = getShader(desc.binaryVa, err);
+    if (!shader)
+        return fail(JobFaultKind::BadBinary, desc.binaryVa, err);
+
+    JobContext ctx;
+    ctx.shader = shader.get();
+    ctx.desc = desc;
+    ctx.mmu = &mmu_;
+    ctx.mem = &mem_;
+    ctx.collect = cfg_.instrument;
+    for (int d = 0; d < 3; ++d)
+        ctx.groups[d] = desc.grid[d] / desc.wg[d];
+    ctx.totalGroups = ctx.groups[0] * ctx.groups[1] * ctx.groups[2];
+
+    if (desc.argsVa != 0) {
+        std::vector<uint8_t> argbytes;
+        if (!readVaRange(desc.argsVa, kMaxArgWords * 4, argbytes)) {
+            return fail(JobFaultKind::BadDescriptor, desc.argsVa,
+                        "argument table unreadable");
+        }
+        std::memcpy(ctx.args, argbytes.data(), sizeof(ctx.args));
+    }
+
+    // Dispatch to the worker pool.
+    {
+        std::unique_lock<std::mutex> l(poolLock_);
+        activeJob_ = &ctx;
+        workersDone_ = 0;
+        jobSeq_++;
+        poolCv_.notify_all();
+        poolDoneCv_.wait(l, [&] {
+            return workersDone_ == workers_.size();
+        });
+        activeJob_ = nullptr;
+    }
+
+    // Merge per-worker collectors (paper §IV-A: totalled at job
+    // completion, no hot-path synchronisation).
+    JobResult result;
+    std::unordered_set<uint32_t> pages;
+    for (WorkgroupExecutor &ex : executors_) {
+        result.kernel.merge(ex.collector().kernel);
+        pages.insert(ex.collector().pages.begin(),
+                     ex.collector().pages.end());
+    }
+    result.pagesAccessed = pages.size();
+
+    if (ctx.faulted.load()) {
+        return fail(ctx.fault.kind, ctx.fault.va, ctx.fault.detail);
+    }
+
+    std::lock_guard<std::mutex> g(lock_);
+    lastJob_ = result;
+    total_.merge(result.kernel);
+    sys_.pagesAccessed += result.pagesAccessed;
+    sys_.computeJobs++;
+    jobCount_++;
+    raiseIrqLocked(kIrqJobDone);
+    return true;
+}
+
+void
+GpuDevice::runChain(uint32_t desc_va)
+{
+    uint32_t va = desc_va;
+    bool ok = true;
+    while (va != 0) {
+        std::vector<uint8_t> raw;
+        if (!readVaRange(va, JobDescriptor::kSizeBytes, raw)) {
+            std::lock_guard<std::mutex> g(lock_);
+            faultStatus_ =
+                static_cast<uint32_t>(JobFaultKind::BadDescriptor);
+            faultAddress_ = va;
+            raiseIrqLocked(kIrqJobFault);
+            ok = false;
+            break;
+        }
+        JobDescriptor desc = JobDescriptor::readFrom(raw.data());
+        if (desc.jobType == JobDescriptor::kTypeNull) {
+            va = desc.next;
+            continue;
+        }
+        if (!runJob(desc)) {
+            ok = false;
+            break;
+        }
+        va = desc.next;
+    }
+    std::lock_guard<std::mutex> g(lock_);
+    jsStatus_ = ok ? kJsDone : kJsFault;
+    // Chain-complete interrupt: raised *after* the status update so a
+    // driver woken by the last per-job IRQ can never observe a stale
+    // "running" status and sleep through completion.
+    raiseIrqLocked(ok ? kIrqJobDone : kIrqJobFault);
+}
+
+void
+GpuDevice::jmMain()
+{
+    for (;;) {
+        uint32_t va = 0;
+        {
+            std::unique_lock<std::mutex> l(lock_);
+            cv_.wait(l, [&] {
+                return shutdown_ || !submitQueue_.empty();
+            });
+            if (shutdown_)
+                return;
+            va = submitQueue_.front();
+            submitQueue_.pop_front();
+            chainActive_ = true;
+            jsStatus_ = kJsRunning;
+        }
+        runChain(va);
+        {
+            std::lock_guard<std::mutex> g(lock_);
+            chainActive_ = false;
+            cv_.notify_all();
+        }
+    }
+}
+
+void
+GpuDevice::workerMain(unsigned idx)
+{
+    uint64_t my_seq = 0;
+    std::unique_lock<std::mutex> l(poolLock_);
+    for (;;) {
+        poolCv_.wait(l, [&] {
+            return shutdown_ || (activeJob_ != nullptr && jobSeq_ != my_seq);
+        });
+        if (shutdown_)
+            return;
+        my_seq = jobSeq_;
+        JobContext *job = activeJob_;
+        l.unlock();
+
+        executors_[idx].beginJob(job);
+        executors_[idx].runUntilDone();
+        executors_[idx].finalize();
+
+        l.lock();
+        workersDone_++;
+        if (workersDone_ == workers_.size())
+            poolDoneCv_.notify_all();
+    }
+}
+
+} // namespace bifsim::gpu

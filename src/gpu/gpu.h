@@ -1,0 +1,231 @@
+#ifndef BIFSIM_GPU_GPU_H
+#define BIFSIM_GPU_GPU_H
+
+/**
+ * @file
+ * The GPU device model: memory-mapped registers, the Job Manager (which
+ * runs in its own host simulation thread, paper §III-B4), the shader
+ * decode cache, and the worker pool implementing the virtual-core
+ * optimisation (§III-B3).
+ *
+ * The CPU interacts with the GPU exactly as the paper describes
+ * (§III-B1): the driver writes job descriptors and page tables into
+ * shared memory, pokes control registers, and receives completion
+ * through interrupt lines.
+ *
+ * Register map (byte offsets from the device base):
+ *
+ *   0x000 GPU_ID          (ro)  0x4731'0000 | shader-core count
+ *   0x004 GPU_IRQ_RAWSTAT (ro)  bit0 JOB_DONE, bit1 JOB_FAULT,
+ *                               bit2 MMU_FAULT
+ *   0x008 GPU_IRQ_CLEAR   (wo)  write-1-to-clear
+ *   0x00C GPU_IRQ_MASK    (rw)
+ *   0x010 GPU_IRQ_STATUS  (ro)  RAWSTAT & MASK
+ *   0x014 GPU_CMD         (wo)  1 = flush shader decode cache
+ *   0x020 JS_SUBMIT       (wo)  GPU VA of first descriptor in a chain
+ *   0x024 JS_STATUS       (ro)  0 idle / 1 running / 2 done / 3 fault
+ *   0x028 JS_JOBCOUNT     (ro)  completed jobs (cumulative)
+ *   0x030 AS_TRANSTAB     (rw)  physical addr of GPU page-table root
+ *   0x034 AS_COMMAND      (wo)  1 = broadcast TLB flush to workers
+ *   0x038 AS_FAULTSTATUS  (ro)  JobFaultKind of last fault
+ *   0x03C AS_FAULTADDRESS (ro)  faulting GPU VA
+ *   0x040 SC_COUNT        (ro)  guest shader cores
+ *   0x044 SC_THREADS      (ro)  host worker threads (simulator detail)
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/gmmu.h"
+#include "gpu/shader_core.h"
+#include "instrument/stats.h"
+#include "mem/device.h"
+#include "mem/phys_mem.h"
+
+namespace bifsim::gpu {
+
+/** GPU model configuration. */
+struct GpuConfig
+{
+    unsigned numCores = 8;     ///< Guest-visible shader cores (Mali-G71
+                               ///< MP8 as on the HiKey960).
+    unsigned hostThreads = 8;  ///< Host worker threads ("virtual cores").
+    bool instrument = true;    ///< Collect execution statistics.
+};
+
+/** Merged results for the most recent job. */
+struct JobResult
+{
+    KernelStats kernel;
+    uint64_t pagesAccessed = 0;
+    bool faulted = false;
+    JobFault fault;
+};
+
+/** Shader decode-cache statistics. */
+struct ShaderCacheStats
+{
+    uint64_t decodes = 0;
+    uint64_t hits = 0;
+};
+
+/** GPU register offsets. */
+enum GpuReg : Addr
+{
+    kRegGpuId = 0x000,
+    kRegIrqRawStat = 0x004,
+    kRegIrqClear = 0x008,
+    kRegIrqMask = 0x00c,
+    kRegIrqStatus = 0x010,
+    kRegGpuCmd = 0x014,
+    kRegJsSubmit = 0x020,
+    kRegJsStatus = 0x024,
+    kRegJsJobCount = 0x028,
+    kRegAsTranstab = 0x030,
+    kRegAsCommand = 0x034,
+    kRegAsFaultStatus = 0x038,
+    kRegAsFaultAddress = 0x03c,
+    kRegScCount = 0x040,
+    kRegScThreads = 0x044,
+};
+
+/** GPU_IRQ bits. */
+enum GpuIrqBits : uint32_t
+{
+    kIrqJobDone = 1u << 0,
+    kIrqJobFault = 1u << 1,
+    kIrqMmuFault = 1u << 2,
+};
+
+/** JS_STATUS values. */
+enum JsStatus : uint32_t
+{
+    kJsIdle = 0,
+    kJsRunning = 1,
+    kJsDone = 2,
+    kJsFault = 3,
+};
+
+/**
+ * The simulated Mali-like GPU.
+ *
+ * Construction spawns the Job Manager thread and the worker pool; both
+ * are joined at destruction.  All MMIO accesses are counted into the
+ * system statistics (Table III's control-register traffic).
+ */
+class GpuDevice : public Device
+{
+  public:
+    using IrqFn = std::function<void(bool level)>;
+
+    /**
+     * @param mem  Guest physical memory (shared with the CPU).
+     * @param cfg  Model configuration.
+     * @param irq  Interrupt output (wired to the platform INTC).
+     */
+    GpuDevice(PhysMem &mem, GpuConfig cfg, IrqFn irq);
+    ~GpuDevice() override;
+
+    GpuDevice(const GpuDevice &) = delete;
+    GpuDevice &operator=(const GpuDevice &) = delete;
+
+    uint32_t mmioRead(Addr offset) override;
+    void mmioWrite(Addr offset, uint32_t value) override;
+    std::string name() const override { return "gpu"; }
+
+    /** Blocks the calling host thread until all submitted chains have
+     *  completed (host-side convenience for the direct runtime mode). */
+    void waitIdle();
+
+    /** Results of the most recently completed job. */
+    JobResult lastJob() const;
+
+    /** Kernel statistics accumulated over all jobs. */
+    KernelStats totalKernelStats() const;
+
+    /** System-level statistics (Table III). */
+    SystemStats systemStats() const;
+
+    /** Shader decode-cache statistics. */
+    ShaderCacheStats shaderCacheStats() const;
+
+    /** Clears all statistics (not the decode cache). */
+    void resetStats();
+
+    /** The GPU MMU (used by host-side direct setup paths and tests). */
+    GpuMmu &mmu() { return mmu_; }
+
+    /** The model configuration. */
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    PhysMem &mem_;
+    GpuConfig cfg_;
+    IrqFn irq_;
+    GpuMmu mmu_;
+
+    mutable std::mutex lock_;
+    std::condition_variable cv_;        ///< JM wakeup / waitIdle.
+    std::deque<uint32_t> submitQueue_;
+    std::atomic<bool> shutdown_{false};
+    bool chainActive_ = false;
+
+    uint32_t irqRaw_ = 0;
+    uint32_t irqMask_ = 0;
+    uint32_t jsStatus_ = kJsIdle;
+    uint32_t jobCount_ = 0;
+    uint32_t faultStatus_ = 0;
+    uint32_t faultAddress_ = 0;
+    bool irqLevel_ = false;
+
+    SystemStats sys_;
+    KernelStats total_;
+    JobResult lastJob_;
+
+    std::unordered_map<uint32_t, std::shared_ptr<DecodedShader>>
+        shaderCache_;
+    ShaderCacheStats cacheStats_;
+
+    // Worker pool.
+    std::mutex poolLock_;
+    std::condition_variable poolCv_;
+    std::condition_variable poolDoneCv_;
+    JobContext *activeJob_ = nullptr;
+    uint64_t jobSeq_ = 0;
+    unsigned workersDone_ = 0;
+    std::vector<WorkgroupExecutor> executors_;
+    std::vector<std::thread> workers_;
+    std::thread jmThread_;
+
+    void jmMain();
+    void workerMain(unsigned idx);
+
+    /** Executes one chain of jobs starting at @p desc_va. */
+    void runChain(uint32_t desc_va);
+
+    /** Executes one job; returns false on fault (chain stops). */
+    bool runJob(const JobDescriptor &desc);
+
+    /** Reads @p len bytes at GPU VA @p va through the MMU. */
+    bool readVaRange(uint32_t va, size_t len, std::vector<uint8_t> &out);
+
+    std::shared_ptr<DecodedShader> getShader(uint32_t binary_va,
+                                             std::string &error);
+
+    /** Updates the IRQ output level; must be called with lock_ held,
+     *  fires the callback after dropping it via the returned action. */
+    void raiseIrqLocked(uint32_t bits);
+    void updateIrqOutput();   // lock_ held
+};
+
+} // namespace bifsim::gpu
+
+#endif // BIFSIM_GPU_GPU_H

@@ -1,0 +1,396 @@
+#include "gpu/ref/ref_interp.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace bifsim::gpu::ref {
+
+namespace {
+
+using bif::Op;
+
+struct Machine
+{
+    const bif::Module &mod;
+    const RefContext &ctx;
+    uint32_t grf[bif::kNumGrfRegs] = {};
+    uint32_t temp[bif::kNumTempRegs] = {};
+    uint32_t pc = 0;          ///< Clause index.
+    bool done = false;
+    std::string error;
+
+    explicit Machine(const bif::Module &m, const RefContext &c)
+        : mod(m), ctx(c)
+    {
+    }
+
+    uint32_t
+    readOp(uint8_t o) const
+    {
+        using namespace bif;
+        if (isGrf(o))
+            return grf[o];
+        if (isTemp(o))
+            return temp[o - kOperandTemp0];
+        switch (o) {
+          case kSrLaneId: return ctx.laneId;
+          case kSrLocalIdX: return ctx.localId[0];
+          case kSrLocalIdY: return ctx.localId[1];
+          case kSrLocalIdZ: return ctx.localId[2];
+          case kSrGroupIdX: return ctx.groupId[0];
+          case kSrGroupIdY: return ctx.groupId[1];
+          case kSrGroupIdZ: return ctx.groupId[2];
+          case kSrLocalSizeX: return ctx.localSize[0];
+          case kSrLocalSizeY: return ctx.localSize[1];
+          case kSrLocalSizeZ: return ctx.localSize[2];
+          case kSrGridSizeX: return ctx.gridSize[0];
+          case kSrGridSizeY: return ctx.gridSize[1];
+          case kSrGridSizeZ: return ctx.gridSize[2];
+          case kSrNumGroupsX: return ctx.numGroups[0];
+          case kSrNumGroupsY: return ctx.numGroups[1];
+          case kSrNumGroupsZ: return ctx.numGroups[2];
+          case kSrZero: return 0;
+          default: return 0;
+        }
+    }
+
+    void
+    writeOp(uint8_t o, uint32_t v)
+    {
+        if (bif::isGrf(o))
+            grf[o] = v;
+        else if (bif::isTemp(o))
+            temp[o - bif::kOperandTemp0] = v;
+    }
+
+    bool
+    mem(std::vector<uint8_t> *m, uint32_t addr, unsigned size,
+        bool write, uint32_t &val, const char *what)
+    {
+        if (!m || addr % size != 0 ||
+            static_cast<uint64_t>(addr) + size > m->size()) {
+            error = strfmt("%s access out of range at 0x%x", what, addr);
+            return false;
+        }
+        if (write) {
+            std::memcpy(m->data() + addr, &val, size);
+        } else {
+            val = 0;
+            std::memcpy(&val, m->data() + addr, size);
+        }
+        return true;
+    }
+};
+
+float
+asF(uint32_t u)
+{
+    return std::bit_cast<float>(u);
+}
+
+uint32_t
+asU(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+bool
+cmpResult(bif::CmpMode m, bool unordered, int q)
+{
+    if (unordered)
+        return m == bif::CmpMode::Ne;
+    switch (m) {
+      case bif::CmpMode::Eq: return q == 0;
+      case bif::CmpMode::Ne: return q != 0;
+      case bif::CmpMode::Lt: return q < 0;
+      case bif::CmpMode::Le: return q <= 0;
+      case bif::CmpMode::Gt: return q > 0;
+      case bif::CmpMode::Ge: return q >= 0;
+    }
+    return false;
+}
+
+} // namespace
+
+RefResult
+runThread(const bif::Module &mod, const RefContext &ctx, bool trace,
+          uint64_t max_instrs)
+{
+    RefResult res;
+    std::string verr = bif::validate(mod);
+    if (!verr.empty()) {
+        res.ok = false;
+        res.error = "invalid module: " + verr;
+        return res;
+    }
+
+    Machine m(mod, ctx);
+    while (!m.done) {
+        if (m.pc >= mod.clauses.size())
+            break;   // Fell off the end: thread terminates.
+        const bif::Clause &cl = mod.clauses[m.pc];
+        uint32_t next = m.pc + 1;
+
+        for (const bif::Tuple &tp : cl.tuples) {
+            for (const bif::Instr &in : tp.slot) {
+                if (in.op == Op::Nop)
+                    continue;
+                if (++res.executedInstrs > max_instrs) {
+                    res.ok = false;
+                    res.error = "instruction budget exceeded";
+                    return res;
+                }
+                if (trace)
+                    res.trace.push_back(bif::disassemble(in));
+
+                uint32_t a = m.readOp(in.src0);
+                uint32_t b = m.readOp(in.src1);
+                uint32_t c = m.readOp(in.src2);
+                uint32_t r = 0;
+                bool wrote = true;
+
+                switch (in.op) {
+                  case Op::FAdd: r = asU(asF(a) + asF(b)); break;
+                  case Op::FSub: r = asU(asF(a) - asF(b)); break;
+                  case Op::FMul: r = asU(asF(a) * asF(b)); break;
+                  case Op::FFma: r = asU(asF(a) * asF(b) + asF(c)); break;
+                  case Op::FMin: r = asU(std::fmin(asF(a), asF(b))); break;
+                  case Op::FMax: r = asU(std::fmax(asF(a), asF(b))); break;
+                  case Op::FAbs: r = asU(std::fabs(asF(a))); break;
+                  case Op::FNeg: r = asU(-asF(a)); break;
+                  case Op::FFloor: r = asU(std::floor(asF(a))); break;
+                  case Op::IAdd: r = a + b; break;
+                  case Op::ISub: r = a - b; break;
+                  case Op::IMul: r = a * b; break;
+                  case Op::IAnd: r = a & b; break;
+                  case Op::IOr: r = a | b; break;
+                  case Op::IXor: r = a ^ b; break;
+                  case Op::INot: r = ~a; break;
+                  case Op::IShl: r = a << (b & 31); break;
+                  case Op::IShr: r = a >> (b & 31); break;
+                  case Op::IAsr:
+                    r = static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                              (b & 31));
+                    break;
+                  case Op::IMin:
+                    r = static_cast<int32_t>(a) < static_cast<int32_t>(b)
+                            ? a : b;
+                    break;
+                  case Op::IMax:
+                    r = static_cast<int32_t>(a) > static_cast<int32_t>(b)
+                            ? a : b;
+                    break;
+                  case Op::UMin: r = std::min(a, b); break;
+                  case Op::UMax: r = std::max(a, b); break;
+                  case Op::FCmp: {
+                    float fa = asF(a), fb = asF(b);
+                    bool un = std::isnan(fa) || std::isnan(fb);
+                    int q = un ? 0 : fa < fb ? -1 : fa > fb ? 1 : 0;
+                    r = cmpResult(static_cast<bif::CmpMode>(in.imm & 7),
+                                  un, q);
+                    break;
+                  }
+                  case Op::ICmp: {
+                    int32_t sa = static_cast<int32_t>(a);
+                    int32_t sb = static_cast<int32_t>(b);
+                    r = cmpResult(static_cast<bif::CmpMode>(in.imm & 7),
+                                  false, sa < sb ? -1 : sa > sb ? 1 : 0);
+                    break;
+                  }
+                  case Op::UCmp:
+                    r = cmpResult(static_cast<bif::CmpMode>(in.imm & 7),
+                                  false, a < b ? -1 : a > b ? 1 : 0);
+                    break;
+                  case Op::CSel: r = a != 0 ? b : c; break;
+                  case Op::Mov: r = a; break;
+                  case Op::MovImm:
+                    r = static_cast<uint32_t>(in.imm);
+                    break;
+                  case Op::F2I: {
+                    float f = asF(a);
+                    if (std::isnan(f))
+                        r = 0;
+                    else if (f >= 2147483647.0f)
+                        r = 0x7fffffffu;
+                    else if (f <= -2147483648.0f)
+                        r = 0x80000000u;
+                    else
+                        r = static_cast<uint32_t>(
+                            static_cast<int32_t>(f));
+                    break;
+                  }
+                  case Op::F2U: {
+                    float f = asF(a);
+                    if (std::isnan(f) || f <= 0.0f)
+                        r = 0;
+                    else if (f >= 4294967295.0f)
+                        r = 0xffffffffu;
+                    else
+                        r = static_cast<uint32_t>(f);
+                    break;
+                  }
+                  case Op::I2F:
+                    r = asU(static_cast<float>(static_cast<int32_t>(a)));
+                    break;
+                  case Op::U2F: r = asU(static_cast<float>(a)); break;
+                  case Op::FRcp: r = asU(1.0f / asF(a)); break;
+                  case Op::FRsqrt:
+                    r = asU(1.0f / std::sqrt(asF(a)));
+                    break;
+                  case Op::FSqrt: r = asU(std::sqrt(asF(a))); break;
+                  case Op::FExp2: r = asU(std::exp2(asF(a))); break;
+                  case Op::FLog2: r = asU(std::log2(asF(a))); break;
+                  case Op::FSin: r = asU(std::sin(asF(a))); break;
+                  case Op::FCos: r = asU(std::cos(asF(a))); break;
+                  case Op::IDiv: {
+                    int32_t sa = static_cast<int32_t>(a);
+                    int32_t sb = static_cast<int32_t>(b);
+                    if (sb == 0)
+                        r = 0;
+                    else if (sa == std::numeric_limits<int32_t>::min() &&
+                             sb == -1)
+                        r = a;
+                    else
+                        r = static_cast<uint32_t>(sa / sb);
+                    break;
+                  }
+                  case Op::IRem: {
+                    int32_t sa = static_cast<int32_t>(a);
+                    int32_t sb = static_cast<int32_t>(b);
+                    if (sb == 0 ||
+                        (sa == std::numeric_limits<int32_t>::min() &&
+                         sb == -1))
+                        r = 0;
+                    else
+                        r = static_cast<uint32_t>(sa % sb);
+                    break;
+                  }
+                  case Op::UDiv: r = b ? a / b : 0; break;
+                  case Op::URem: r = b ? a % b : 0; break;
+                  case Op::LdRom:
+                    r = static_cast<size_t>(in.imm) < mod.rom.size()
+                            ? mod.rom[in.imm] : 0;
+                    break;
+                  case Op::LdArg:
+                    r = static_cast<size_t>(in.imm) < m.ctx.args.size()
+                            ? m.ctx.args[in.imm] : 0;
+                    break;
+                  case Op::LdGlobal:
+                    if (!m.mem(ctx.globalMem, a + in.imm, 4, false, r,
+                               "global")) {
+                        goto fault;
+                    }
+                    break;
+                  case Op::LdGlobalU8: {
+                    uint32_t tmp = 0;
+                    if (!m.mem(ctx.globalMem, a + in.imm, 1, false, tmp,
+                               "global")) {
+                        goto fault;
+                    }
+                    r = tmp & 0xff;
+                    break;
+                  }
+                  case Op::StGlobal:
+                    if (!m.mem(ctx.globalMem, a + in.imm, 4, true, b,
+                               "global")) {
+                        goto fault;
+                    }
+                    wrote = false;
+                    break;
+                  case Op::StGlobalU8: {
+                    uint32_t tmp = b & 0xff;
+                    if (!m.mem(ctx.globalMem, a + in.imm, 1, true, tmp,
+                               "global")) {
+                        goto fault;
+                    }
+                    wrote = false;
+                    break;
+                  }
+                  case Op::LdLocal:
+                    if (!m.mem(ctx.localMem, a + in.imm, 4, false, r,
+                               "local")) {
+                        goto fault;
+                    }
+                    break;
+                  case Op::StLocal:
+                    if (!m.mem(ctx.localMem, a + in.imm, 4, true, b,
+                               "local")) {
+                        goto fault;
+                    }
+                    wrote = false;
+                    break;
+                  case Op::AtomAddG: {
+                    uint32_t old = 0;
+                    if (!m.mem(ctx.globalMem, a + in.imm, 4, false, old,
+                               "global")) {
+                        goto fault;
+                    }
+                    uint32_t nv = old + b;
+                    if (!m.mem(ctx.globalMem, a + in.imm, 4, true, nv,
+                               "global")) {
+                        goto fault;
+                    }
+                    r = old;
+                    break;
+                  }
+                  case Op::AtomAddL: {
+                    uint32_t old = 0;
+                    if (!m.mem(ctx.localMem, a + in.imm, 4, false, old,
+                               "local")) {
+                        goto fault;
+                    }
+                    uint32_t nv = old + b;
+                    if (!m.mem(ctx.localMem, a + in.imm, 4, true, nv,
+                               "local")) {
+                        goto fault;
+                    }
+                    r = old;
+                    break;
+                  }
+                  case Op::Branch:
+                    next = static_cast<uint32_t>(in.imm);
+                    wrote = false;
+                    break;
+                  case Op::BranchZ:
+                    if (a == 0)
+                        next = static_cast<uint32_t>(in.imm);
+                    wrote = false;
+                    break;
+                  case Op::BranchNZ:
+                    if (a != 0)
+                        next = static_cast<uint32_t>(in.imm);
+                    wrote = false;
+                    break;
+                  case Op::Barrier:
+                    wrote = false;   // Single-thread: no-op.
+                    break;
+                  case Op::Ret:
+                    m.done = true;
+                    wrote = false;
+                    break;
+                  default:
+                    wrote = false;
+                    break;
+                }
+                if (wrote && in.dst != bif::kOperandNone)
+                    m.writeOp(in.dst, r);
+            }
+        }
+        m.pc = next;
+    }
+
+    std::memcpy(res.grf, m.grf, sizeof(res.grf));
+    return res;
+
+fault:
+    res.ok = false;
+    res.error = m.error;
+    std::memcpy(res.grf, m.grf, sizeof(res.grf));
+    return res;
+}
+
+} // namespace bifsim::gpu::ref

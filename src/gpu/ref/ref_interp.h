@@ -1,0 +1,69 @@
+#ifndef BIFSIM_GPU_REF_REF_INTERP_H
+#define BIFSIM_GPU_REF_REF_INTERP_H
+
+/**
+ * @file
+ * An independent reference interpreter for the BIF ISA.
+ *
+ * The paper validates its GPU model against Arm's proprietary
+ * stand-alone simulator using instruction tracing and fuzzing (§V-A2).
+ * This module is the open equivalent: a deliberately simple,
+ * obviously-correct scalar interpreter, written independently of the
+ * optimised shader-core executor, used as the differential-testing
+ * oracle.  It executes one thread at a time (no warps, no clause
+ * batching) against a flat memory, so any divergence between the two
+ * implementations indicates a bug in one of them.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/isa/bif.h"
+
+namespace bifsim::gpu::ref {
+
+/** The execution context for a single reference thread. */
+struct RefContext
+{
+    uint32_t localId[3] = {0, 0, 0};
+    uint32_t groupId[3] = {0, 0, 0};
+    uint32_t localSize[3] = {1, 1, 1};
+    uint32_t gridSize[3] = {1, 1, 1};
+    uint32_t numGroups[3] = {1, 1, 1};
+    uint32_t laneId = 0;
+
+    std::vector<uint32_t> args;       ///< Argument table words.
+    std::vector<uint8_t> *globalMem = nullptr;  ///< Flat global memory.
+    std::vector<uint8_t> *localMem = nullptr;   ///< Flat local memory.
+};
+
+/** Result of a reference run. */
+struct RefResult
+{
+    bool ok = true;
+    std::string error;
+    uint32_t grf[bif::kNumGrfRegs] = {};   ///< Final register file.
+    uint64_t executedInstrs = 0;
+    std::vector<std::string> trace;        ///< Optional instr trace.
+};
+
+/**
+ * Executes @p mod for one thread until Ret / falling off the end.
+ *
+ * @param mod     The shader module (must validate).
+ * @param ctx     Thread context (ids, args, memories).
+ * @param trace   If true, record a disassembly trace of executed
+ *                instructions (the paper's instruction-tracing mode).
+ * @param max_instrs  Abort with an error beyond this budget.
+ *
+ * Barriers are treated as no-ops (single-thread semantics); kernels
+ * under differential test against the warp executor must be
+ * barrier-free or data-race-free per thread.
+ */
+RefResult runThread(const bif::Module &mod, const RefContext &ctx,
+                    bool trace = false, uint64_t max_instrs = 1u << 22);
+
+} // namespace bifsim::gpu::ref
+
+#endif // BIFSIM_GPU_REF_REF_INTERP_H

@@ -1,0 +1,681 @@
+#include "gpu/shader_core.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace bifsim::gpu {
+
+using bif::Op;
+
+/** CFG node id used for thread exit (Ret). */
+constexpr uint32_t kCfgExitNode = 0xffffffffu;
+
+DecodedShader
+DecodedShader::build(bif::Module m)
+{
+    DecodedShader s;
+    s.mod = std::move(m);
+    s.info = analyzeClauses(s.mod);
+    s.isBarrier.resize(s.mod.clauses.size(), 0);
+    for (size_t c = 0; c < s.mod.clauses.size(); ++c) {
+        for (const bif::Tuple &t : s.mod.clauses[c].tuples) {
+            for (const bif::Instr &in : t.slot) {
+                if (in.op == Op::Barrier)
+                    s.isBarrier[c] = 1;
+            }
+        }
+    }
+    return s;
+}
+
+void
+JobDescriptor::writeTo(uint8_t *dst) const
+{
+    uint32_t words[12] = {
+        jobType, next, grid[0], grid[1], grid[2], wg[0], wg[1], wg[2],
+        binaryVa, argsVa, localSize, localBase,
+    };
+    std::memcpy(dst, words, sizeof(words));
+}
+
+JobDescriptor
+JobDescriptor::readFrom(const uint8_t *src)
+{
+    uint32_t words[12];
+    std::memcpy(words, src, sizeof(words));
+    JobDescriptor d;
+    d.jobType = words[0];
+    d.next = words[1];
+    d.grid[0] = words[2]; d.grid[1] = words[3]; d.grid[2] = words[4];
+    d.wg[0] = words[5]; d.wg[1] = words[6]; d.wg[2] = words[7];
+    d.binaryVa = words[8];
+    d.argsVa = words[9];
+    d.localSize = words[10];
+    d.localBase = words[11];
+    return d;
+}
+
+void
+JobContext::raiseFault(JobFaultKind kind, uint32_t va,
+                       const std::string &detail)
+{
+    std::lock_guard<std::mutex> g(faultLock);
+    if (fault.kind == JobFaultKind::None) {
+        fault.kind = kind;
+        fault.va = va;
+        fault.detail = detail;
+    }
+    faulted.store(true, std::memory_order_release);
+}
+
+namespace {
+
+inline float
+asF(uint32_t u)
+{
+    return std::bit_cast<float>(u);
+}
+
+inline uint32_t
+asU(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+inline uint32_t
+saturatingF2I(float f)
+{
+    if (std::isnan(f))
+        return 0;
+    if (f >= 2147483647.0f)
+        return 0x7fffffffu;
+    if (f <= -2147483648.0f)
+        return 0x80000000u;
+    return static_cast<uint32_t>(static_cast<int32_t>(f));
+}
+
+inline uint32_t
+saturatingF2U(float f)
+{
+    if (std::isnan(f) || f <= 0.0f)
+        return 0;
+    if (f >= 4294967295.0f)
+        return 0xffffffffu;
+    return static_cast<uint32_t>(f);
+}
+
+inline bool
+compare(bif::CmpMode m, int cmp)
+{
+    switch (m) {
+      case bif::CmpMode::Eq: return cmp == 0;
+      case bif::CmpMode::Ne: return cmp != 0;
+      case bif::CmpMode::Lt: return cmp < 0;
+      case bif::CmpMode::Le: return cmp <= 0;
+      case bif::CmpMode::Gt: return cmp > 0;
+      case bif::CmpMode::Ge: return cmp >= 0;
+    }
+    return false;
+}
+
+inline int
+cmp3(float a, float b)
+{
+    // NaN compares unordered: all relations false except Ne.
+    if (std::isnan(a) || std::isnan(b))
+        return 2;   // Neither <0, ==0 nor >0-compatible: see compare use.
+    return a < b ? -1 : a > b ? 1 : 0;
+}
+
+} // namespace
+
+uint32_t
+WorkgroupExecutor::readOperand(const Thread &t, uint8_t op) const
+{
+    using namespace bif;
+    if (isGrf(op))
+        return t.grf[op];
+    if (isTemp(op))
+        return t.temp[op - kOperandTemp0];
+    switch (op) {
+      case kSrLaneId:
+        return (t.localId[0] + t.localId[1] * job_->desc.wg[0] +
+                t.localId[2] * job_->desc.wg[0] * job_->desc.wg[1]) %
+               kWarpWidth;
+      case kSrLocalIdX: return t.localId[0];
+      case kSrLocalIdY: return t.localId[1];
+      case kSrLocalIdZ: return t.localId[2];
+      case kSrGroupIdX: return groupId_[0];
+      case kSrGroupIdY: return groupId_[1];
+      case kSrGroupIdZ: return groupId_[2];
+      case kSrLocalSizeX: return job_->desc.wg[0];
+      case kSrLocalSizeY: return job_->desc.wg[1];
+      case kSrLocalSizeZ: return job_->desc.wg[2];
+      case kSrGridSizeX: return job_->desc.grid[0];
+      case kSrGridSizeY: return job_->desc.grid[1];
+      case kSrGridSizeZ: return job_->desc.grid[2];
+      case kSrNumGroupsX: return job_->groups[0];
+      case kSrNumGroupsY: return job_->groups[1];
+      case kSrNumGroupsZ: return job_->groups[2];
+      case kSrZero: return 0;
+      default: return 0;
+    }
+}
+
+void
+WorkgroupExecutor::writeOperand(Thread &t, uint8_t op, uint32_t value)
+{
+    if (bif::isGrf(op))
+        t.grf[op] = value;
+    else if (bif::isTemp(op))
+        t.temp[op - bif::kOperandTemp0] = value;
+    // Special and None destinations are rejected by the validator;
+    // silently ignore for safety.
+}
+
+bool
+WorkgroupExecutor::memAccess(uint32_t va, unsigned size, bool write,
+                             uint32_t &val)
+{
+    if (!isAligned(va, size)) {
+        job_->raiseFault(JobFaultKind::BadAccess, va,
+                         "misaligned global access");
+        return false;
+    }
+    Addr pa = 0;
+    if (!job_->mmu->translate(va, write, tlb_, pa)) {
+        job_->raiseFault(JobFaultKind::MmuFault, va,
+                         write ? "store translation fault"
+                               : "load translation fault");
+        return false;
+    }
+    if (job_->collect)
+        coll_.pages.insert(va >> 12);
+    if (!job_->mem->contains(pa, size)) {
+        job_->raiseFault(JobFaultKind::BadAccess, va,
+                         "physical address outside RAM");
+        return false;
+    }
+    if (write) {
+        if (size == 1)
+            job_->mem->write<uint8_t>(pa, static_cast<uint8_t>(val));
+        else
+            job_->mem->write<uint32_t>(pa, val);
+    } else {
+        val = size == 1 ? job_->mem->read<uint8_t>(pa)
+                        : job_->mem->read<uint32_t>(pa);
+    }
+    return true;
+}
+
+bool
+WorkgroupExecutor::localAccess(uint32_t offset, bool write, uint32_t &val)
+{
+    if (!isAligned(offset, 4) || offset + 4 > local_.size()) {
+        job_->raiseFault(JobFaultKind::BadAccess, offset,
+                         "local access out of range");
+        return false;
+    }
+    if (write)
+        std::memcpy(local_.data() + offset, &val, 4);
+    else
+        std::memcpy(&val, local_.data() + offset, 4);
+    return true;
+}
+
+bool
+WorkgroupExecutor::execClause(Warp &warp, uint32_t c, uint32_t mask)
+{
+    const bif::Clause &cl = job_->shader->mod.clauses[c];
+    const std::vector<uint32_t> &rom = job_->shader->mod.rom;
+
+    uint32_t next_pc[bif::kWarpWidth];
+    bool exits[bif::kWarpWidth] = {};
+    for (unsigned t = 0; t < warp.numThreads; ++t)
+        next_pc[t] = c + 1;
+    bool has_cf = false;
+
+    for (const bif::Tuple &tuple : cl.tuples) {
+        for (const bif::Instr &in : tuple.slot) {
+            if (in.op == Op::Nop)
+                continue;
+            if (bif::category(in.op) == bif::Category::ControlFlow)
+                has_cf = true;
+            for (unsigned t = 0; t < warp.numThreads; ++t) {
+                if (!(mask & (1u << t)))
+                    continue;
+                Thread &th = warp.threads[t];
+                uint32_t a = readOperand(th, in.src0);
+                uint32_t b = readOperand(th, in.src1);
+                uint32_t cc = readOperand(th, in.src2);
+                uint32_t r = 0;
+                switch (in.op) {
+                  case Op::FAdd: r = asU(asF(a) + asF(b)); break;
+                  case Op::FSub: r = asU(asF(a) - asF(b)); break;
+                  case Op::FMul: r = asU(asF(a) * asF(b)); break;
+                  case Op::FFma:
+                    r = asU(asF(a) * asF(b) + asF(cc));
+                    break;
+                  case Op::FMin: r = asU(std::fmin(asF(a), asF(b))); break;
+                  case Op::FMax: r = asU(std::fmax(asF(a), asF(b))); break;
+                  case Op::FAbs: r = asU(std::fabs(asF(a))); break;
+                  case Op::FNeg: r = asU(-asF(a)); break;
+                  case Op::FFloor: r = asU(std::floor(asF(a))); break;
+                  case Op::IAdd: r = a + b; break;
+                  case Op::ISub: r = a - b; break;
+                  case Op::IMul: r = a * b; break;
+                  case Op::IAnd: r = a & b; break;
+                  case Op::IOr:  r = a | b; break;
+                  case Op::IXor: r = a ^ b; break;
+                  case Op::INot: r = ~a; break;
+                  case Op::IShl: r = a << (b & 31); break;
+                  case Op::IShr: r = a >> (b & 31); break;
+                  case Op::IAsr:
+                    r = static_cast<uint32_t>(
+                        static_cast<int32_t>(a) >> (b & 31));
+                    break;
+                  case Op::IMin:
+                    r = static_cast<int32_t>(a) < static_cast<int32_t>(b)
+                            ? a : b;
+                    break;
+                  case Op::IMax:
+                    r = static_cast<int32_t>(a) > static_cast<int32_t>(b)
+                            ? a : b;
+                    break;
+                  case Op::UMin: r = a < b ? a : b; break;
+                  case Op::UMax: r = a > b ? a : b; break;
+                  case Op::FCmp: {
+                    int q = cmp3(asF(a), asF(b));
+                    bif::CmpMode m =
+                        static_cast<bif::CmpMode>(in.imm & 7);
+                    bool res = q == 2
+                        ? m == bif::CmpMode::Ne
+                        : compare(m, q);
+                    r = res ? 1 : 0;
+                    break;
+                  }
+                  case Op::ICmp: {
+                    int32_t sa = static_cast<int32_t>(a);
+                    int32_t sb = static_cast<int32_t>(b);
+                    int q = sa < sb ? -1 : sa > sb ? 1 : 0;
+                    r = compare(static_cast<bif::CmpMode>(in.imm & 7), q);
+                    break;
+                  }
+                  case Op::UCmp: {
+                    int q = a < b ? -1 : a > b ? 1 : 0;
+                    r = compare(static_cast<bif::CmpMode>(in.imm & 7), q);
+                    break;
+                  }
+                  case Op::CSel: r = a != 0 ? b : cc; break;
+                  case Op::Mov: r = a; break;
+                  case Op::MovImm: r = static_cast<uint32_t>(in.imm); break;
+                  case Op::F2I: r = saturatingF2I(asF(a)); break;
+                  case Op::F2U: r = saturatingF2U(asF(a)); break;
+                  case Op::I2F:
+                    r = asU(static_cast<float>(static_cast<int32_t>(a)));
+                    break;
+                  case Op::U2F: r = asU(static_cast<float>(a)); break;
+                  case Op::FRcp: r = asU(1.0f / asF(a)); break;
+                  case Op::FRsqrt:
+                    r = asU(1.0f / std::sqrt(asF(a)));
+                    break;
+                  case Op::FSqrt: r = asU(std::sqrt(asF(a))); break;
+                  case Op::FExp2: r = asU(std::exp2(asF(a))); break;
+                  case Op::FLog2: r = asU(std::log2(asF(a))); break;
+                  case Op::FSin: r = asU(std::sin(asF(a))); break;
+                  case Op::FCos: r = asU(std::cos(asF(a))); break;
+                  case Op::IDiv: {
+                    int32_t sa = static_cast<int32_t>(a);
+                    int32_t sb = static_cast<int32_t>(b);
+                    if (sb == 0)
+                        r = 0;
+                    else if (sa == std::numeric_limits<int32_t>::min() &&
+                             sb == -1)
+                        r = a;
+                    else
+                        r = static_cast<uint32_t>(sa / sb);
+                    break;
+                  }
+                  case Op::IRem: {
+                    int32_t sa = static_cast<int32_t>(a);
+                    int32_t sb = static_cast<int32_t>(b);
+                    if (sb == 0)
+                        r = 0;
+                    else if (sa == std::numeric_limits<int32_t>::min() &&
+                             sb == -1)
+                        r = 0;
+                    else
+                        r = static_cast<uint32_t>(sa % sb);
+                    break;
+                  }
+                  case Op::UDiv: r = b ? a / b : 0; break;
+                  case Op::URem: r = b ? a % b : 0; break;
+                  case Op::LdRom:
+                    r = static_cast<size_t>(in.imm) < rom.size()
+                            ? rom[in.imm] : 0;
+                    break;
+                  case Op::LdArg:
+                    r = job_->args[static_cast<uint32_t>(in.imm) %
+                                   kMaxArgWords];
+                    break;
+                  case Op::LdGlobal:
+                    if (!memAccess(a + in.imm, 4, false, r))
+                        return false;
+                    break;
+                  case Op::LdGlobalU8:
+                    if (!memAccess(a + in.imm, 1, false, r))
+                        return false;
+                    break;
+                  case Op::StGlobal:
+                    if (!memAccess(a + in.imm, 4, true, b))
+                        return false;
+                    break;
+                  case Op::StGlobalU8:
+                    if (!memAccess(a + in.imm, 1, true, b))
+                        return false;
+                    break;
+                  case Op::LdLocal:
+                    if (!localAccess(a + in.imm, false, r))
+                        return false;
+                    break;
+                  case Op::StLocal:
+                    if (!localAccess(a + in.imm, true, b))
+                        return false;
+                    break;
+                  case Op::AtomAddG: {
+                    uint32_t va = a + in.imm;
+                    if (!isAligned(va, 4)) {
+                        job_->raiseFault(JobFaultKind::BadAccess, va,
+                                         "misaligned atomic");
+                        return false;
+                    }
+                    Addr pa = 0;
+                    if (!job_->mmu->translate(va, true, tlb_, pa) ||
+                        !job_->mem->contains(pa, 4)) {
+                        job_->raiseFault(JobFaultKind::MmuFault, va,
+                                         "atomic translation fault");
+                        return false;
+                    }
+                    if (job_->collect)
+                        coll_.pages.insert(va >> 12);
+                    auto *p = reinterpret_cast<uint32_t *>(
+                        job_->mem->hostPtr(pa));
+                    r = __atomic_fetch_add(p, b, __ATOMIC_SEQ_CST);
+                    break;
+                  }
+                  case Op::AtomAddL: {
+                    uint32_t off = a + in.imm;
+                    uint32_t old = 0;
+                    if (!localAccess(off, false, old))
+                        return false;
+                    uint32_t nv = old + b;
+                    if (!localAccess(off, true, nv))
+                        return false;
+                    r = old;
+                    break;
+                  }
+                  case Op::Branch:
+                    next_pc[t] = static_cast<uint32_t>(in.imm);
+                    break;
+                  case Op::BranchZ:
+                    if (a == 0)
+                        next_pc[t] = static_cast<uint32_t>(in.imm);
+                    break;
+                  case Op::BranchNZ:
+                    if (a != 0)
+                        next_pc[t] = static_cast<uint32_t>(in.imm);
+                    break;
+                  case Op::Ret:
+                    exits[t] = true;
+                    break;
+                  case Op::Barrier:
+                    // Handled at warp level (barrier clauses are alone).
+                    break;
+                  default:
+                    break;
+                }
+                if (in.dst != bif::kOperandNone &&
+                    bif::category(in.op) != bif::Category::ControlFlow &&
+                    in.op != Op::StGlobal && in.op != Op::StGlobalU8 &&
+                    in.op != Op::StLocal) {
+                    writeOperand(th, in.dst, r);
+                }
+            }
+        }
+    }
+
+    // Commit thread PCs and record divergence (paper §IV-C: PCs are
+    // tracked on clause boundaries).
+    unsigned active = 0;
+    uint32_t first_next = 0;
+    bool divergent = false;
+    bool first = true;
+    for (unsigned t = 0; t < warp.numThreads; ++t) {
+        if (!(mask & (1u << t)))
+            continue;
+        active++;
+        Thread &th = warp.threads[t];
+        uint32_t nxt = exits[t] ? kCfgExitNode : next_pc[t];
+        if (first) {
+            first_next = nxt;
+            first = false;
+        } else if (nxt != first_next) {
+            divergent = true;
+        }
+        if (exits[t])
+            th.done = true;
+        else
+            th.pc = next_pc[t];
+        if (job_->collect && has_cf)
+            coll_.kernel.cfgEdges[cfgEdgeKey(c, nxt)]++;
+    }
+    if (job_->collect) {
+        coll_.clauseExec[c] += active;
+        if (divergent)
+            coll_.kernel.divergentBranches++;
+    }
+    return true;
+}
+
+WorkgroupExecutor::WarpStop
+WorkgroupExecutor::runWarp(Warp &warp)
+{
+    for (;;) {
+        if (job_->faulted.load(std::memory_order_acquire))
+            return WarpStop::Fault;
+        uint32_t minpc = kCfgExitNode;
+        unsigned alive = 0;
+        for (unsigned t = 0; t < warp.numThreads; ++t) {
+            const Thread &th = warp.threads[t];
+            if (th.done)
+                continue;
+            alive++;
+            if (th.pc < minpc)
+                minpc = th.pc;
+        }
+        if (alive == 0)
+            return WarpStop::Done;
+        if (minpc >= job_->shader->mod.clauses.size()) {
+            // Fell off the end of the shader: threads terminate.
+            for (unsigned t = 0; t < warp.numThreads; ++t)
+                warp.threads[t].done = true;
+            return WarpStop::Done;
+        }
+
+        if (job_->shader->isBarrier[minpc]) {
+            // All live threads must arrive together.
+            for (unsigned t = 0; t < warp.numThreads; ++t) {
+                const Thread &th = warp.threads[t];
+                if (!th.done && th.pc != minpc) {
+                    job_->raiseFault(JobFaultKind::DivergentBarrier,
+                                     minpc, "divergent barrier");
+                    return WarpStop::Fault;
+                }
+            }
+            for (unsigned t = 0; t < warp.numThreads; ++t) {
+                if (!warp.threads[t].done)
+                    warp.threads[t].pc = minpc + 1;
+            }
+            if (job_->collect) {
+                coll_.clauseExec[minpc] += alive;
+            }
+            warp.atBarrier = true;
+            return WarpStop::Barrier;
+        }
+
+        uint32_t mask = 0;
+        for (unsigned t = 0; t < warp.numThreads; ++t) {
+            const Thread &th = warp.threads[t];
+            if (!th.done && th.pc == minpc)
+                mask |= 1u << t;
+        }
+        if (!execClause(warp, minpc, mask))
+            return WarpStop::Fault;
+    }
+}
+
+void
+WorkgroupExecutor::beginJob(JobContext *job)
+{
+    job_ = job;
+    tlb_.flush();
+    size_t num_clauses = job->shader->mod.clauses.size();
+    coll_.reset(num_clauses);
+    uint32_t local_bytes =
+        std::max(job->desc.localSize, job->shader->mod.localBytes);
+    local_.assign(local_bytes, 0);
+}
+
+void
+WorkgroupExecutor::runGroup(uint32_t linear_group)
+{
+    const JobDescriptor &d = job_->desc;
+    groupId_[0] = linear_group % job_->groups[0];
+    groupId_[1] = (linear_group / job_->groups[0]) % job_->groups[1];
+    groupId_[2] = linear_group / (job_->groups[0] * job_->groups[1]);
+
+    if (!local_.empty())
+        std::fill(local_.begin(), local_.end(), 0);
+
+    uint32_t group_threads = d.wg[0] * d.wg[1] * d.wg[2];
+    uint32_t num_warps =
+        (group_threads + bif::kWarpWidth - 1) / bif::kWarpWidth;
+
+    coll_.kernel.workgroups++;
+    coll_.kernel.warpsLaunched += num_warps;
+    coll_.kernel.threadsLaunched += group_threads;
+
+    auto init_warp = [&](Warp &w, uint32_t warp_idx) {
+        uint32_t base_tid = warp_idx * bif::kWarpWidth;
+        w.numThreads =
+            std::min<uint32_t>(bif::kWarpWidth, group_threads - base_tid);
+        w.atBarrier = false;
+        for (unsigned t = 0; t < w.numThreads; ++t) {
+            Thread &th = w.threads[t];
+            std::memset(th.grf, 0, sizeof(th.grf));
+            std::memset(th.temp, 0, sizeof(th.temp));
+            uint32_t tid = base_tid + t;
+            th.localId[0] = tid % d.wg[0];
+            th.localId[1] = (tid / d.wg[0]) % d.wg[1];
+            th.localId[2] = tid / (d.wg[0] * d.wg[1]);
+            th.pc = 0;
+            th.done = false;
+        }
+    };
+
+    bool has_barrier = false;
+    for (uint8_t b : job_->shader->isBarrier)
+        has_barrier |= b != 0;
+
+    if (!has_barrier) {
+        Warp w;
+        for (uint32_t wi = 0; wi < num_warps; ++wi) {
+            init_warp(w, wi);
+            if (runWarp(w) == WarpStop::Fault)
+                return;
+        }
+        return;
+    }
+
+    // Barrier path: all warps of the group live simultaneously.
+    std::vector<Warp> warps(num_warps);
+    for (uint32_t wi = 0; wi < num_warps; ++wi)
+        init_warp(warps[wi], wi);
+
+    for (;;) {
+        bool all_done = true;
+        bool any_barrier = false;
+        for (Warp &w : warps) {
+            bool done = true;
+            for (unsigned t = 0; t < w.numThreads; ++t)
+                done &= w.threads[t].done;
+            if (done)
+                continue;
+            all_done = false;
+            if (w.atBarrier) {
+                any_barrier = true;
+                continue;
+            }
+            WarpStop s = runWarp(w);
+            if (s == WarpStop::Fault)
+                return;
+            if (s == WarpStop::Barrier)
+                any_barrier = true;
+        }
+        if (all_done)
+            break;
+        if (any_barrier) {
+            // Every non-done warp has reached the barrier: release.
+            for (Warp &w : warps)
+                w.atBarrier = false;
+        }
+    }
+}
+
+void
+WorkgroupExecutor::runUntilDone()
+{
+    for (;;) {
+        if (job_->faulted.load(std::memory_order_acquire))
+            return;
+        uint32_t g = job_->nextGroup.fetch_add(1);
+        if (g >= job_->totalGroups)
+            return;
+        runGroup(g);
+    }
+}
+
+void
+WorkgroupExecutor::finalize()
+{
+    if (!job_ || !job_->collect)
+        return;
+    const std::vector<ClauseStaticInfo> &info = job_->shader->info;
+    KernelStats &k = coll_.kernel;
+    for (size_t c = 0; c < coll_.clauseExec.size(); ++c) {
+        uint64_t n = coll_.clauseExec[c];
+        if (!n)
+            continue;
+        const ClauseStaticInfo &ci = info[c];
+        k.arithInstrs += ci.arith * n;
+        k.lsInstrs += ci.ls * n;
+        k.cfInstrs += ci.cf * n;
+        k.nopSlots += ci.nop * n;
+        k.grfReads += ci.grfReads * n;
+        k.grfWrites += ci.grfWrites * n;
+        k.tempAccesses += (ci.tempReads + ci.tempWrites) * n;
+        k.constReads += ci.constReads * n;
+        k.romReads += ci.romReads * n;
+        k.globalLdSt += (ci.globalLd + ci.globalSt) * n;
+        k.localLdSt += (ci.localLd + ci.localSt) * n;
+        k.clausesExecuted += n;
+        k.clauseSizes.sample(ci.sizeTuples, n);
+    }
+}
+
+} // namespace bifsim::gpu

@@ -1,0 +1,181 @@
+#ifndef BIFSIM_GPU_SHADER_CORE_H
+#define BIFSIM_GPU_SHADER_CORE_H
+
+/**
+ * @file
+ * Shader-core execution (paper §III-B2/3).
+ *
+ * The interpretive execution model is split into two phases: shader
+ * binaries are decoded exactly once into a DecodedShader (with all
+ * static instrumentation precomputed), then a dispatcher iterates over
+ * the job dimensions creating warps of four threads ("quads") that
+ * execute clauses in lockstep.  Thread-groups (OpenCL workgroups) are
+ * claimed by host worker threads via an atomic counter — the "virtual
+ * cores" optimisation: more host threads than guest shader cores, with
+ * simulator-private local memory per host thread.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gpu/gmmu.h"
+#include "gpu/isa/bif.h"
+#include "instrument/stats.h"
+#include "mem/phys_mem.h"
+
+namespace bifsim::gpu {
+
+/** A decoded shader with precomputed static instrumentation. */
+struct DecodedShader
+{
+    bif::Module mod;
+    std::vector<ClauseStaticInfo> info;
+    std::vector<uint8_t> isBarrier;   ///< Per clause: barrier clause?
+
+    /** Builds the derived tables from @p m. */
+    static DecodedShader build(bif::Module m);
+};
+
+/** The in-memory job descriptor format (12 little-endian u32 words). */
+struct JobDescriptor
+{
+    static constexpr uint32_t kSizeBytes = 48;
+    static constexpr uint32_t kTypeNull = 0;
+    static constexpr uint32_t kTypeCompute = 1;
+
+    uint32_t jobType = kTypeCompute;
+    uint32_t next = 0;          ///< GPU VA of next job in chain (0=end).
+    uint32_t grid[3] = {1, 1, 1};  ///< Global size in work-items.
+    uint32_t wg[3] = {1, 1, 1};    ///< Workgroup size.
+    uint32_t binaryVa = 0;      ///< GPU VA of the shader binary.
+    uint32_t argsVa = 0;        ///< GPU VA of the argument table.
+    uint32_t localSize = 0;     ///< Local memory bytes per group.
+    uint32_t localBase = 0;     ///< GPU VA of driver-allocated local
+                                ///< arena (informational; see below).
+
+    /** Serialises to the guest format. */
+    void writeTo(uint8_t *dst) const;
+
+    /** Parses from the guest format. */
+    static JobDescriptor readFrom(const uint8_t *src);
+};
+
+/** Why a job failed. */
+enum class JobFaultKind : uint8_t
+{
+    None = 0,
+    BadDescriptor,     ///< Descriptor unreadable or bad job type.
+    BadDimensions,     ///< Grid not a multiple of workgroup size, etc.
+    BadBinary,         ///< Shader binary unreadable or malformed.
+    MmuFault,          ///< Translation fault on a data access.
+    BadAccess,         ///< Misaligned or out-of-range (local) access.
+    DivergentBarrier,  ///< Barrier reached with divergent threads.
+};
+
+/** Fault details (reflected into AS_FAULTSTATUS/AS_FAULTADDRESS). */
+struct JobFault
+{
+    JobFaultKind kind = JobFaultKind::None;
+    uint32_t va = 0;
+    std::string detail;
+};
+
+/** Maximum argument-table words preloaded per job. */
+constexpr uint32_t kMaxArgWords = 64;
+
+/**
+ * Everything shared by the workers executing one job.
+ */
+struct JobContext
+{
+    const DecodedShader *shader = nullptr;
+    JobDescriptor desc;
+    GpuMmu *mmu = nullptr;
+    PhysMem *mem = nullptr;
+    uint32_t args[kMaxArgWords] = {};
+    uint32_t groups[3] = {1, 1, 1};
+    uint32_t totalGroups = 1;
+    bool collect = true;                ///< Instrumentation enabled.
+
+    std::atomic<uint32_t> nextGroup{0};
+    std::atomic<bool> faulted{false};
+    std::mutex faultLock;
+    JobFault fault;
+
+    /** Records the first fault (thread-safe). */
+    void raiseFault(JobFaultKind kind, uint32_t va,
+                    const std::string &detail);
+};
+
+/**
+ * Executes workgroups on behalf of one host worker thread.
+ *
+ * Owns the worker's TLB, the simulator-private local-memory buffer (the
+ * paper's §III-B3 mechanism for running more thread-groups in parallel
+ * than the guest has shader cores), and the instrumentation collector.
+ */
+class WorkgroupExecutor
+{
+  public:
+    WorkgroupExecutor() = default;
+
+    /** Prepares for a new job: flushes the TLB, resets collectors. */
+    void beginJob(JobContext *job);
+
+    /** Claims and runs workgroups until the job's counter drains. */
+    void runUntilDone();
+
+    /** Folds per-clause execution counts into the kernel totals
+     *  (called once per worker at job completion, paper §IV-A). */
+    void finalize();
+
+    /** The worker's merged statistics (valid after finalize()). */
+    const WorkerCollector &collector() const { return coll_; }
+
+  private:
+    /** Per-thread state within a warp. */
+    struct Thread
+    {
+        uint32_t grf[bif::kNumGrfRegs];
+        uint32_t temp[bif::kNumTempRegs];
+        uint32_t localId[3];
+        uint32_t pc;           ///< Clause index.
+        bool done;
+    };
+
+    /** A warp of kWarpWidth threads executing in lockstep. */
+    struct Warp
+    {
+        Thread threads[bif::kWarpWidth];
+        unsigned numThreads = 0;   ///< Live threads (tail warps < width).
+        bool atBarrier = false;
+    };
+
+    enum class WarpStop { Done, Barrier, Fault };
+
+    JobContext *job_ = nullptr;
+    GpuTlb tlb_;
+    std::vector<uint8_t> local_;
+    WorkerCollector coll_;
+    uint32_t groupId_[3] = {0, 0, 0};
+
+    void runGroup(uint32_t linear_group);
+    WarpStop runWarp(Warp &warp);
+    /** Executes clause @p c for the @p mask threads of @p warp.
+     *  Returns false on fault. */
+    bool execClause(Warp &warp, uint32_t c, uint32_t mask);
+
+    uint32_t readOperand(const Thread &t, uint8_t op) const;
+    void writeOperand(Thread &t, uint8_t op, uint32_t value);
+
+    bool memAccess(uint32_t va, unsigned size, bool write, uint32_t &val);
+    bool localAccess(uint32_t offset, bool write, uint32_t &val);
+};
+
+} // namespace bifsim::gpu
+
+#endif // BIFSIM_GPU_SHADER_CORE_H

@@ -1,0 +1,243 @@
+#include "guestos/guest_os.h"
+
+namespace bifsim::guestos {
+
+Layout
+defaultLayout(Addr ram_base)
+{
+    Layout l;
+    l.base = ram_base;
+    l.stackTop = ram_base + 0xf000;
+    l.mailbox = ram_base + 0x10000;
+    l.saveArea = ram_base + 0x10040;
+    return l;
+}
+
+std::string
+osSource()
+{
+    // Register conventions: s0 = mailbox base throughout the driver.
+    // The trap handler preserves t0..t4 through MSCRATCH + SAVE_AREA.
+    return R"(
+        .org OS_BASE
+
+reset:
+        li   sp, STACK_TOP
+        la   t0, trap_handler
+        csrw mtvec, t0
+        li   t0, 0x800              # mie.MEIE (external interrupts)
+        csrw mie, t0
+        li   t0, 0x8                # mstatus.MIE
+        csrw mstatus, t0
+        # Enable the GPU line in the interrupt controller.
+        li   t0, INTC_BASE
+        li   t1, GPU_LINE_MASK
+        sw   t1, 4(t0)              # INTC_ENABLE
+        # Unmask all GPU interrupt sources.
+        li   t0, GPU_BASE
+        li   t1, 7
+        sw   t1, 0xC(t0)            # GPU_IRQ_MASK
+        li   s0, MAILBOX
+
+main_loop:
+        lw   t0, 0(s0)              # CMD
+        beqz t0, main_loop
+        li   t1, 1
+        sw   t1, 4(s0)              # STATUS = busy
+        li   t1, 1
+        beq  t0, t1, do_submit
+        li   t1, 2
+        beq  t0, t1, cmd_done       # ping
+        li   t1, 3
+        beq  t0, t1, do_user
+        j    cmd_done
+
+# ------------------------------------------------------------------
+# CMD 1: map buffers into the GPU address space, then submit the job
+# chain and sleep until the Job Manager interrupts with completion.
+# ------------------------------------------------------------------
+do_submit:
+        call install_mappings
+        li   t0, GPU_BASE
+        lw   t1, 20(s0)             # PTROOT
+        sw   t1, 0x30(t0)           # AS_TRANSTAB
+        li   t1, 1
+        sw   t1, 0x34(t0)           # AS_COMMAND (TLB flush)
+        sw   zero, 32(s0)           # IRQFLAG = 0
+        lw   t1, 8(s0)              # DESC_VA
+        sw   t1, 0x20(t0)           # JS_SUBMIT
+wait_done:
+        lw   t1, 32(s0)             # IRQFLAG (JS_STATUS when finished)
+        bnez t1, have_flag
+        wfi                         # Sleep until the GPU interrupts.
+        j    wait_done
+have_flag:
+        li   t2, 2                  # JS_STATUS done
+        beq  t1, t2, submit_ok
+        li   t1, 1
+        sw   t1, 28(s0)             # RESULT = fault
+        j    cmd_done
+submit_ok:
+        sw   zero, 28(s0)           # RESULT = ok
+cmd_done:
+        sw   zero, 0(s0)            # CMD = 0 (consumed)
+        li   t1, 2
+        sw   t1, 4(s0)              # STATUS = done
+        j    main_loop
+
+# ------------------------------------------------------------------
+# CMD 3: drop to user mode (paged) at DESC_VA with satp = MAPLIST.
+# The user program returns to the OS via ecall.
+# ------------------------------------------------------------------
+do_user:
+        lw   t1, 12(s0)             # satp value
+        csrw satp, t1
+        sfence
+        lw   t1, 8(s0)              # user entry pc
+        csrw mepc, t1
+        li   t1, 0x80               # mstatus.MPIE (MPP=User)
+        csrw mstatus, t1
+        sw   zero, 0(s0)
+        li   t1, 2
+        sw   t1, 4(s0)
+        mret
+
+# ------------------------------------------------------------------
+# Walks the host-prepared mapping list and installs GPU PTEs.  This is
+# the driver work that scales with buffer sizes (paper Fig. 9).
+# clobbers t0-t4, a0-a3, s1-s3
+# ------------------------------------------------------------------
+install_mappings:
+        lw   s1, 12(s0)             # MAPLIST
+        lw   s2, 16(s0)             # MAPCOUNT
+        lw   s3, 20(s0)             # PTROOT
+entry_loop:
+        beqz s2, map_done
+        lw   a0, 0(s1)              # gpu va
+        lw   a1, 4(s1)              # pa
+        lw   a2, 8(s1)              # npages
+        lw   a3, 12(s1)             # flags
+page_loop:
+        beqz a2, next_entry
+        srli t0, a0, 22             # vpn1
+        slli t0, t0, 2
+        add  t0, s3, t0             # &l1[vpn1]
+        lw   t1, 0(t0)
+        andi t2, t1, 1
+        bnez t2, have_l0
+        # Allocate a level-0 table from the (pre-zeroed) bump arena.
+        lw   t2, 24(s0)             # PTBUMP
+        mv   t3, t2
+        li   t4, 4096
+        add  t2, t2, t4
+        sw   t2, 24(s0)
+        srli t2, t3, 12
+        slli t2, t2, 10
+        ori  t2, t2, 1              # VALID
+        sw   t2, 0(t0)
+        mv   t1, t2
+have_l0:
+        srli t1, t1, 10             # l0 ppn
+        slli t1, t1, 12             # l0 base
+        srli t2, a0, 12
+        andi t2, t2, 0x3ff          # vpn0
+        slli t2, t2, 2
+        add  t1, t1, t2             # &l0[vpn0]
+        srli t2, a1, 12
+        slli t2, t2, 10             # ppn field
+        andi t3, a3, 1
+        slli t3, t3, 1              # WRITE bit
+        or   t2, t2, t3
+        ori  t2, t2, 1              # VALID
+        sw   t2, 0(t1)
+        li   t3, 4096
+        add  a0, a0, t3
+        add  a1, a1, t3
+        addi a2, a2, -1
+        j    page_loop
+next_entry:
+        addi s1, s1, 16
+        addi s2, s2, -1
+        j    entry_loop
+map_done:
+        ret
+
+# ------------------------------------------------------------------
+# Trap handler: GPU completion interrupts and user-mode syscalls.
+#   ecall a7=1: putchar(a0)    a7=2: exit (halts the simulation)
+# ------------------------------------------------------------------
+trap_handler:
+        csrw mscratch, t0
+        li   t0, SAVE_AREA
+        sw   t1, 0(t0)
+        sw   t2, 4(t0)
+        sw   t3, 8(t0)
+        sw   t4, 12(t0)
+
+        csrr t1, mcause
+        li   t2, 0x8000000B         # machine external interrupt
+        bne  t1, t2, check_ecall
+        # Claim the line from the interrupt controller.
+        li   t1, INTC_BASE
+        lw   t2, 8(t1)              # INTC_CLAIM (line + 1)
+        li   t3, GPU_LINE_PLUS1
+        bne  t2, t3, restore
+        # Acknowledge the GPU: clear what is pending.
+        li   t1, GPU_BASE
+        lw   t2, 0x10(t1)           # GPU_IRQ_STATUS
+        sw   t2, 8(t1)              # GPU_IRQ_CLEAR
+        lw   t3, 0x24(t1)           # JS_STATUS
+        li   t1, MAILBOX
+        lw   t2, 36(t1)
+        addi t2, t2, 1
+        sw   t2, 36(t1)             # IRQCOUNT++
+        li   t4, 2
+        bltu t3, t4, restore        # still running: wait for more
+        sw   t3, 32(t1)             # IRQFLAG = final status
+        j    restore
+
+check_ecall:
+        li   t2, 8                  # ecall from U-mode
+        bne  t1, t2, restore
+        csrr t1, mepc
+        addi t1, t1, 4
+        csrw mepc, t1
+        li   t1, 1
+        bne  a7, t1, sys_exit
+        li   t1, UART_BASE
+        sw   a0, 0(t1)              # putchar
+        j    restore
+sys_exit:
+        li   t1, 2
+        bne  a7, t1, restore
+        halt
+
+restore:
+        li   t0, SAVE_AREA
+        lw   t1, 0(t0)
+        lw   t2, 4(t0)
+        lw   t3, 8(t0)
+        lw   t4, 12(t0)
+        csrr t0, mscratch
+        mret
+)";
+}
+
+sa32::Program
+buildOs(const Layout &layout, Addr uart_base, Addr intc_base,
+        Addr gpu_base, unsigned gpu_intc_line)
+{
+    std::map<std::string, Addr> syms;
+    syms["OS_BASE"] = layout.base;
+    syms["STACK_TOP"] = layout.stackTop;
+    syms["MAILBOX"] = layout.mailbox;
+    syms["SAVE_AREA"] = layout.saveArea;
+    syms["UART_BASE"] = uart_base;
+    syms["INTC_BASE"] = intc_base;
+    syms["GPU_BASE"] = gpu_base;
+    syms["GPU_LINE_MASK"] = Addr{1} << gpu_intc_line;
+    syms["GPU_LINE_PLUS1"] = gpu_intc_line + 1;
+    return sa32::assemble(osSource(), syms);
+}
+
+} // namespace bifsim::guestos

@@ -1,0 +1,97 @@
+#ifndef BIFSIM_GUESTOS_GUEST_OS_H
+#define BIFSIM_GUESTOS_GUEST_OS_H
+
+/**
+ * @file
+ * The mini guest operating system and its GPU kernel driver.
+ *
+ * This is the full-system substitution for the paper's Arm Linux +
+ * vendor Mali driver stack: real guest code, executed by the simulated
+ * CPU, that builds GPU page tables in shared memory, programs the Job
+ * Manager registers, sleeps in WFI, and handles GPU completion
+ * interrupts — exactly the CPU-GPU transaction sequence the paper
+ * measures (Fig. 9, Table III).
+ *
+ * Host <-> guest communication uses a mailbox page in guest RAM:
+ *
+ *   +0  CMD       host writes: 1=submit job chain, 2=ping,
+ *                 3=enter user mode
+ *   +4  STATUS    guest writes: 0 idle, 1 busy, 2 done
+ *   +8  DESC_VA   GPU VA of the first job descriptor (cmd 1)
+ *                 / user entry PC (cmd 3)
+ *   +12 MAPLIST   physical address of the mapping request list (cmd 1)
+ *                 / satp value (cmd 3)
+ *   +16 MAPCOUNT  number of mapping requests
+ *   +20 PTROOT    physical address of the GPU page-table root
+ *   +24 PTBUMP    bump allocator for level-0 tables (updated by guest)
+ *   +28 RESULT    0 = ok, 1 = GPU fault
+ *   +32 IRQFLAG   set by the IRQ handler with the final JS_STATUS
+ *   +36 IRQCOUNT  number of GPU interrupts handled (diagnostics)
+ *
+ * A mapping request is 16 bytes: {gpu_va, pa, npages, flags(bit0=W)}.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/asm/assembler.h"
+#include "mem/device.h"
+
+namespace bifsim::guestos {
+
+/** Fixed guest-physical layout of the OS image. */
+struct Layout
+{
+    Addr base;        ///< OS code load address (reset PC).
+    Addr stackTop;    ///< Machine-mode stack.
+    Addr mailbox;     ///< Mailbox page.
+    Addr saveArea;    ///< Trap-handler register save area.
+};
+
+/** Mailbox field offsets. */
+enum MailboxOffset : uint32_t
+{
+    kMbCmd = 0,
+    kMbStatus = 4,
+    kMbDescVa = 8,
+    kMbMapList = 12,
+    kMbMapCount = 16,
+    kMbPtRoot = 20,
+    kMbPtBump = 24,
+    kMbResult = 28,
+    kMbIrqFlag = 32,
+    kMbIrqCount = 36,
+};
+
+/** Mailbox command values. */
+enum MailboxCmd : uint32_t
+{
+    kCmdNone = 0,
+    kCmdSubmit = 1,
+    kCmdPing = 2,
+    kCmdEnterUser = 3,
+};
+
+/** Returns the default layout for a RAM base. */
+Layout defaultLayout(Addr ram_base);
+
+/** Returns the guest OS assembly source (parameterised by layout and
+ *  device base addresses via predefined assembler symbols). */
+std::string osSource();
+
+/**
+ * Assembles the guest OS for the given platform addresses.
+ *
+ * @param layout     Guest memory layout.
+ * @param uart_base  UART MMIO base.
+ * @param intc_base  Interrupt controller MMIO base.
+ * @param gpu_base   GPU MMIO base.
+ * @param gpu_intc_line  INTC line the GPU is wired to.
+ */
+sa32::Program buildOs(const Layout &layout, Addr uart_base,
+                      Addr intc_base, Addr gpu_base,
+                      unsigned gpu_intc_line);
+
+} // namespace bifsim::guestos
+
+#endif // BIFSIM_GUESTOS_GUEST_OS_H

@@ -1,0 +1,78 @@
+#include "instrument/cfg.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace bifsim::instrument {
+
+Cfg
+buildCfg(const gpu::KernelStats &stats)
+{
+    // Group edges by source clause.
+    std::map<uint32_t, std::vector<CfgEdge>> by_src;
+    for (const auto &[key, count] : stats.cfgEdges) {
+        CfgEdge e;
+        e.from = static_cast<uint32_t>(key >> 32);
+        e.to = static_cast<uint32_t>(key & 0xffffffffu);
+        e.threads = count;
+        by_src[e.from].push_back(e);
+    }
+
+    Cfg cfg;
+    for (auto &[src, edges] : by_src) {
+        CfgNode node;
+        node.clause = src;
+        for (const CfgEdge &e : edges)
+            node.outThreads += e.threads;
+        unsigned taken = 0;
+        for (CfgEdge &e : edges) {
+            e.fraction = node.outThreads
+                             ? static_cast<double>(e.threads) /
+                                   static_cast<double>(node.outThreads)
+                             : 0.0;
+            if (e.threads > 0)
+                taken++;
+            cfg.edges.push_back(e);
+        }
+        node.divergent = taken > 1;
+        cfg.nodes.push_back(node);
+    }
+    return cfg;
+}
+
+std::string
+nodeLabel(uint32_t clause)
+{
+    if (clause == kCfgExit)
+        return "exit";
+    // Present clause ids as instruction addresses, matching the
+    // paper's Fig. 6 rendering (clause stream base 0xaa000000,
+    // 16 bytes per tuple slot pair).
+    return strfmt("aa%06x", clause * 0x10 + 0x70);
+}
+
+std::string
+toDot(const Cfg &cfg)
+{
+    std::string s = "digraph shader_cfg {\n"
+                    "    node [shape=box, fontname=\"monospace\"];\n";
+    for (const CfgNode &n : cfg.nodes) {
+        s += strfmt("    \"%s\" [label=\"%s%s\"%s];\n",
+                    nodeLabel(n.clause).c_str(),
+                    nodeLabel(n.clause).c_str(),
+                    n.divergent ? "\\n(divergent)" : "",
+                    n.divergent ? ", style=filled, fillcolor=lightpink"
+                                : "");
+    }
+    s += "    \"exit\" [shape=ellipse];\n";
+    for (const CfgEdge &e : cfg.edges) {
+        s += strfmt("    \"%s\" -> \"%s\" [label=\"%.2f%%\"];\n",
+                    nodeLabel(e.from).c_str(), nodeLabel(e.to).c_str(),
+                    e.fraction * 100.0);
+    }
+    s += "}\n";
+    return s;
+}
+
+} // namespace bifsim::instrument

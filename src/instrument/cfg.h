@@ -1,0 +1,60 @@
+#ifndef BIFSIM_INSTRUMENT_CFG_H
+#define BIFSIM_INSTRUMENT_CFG_H
+
+/**
+ * @file
+ * Control-flow-graph reconstruction from clause-boundary PC tracking
+ * (paper §IV-C, Fig. 6): nodes are clauses, edges carry the number and
+ * proportion of threads that followed them, and nodes where threads
+ * split are flagged as divergence points.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instrument/stats.h"
+
+namespace bifsim::instrument {
+
+/** Sentinel node id for thread exit. */
+constexpr uint32_t kCfgExit = 0xffffffffu;
+
+/** A CFG edge with thread counts. */
+struct CfgEdge
+{
+    uint32_t from = 0;
+    uint32_t to = 0;
+    uint64_t threads = 0;
+    double fraction = 0.0;   ///< Share of threads leaving `from`.
+};
+
+/** A CFG node (one clause that ends in control flow). */
+struct CfgNode
+{
+    uint32_t clause = 0;
+    uint64_t outThreads = 0;
+    bool divergent = false;   ///< More than one taken outgoing edge.
+};
+
+/** The reconstructed control-flow graph. */
+struct Cfg
+{
+    std::vector<CfgNode> nodes;
+    std::vector<CfgEdge> edges;
+};
+
+/** Builds the CFG from a kernel's recorded edge counts. */
+Cfg buildCfg(const gpu::KernelStats &stats);
+
+/** Formats a clause id like the paper's instruction addresses
+ *  (Fig. 6 shows basic-block start addresses such as aa000070). */
+std::string nodeLabel(uint32_t clause);
+
+/** Renders the CFG as GraphViz DOT with edge percentages and
+ *  divergent blocks highlighted. */
+std::string toDot(const Cfg &cfg);
+
+} // namespace bifsim::instrument
+
+#endif // BIFSIM_INSTRUMENT_CFG_H

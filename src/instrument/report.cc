@@ -1,0 +1,67 @@
+#include "instrument/report.h"
+
+#include "common/logging.h"
+
+namespace bifsim::instrument {
+
+namespace {
+
+std::string
+line(const char *key, uint64_t value)
+{
+    return strfmt("  %-24s %12llu\n", key,
+                  static_cast<unsigned long long>(value));
+}
+
+} // namespace
+
+std::string
+formatKernelStats(const gpu::KernelStats &s)
+{
+    std::string out = "kernel statistics:\n";
+    out += line("arithmetic instrs", s.arithInstrs);
+    out += line("load/store instrs", s.lsInstrs);
+    out += line("control-flow instrs", s.cfInstrs);
+    out += line("empty issue slots", s.nopSlots);
+    out += line("GRF reads", s.grfReads);
+    out += line("GRF writes", s.grfWrites);
+    out += line("temp accesses", s.tempAccesses);
+    out += line("constant reads", s.constReads);
+    out += line("ROM reads", s.romReads);
+    out += line("global mem accesses", s.globalLdSt);
+    out += line("local mem accesses", s.localLdSt);
+    out += line("clauses executed", s.clausesExecuted);
+    out += line("threads", s.threadsLaunched);
+    out += line("warps", s.warpsLaunched);
+    out += line("workgroups", s.workgroups);
+    out += line("divergent branches", s.divergentBranches);
+    out += strfmt("  %-24s %12.2f\n", "avg clause size",
+                  s.avgClauseSize());
+    return out;
+}
+
+std::string
+formatSystemStats(const gpu::SystemStats &s)
+{
+    std::string out = "system statistics:\n";
+    out += line("pages accessed", s.pagesAccessed);
+    out += line("ctrl-reg reads", s.ctrlRegReads);
+    out += line("ctrl-reg writes", s.ctrlRegWrites);
+    out += line("interrupts asserted", s.irqsAsserted);
+    out += line("compute jobs", s.computeJobs);
+    return out;
+}
+
+std::string
+formatClauseHistogram(const gpu::KernelStats &s)
+{
+    std::string out = "clause sizes:";
+    for (size_t i = 1; i <= bif::kMaxTuplesPerClause; ++i) {
+        out += strfmt(" %zu:%4.1f%%", i,
+                      100.0 * s.clauseSizes.fraction(i));
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace bifsim::instrument

@@ -1,0 +1,28 @@
+#ifndef BIFSIM_INSTRUMENT_REPORT_H
+#define BIFSIM_INSTRUMENT_REPORT_H
+
+/**
+ * @file
+ * Uniform textual reports for the simulator's statistics — the
+ * "useful execution statistics" surface of the paper (§IV): program
+ * execution, system interaction, and control flow.
+ */
+
+#include <string>
+
+#include "instrument/stats.h"
+
+namespace bifsim::instrument {
+
+/** Renders kernel statistics as an aligned key/value block. */
+std::string formatKernelStats(const gpu::KernelStats &stats);
+
+/** Renders system statistics (Table III fields). */
+std::string formatSystemStats(const gpu::SystemStats &stats);
+
+/** Renders the clause-size distribution as a one-line histogram. */
+std::string formatClauseHistogram(const gpu::KernelStats &stats);
+
+} // namespace bifsim::instrument
+
+#endif // BIFSIM_INSTRUMENT_REPORT_H

@@ -1,0 +1,92 @@
+#include "instrument/stats.h"
+
+namespace bifsim::gpu {
+
+std::vector<ClauseStaticInfo>
+analyzeClauses(const bif::Module &mod)
+{
+    using bif::Op;
+    std::vector<ClauseStaticInfo> out;
+    out.reserve(mod.clauses.size());
+    for (const bif::Clause &cl : mod.clauses) {
+        ClauseStaticInfo ci;
+        ci.sizeTuples = static_cast<uint32_t>(cl.tuples.size());
+        for (const bif::Tuple &t : cl.tuples) {
+            for (const bif::Instr &in : t.slot) {
+                if (in.op == Op::Nop) {
+                    ci.nop++;
+                    continue;
+                }
+                switch (bif::category(in.op)) {
+                  case bif::Category::Arith:       ci.arith++; break;
+                  case bif::Category::LoadStore:   ci.ls++; break;
+                  case bif::Category::ControlFlow: ci.cf++; break;
+                  case bif::Category::Nop:         break;
+                }
+                // Register-file traffic.  Special (preloaded) operands
+                // live in the GRF on real Bifrost, so they count as GRF
+                // reads.
+                if (bif::isGrf(in.dst))
+                    ci.grfWrites++;
+                else if (bif::isTemp(in.dst))
+                    ci.tempWrites++;
+                for (uint8_t src : {in.src0, in.src1, in.src2}) {
+                    if (bif::isGrf(src) || bif::isSpecial(src))
+                        ci.grfReads++;
+                    else if (bif::isTemp(src))
+                        ci.tempReads++;
+                }
+                switch (in.op) {
+                  case Op::LdRom:      ci.romReads++; break;
+                  case Op::LdArg:      ci.constReads++; break;
+                  case Op::LdGlobal: case Op::LdGlobalU8:
+                    ci.globalLd++;
+                    break;
+                  case Op::StGlobal: case Op::StGlobalU8:
+                    ci.globalSt++;
+                    break;
+                  case Op::AtomAddG:
+                    ci.globalLd++;
+                    ci.globalSt++;
+                    break;
+                  case Op::LdLocal:    ci.localLd++; break;
+                  case Op::StLocal:    ci.localSt++; break;
+                  case Op::AtomAddL:
+                    ci.localLd++;
+                    ci.localSt++;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+        out.push_back(ci);
+    }
+    return out;
+}
+
+void
+KernelStats::merge(const KernelStats &other)
+{
+    arithInstrs += other.arithInstrs;
+    lsInstrs += other.lsInstrs;
+    cfInstrs += other.cfInstrs;
+    nopSlots += other.nopSlots;
+    grfReads += other.grfReads;
+    grfWrites += other.grfWrites;
+    tempAccesses += other.tempAccesses;
+    constReads += other.constReads;
+    romReads += other.romReads;
+    globalLdSt += other.globalLdSt;
+    localLdSt += other.localLdSt;
+    clausesExecuted += other.clausesExecuted;
+    threadsLaunched += other.threadsLaunched;
+    warpsLaunched += other.warpsLaunched;
+    workgroups += other.workgroups;
+    divergentBranches += other.divergentBranches;
+    clauseSizes.merge(other.clauseSizes);
+    for (const auto &[k, v] : other.cfgEdges)
+        cfgEdges[k] += v;
+}
+
+} // namespace bifsim::gpu

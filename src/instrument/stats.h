@@ -1,0 +1,132 @@
+#ifndef BIFSIM_INSTRUMENT_STATS_H
+#define BIFSIM_INSTRUMENT_STATS_H
+
+/**
+ * @file
+ * Instrumentation counters (paper §IV).
+ *
+ * Static per-clause metrics are computed once at decode time; execution
+ * merely accumulates thread-weighted clause frequencies, so the
+ * measured overhead stays small (paper: <5%).  Per-worker collectors
+ * are merged at job completion with no hot-path synchronisation.
+ */
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/histogram.h"
+#include "gpu/isa/bif.h"
+
+namespace bifsim::gpu {
+
+/** Decode-time static metrics for one clause. */
+struct ClauseStaticInfo
+{
+    uint32_t sizeTuples = 0;   ///< Clause size (1..8 tuples).
+    uint32_t arith = 0;        ///< Arithmetic instructions.
+    uint32_t ls = 0;           ///< Load/store instructions.
+    uint32_t cf = 0;           ///< Control-flow instructions.
+    uint32_t nop = 0;          ///< Empty issue slots.
+    uint32_t grfReads = 0;     ///< Global register file reads.
+    uint32_t grfWrites = 0;    ///< Global register file writes.
+    uint32_t tempReads = 0;    ///< Clause-temporary reads.
+    uint32_t tempWrites = 0;   ///< Clause-temporary writes.
+    uint32_t constReads = 0;   ///< Kernel-argument (constant) reads.
+    uint32_t romReads = 0;     ///< Embedded-ROM reads.
+    uint32_t globalLd = 0;     ///< Main-memory loads.
+    uint32_t globalSt = 0;     ///< Main-memory stores.
+    uint32_t localLd = 0;      ///< Local-memory loads.
+    uint32_t localSt = 0;      ///< Local-memory stores.
+};
+
+/** Computes decode-time static metrics for every clause of a module. */
+std::vector<ClauseStaticInfo> analyzeClauses(const bif::Module &mod);
+
+/**
+ * Dynamic, thread-weighted kernel statistics for one job (or summed
+ * over jobs).  All counters count *per executed thread*: a clause run
+ * by a warp with 3 active threads contributes 3x its static counts.
+ */
+struct KernelStats
+{
+    uint64_t arithInstrs = 0;
+    uint64_t lsInstrs = 0;
+    uint64_t cfInstrs = 0;
+    uint64_t nopSlots = 0;
+    uint64_t grfReads = 0;
+    uint64_t grfWrites = 0;
+    uint64_t tempAccesses = 0;
+    uint64_t constReads = 0;
+    uint64_t romReads = 0;
+    uint64_t globalLdSt = 0;
+    uint64_t localLdSt = 0;
+    uint64_t clausesExecuted = 0;     ///< Thread-weighted clause count.
+    uint64_t threadsLaunched = 0;
+    uint64_t warpsLaunched = 0;
+    uint64_t workgroups = 0;
+    uint64_t divergentBranches = 0;   ///< Warp executions that split.
+
+    /** Thread-weighted clause-size distribution (index = tuples). */
+    Histogram clauseSizes{bif::kMaxTuplesPerClause + 1};
+
+    /**
+     * Divergence CFG: edge (from-clause, to-clause) -> number of threads
+     * that followed it (paper Fig. 6).  Key = from << 32 | to.
+     */
+    std::map<uint64_t, uint64_t> cfgEdges;
+
+    /** Total executed instructions (arith + ls + cf). */
+    uint64_t
+    totalInstrs() const
+    {
+        return arithInstrs + lsInstrs + cfInstrs;
+    }
+
+    /** Total issue slots including empty ones. */
+    uint64_t totalSlots() const { return totalInstrs() + nopSlots; }
+
+    /** Mean executed clause size in tuples. */
+    double avgClauseSize() const { return clauseSizes.mean(); }
+
+    /** Accumulates another collector's counts into this one. */
+    void merge(const KernelStats &other);
+};
+
+/** Encodes a CFG edge key. */
+constexpr uint64_t
+cfgEdgeKey(uint32_t from, uint32_t to)
+{
+    return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+/** System-level statistics (paper Table III). */
+struct SystemStats
+{
+    uint64_t pagesAccessed = 0;    ///< Distinct pages touched by the GPU.
+    uint64_t ctrlRegReads = 0;     ///< GPU control-register reads.
+    uint64_t ctrlRegWrites = 0;    ///< GPU control-register writes.
+    uint64_t irqsAsserted = 0;     ///< GPU interrupt assertions.
+    uint64_t computeJobs = 0;      ///< Compute jobs executed.
+};
+
+/** Per-worker collector, merged into the job totals at completion. */
+struct WorkerCollector
+{
+    KernelStats kernel;
+    std::vector<uint64_t> clauseExec;          ///< Per-clause thread count.
+    std::unordered_set<uint32_t> pages;        ///< GPU-touched page numbers.
+
+    void
+    reset(size_t num_clauses)
+    {
+        kernel = KernelStats{};
+        clauseExec.assign(num_clauses, 0);
+        pages.clear();
+    }
+};
+
+} // namespace bifsim::gpu
+
+#endif // BIFSIM_INSTRUMENT_STATS_H

@@ -1,0 +1,150 @@
+#ifndef BIFSIM_KCLC_AST_H
+#define BIFSIM_KCLC_AST_H
+
+/**
+ * @file
+ * Abstract syntax tree for KCL kernels.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bifsim::kclc {
+
+/** Scalar element types. */
+enum class Scalar : uint8_t { Void, Int, Uint, Float, Bool };
+
+/** Pointer address spaces. */
+enum class AddrSpace : uint8_t { None, Global, Local };
+
+/** A (possibly pointer) KCL type. */
+struct Type
+{
+    Scalar scalar = Scalar::Void;
+    bool isPointer = false;
+    AddrSpace space = AddrSpace::None;
+
+    bool operator==(const Type &) const = default;
+
+    static Type
+    scalarType(Scalar s)
+    {
+        Type t;
+        t.scalar = s;
+        return t;
+    }
+
+    static Type
+    pointerType(Scalar s, AddrSpace sp)
+    {
+        Type t;
+        t.scalar = s;
+        t.isPointer = true;
+        t.space = sp;
+        return t;
+    }
+
+    std::string str() const;
+};
+
+// ---------------------------------------------------------------- Expr
+
+/** Expression node kinds. */
+enum class ExprKind : uint8_t
+{
+    IntLit, FloatLit, BoolLit, VarRef, Unary, Binary, Assign, Ternary,
+    Call, Index, Cast, IncDec,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** A KCL expression. */
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // Literals.
+    uint64_t intValue = 0;
+    float floatValue = 0;
+
+    // VarRef / Call.
+    std::string name;
+
+    // Operator spelling for Unary/Binary/Assign/IncDec
+    // ("+", "-", "&&", "+=", "++pre", "post--", ...).
+    std::string op;
+
+    // Children: Unary{a}, Binary{a,b}, Assign{lhs,rhs},
+    // Ternary{cond,a,b}, Index{base,index}, Cast{a}, Call{args...}.
+    std::vector<ExprPtr> children;
+
+    // Cast target.
+    Type castType;
+};
+
+// ---------------------------------------------------------------- Stmt
+
+/** Statement node kinds. */
+enum class StmtKind : uint8_t
+{
+    Decl, ExprStmt, If, For, While, Return, Block, LocalArray,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** A KCL statement. */
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    // Decl / LocalArray.
+    Type declType;
+    std::string name;
+    ExprPtr init;            ///< Decl initialiser (may be null).
+    uint32_t arraySize = 0;  ///< LocalArray element count.
+
+    // ExprStmt / Return value / If cond / While cond.
+    ExprPtr expr;
+
+    // If{then,els}, For{init,cond,step,body}, While{body}, Block{body}.
+    StmtPtr thenStmt;
+    StmtPtr elseStmt;
+    StmtPtr initStmt;
+    ExprPtr stepExpr;
+    std::vector<StmtPtr> body;
+};
+
+/** A kernel parameter. */
+struct Param
+{
+    Type type;
+    std::string name;
+};
+
+/** A parsed kernel function. */
+struct Kernel
+{
+    std::string name;
+    std::vector<Param> params;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+/** A parsed translation unit (one or more kernels). */
+struct Unit
+{
+    std::vector<Kernel> kernels;
+
+    /** Finds a kernel by name; returns null if absent. */
+    const Kernel *find(const std::string &name) const;
+};
+
+} // namespace bifsim::kclc
+
+#endif // BIFSIM_KCLC_AST_H

@@ -1,0 +1,126 @@
+#include "kclc/compiler.h"
+
+#include "common/logging.h"
+#include "kclc/lower.h"
+#include "kclc/parser.h"
+#include "kclc/passes.h"
+#include "kclc/regalloc.h"
+#include "kclc/schedule.h"
+
+namespace bifsim::kclc {
+
+CompilerOptions
+CompilerOptions::forLevel(int level)
+{
+    CompilerOptions o;
+    switch (level) {
+      case 0:
+        o.maxTuples = 1;
+        o.pairSlots = false;
+        o.constFold = o.cse = o.tempPromote = o.dualIssue = false;
+        o.versionName = "5.6";
+        break;
+      case 1:
+        o.maxTuples = 4;
+        o.constFold = true;
+        o.cse = o.tempPromote = o.dualIssue = false;
+        o.versionName = "5.7";
+        break;
+      case 2:
+        o.maxTuples = 8;
+        o.constFold = o.cse = o.tempPromote = true;
+        o.dualIssue = false;
+        o.versionName = "6.0";
+        break;
+      default:
+        o.maxTuples = 8;
+        o.constFold = o.cse = o.tempPromote = o.dualIssue = true;
+        o.versionName = "6.1";
+        break;
+    }
+    return o;
+}
+
+CompilerOptions
+CompilerOptions::forVersion(const std::string &version)
+{
+    if (version == "5.6")
+        return forLevel(0);
+    if (version == "5.7")
+        return forLevel(1);
+    if (version == "6.0")
+        return forLevel(2);
+    if (version == "6.1" || version == "6.2") {
+        CompilerOptions o = forLevel(3);
+        o.versionName = version;
+        return o;
+    }
+    simError("kclc: unknown compiler version '%s'", version.c_str());
+}
+
+namespace {
+
+CompiledKernel
+compileOne(const Kernel &k, const CompilerOptions &opts)
+{
+    LFunc f = lower(k);
+
+    removeUnreachable(f);
+    if (opts.constFold)
+        constFold(f);
+    if (opts.cse) {
+        cse(f);
+        copyProp(f);
+    }
+    if (opts.constFold || opts.cse)
+        deadCodeElim(f);
+
+    AllocResult alloc = allocateRegisters(f);
+
+    ScheduleOptions so;
+    so.maxTuples = opts.maxTuples;
+    so.pairSlots = opts.pairSlots;
+    so.dualIssue = opts.dualIssue;
+    so.tempPromote = opts.tempPromote;
+    bif::Module mod = schedule(f, so);
+
+    std::string verr = bif::validate(mod);
+    if (!verr.empty())
+        panic("kclc produced an invalid module: %s", verr.c_str());
+
+    CompiledKernel out;
+    out.name = k.name;
+    out.binary = bif::encode(mod);
+    out.args = f.args;
+    out.regCount = mod.regCount;
+    out.localBytes = mod.localBytes;
+    out.spills = alloc.spills;
+    out.mod = std::move(mod);
+    return out;
+}
+
+} // namespace
+
+CompiledKernel
+compileKernel(const std::string &source, const std::string &kernel_name,
+              const CompilerOptions &opts)
+{
+    Unit u = parse(source);
+    const Kernel *k = u.find(kernel_name);
+    if (!k)
+        simError("kclc: no kernel named '%s'", kernel_name.c_str());
+    return compileOne(*k, opts);
+}
+
+std::vector<CompiledKernel>
+compileAll(const std::string &source, const CompilerOptions &opts)
+{
+    Unit u = parse(source);
+    std::vector<CompiledKernel> out;
+    out.reserve(u.kernels.size());
+    for (const Kernel &k : u.kernels)
+        out.push_back(compileOne(k, opts));
+    return out;
+}
+
+} // namespace bifsim::kclc

@@ -1,0 +1,294 @@
+#include "kclc/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.h"
+
+namespace bifsim::kclc {
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "<eof>";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::KwKernel: return "'kernel'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwUint: return "'uint'";
+      case Tok::KwFloat: return "'float'";
+      case Tok::KwBool: return "'bool'";
+      case Tok::KwGlobal: return "'global'";
+      case Tok::KwLocal: return "'local'";
+      case Tok::KwConst: return "'const'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwTrue: return "'true'";
+      case Tok::KwFalse: return "'false'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::Less: return "'<'";
+      case Tok::Greater: return "'>'";
+      case Tok::LessEq: return "'<='";
+      case Tok::GreaterEq: return "'>='";
+      case Tok::EqEq: return "'=='";
+      case Tok::BangEq: return "'!='";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Assign: return "'='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::StarAssign: return "'*='";
+      case Tok::PlusPlus: return "'++'";
+      case Tok::MinusMinus: return "'--'";
+      case Tok::Question: return "'?'";
+      case Tok::Colon: return "':'";
+    }
+    return "<bad>";
+}
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    static const std::map<std::string, Tok> keywords = {
+        {"kernel", Tok::KwKernel}, {"__kernel", Tok::KwKernel},
+        {"void", Tok::KwVoid},     {"int", Tok::KwInt},
+        {"uint", Tok::KwUint},     {"unsigned", Tok::KwUint},
+        {"float", Tok::KwFloat},   {"bool", Tok::KwBool},
+        {"global", Tok::KwGlobal}, {"__global", Tok::KwGlobal},
+        {"local", Tok::KwLocal},   {"__local", Tok::KwLocal},
+        {"const", Tok::KwConst},   {"if", Tok::KwIf},
+        {"else", Tok::KwElse},     {"for", Tok::KwFor},
+        {"while", Tok::KwWhile},   {"return", Tok::KwReturn},
+        {"true", Tok::KwTrue},     {"false", Tok::KwFalse},
+    };
+
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    size_t n = src.size();
+
+    auto peek = [&](size_t k = 0) -> char {
+        return i + k < n ? src[i + k] : '\0';
+    };
+    auto emit = [&](Tok kind, int adv) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(t);
+        i += adv;
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && src[i] != '\n')
+                i++;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    line++;
+                i++;
+            }
+            if (i + 1 >= n)
+                simError("kcl line %d: unterminated comment", line);
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < n && (std::isalnum(static_cast<unsigned char>(
+                                 src[j])) ||
+                             src[j] == '_')) {
+                j++;
+            }
+            std::string word = src.substr(i, j - i);
+            Token t;
+            t.line = line;
+            auto it = keywords.find(word);
+            if (it != keywords.end()) {
+                t.kind = it->second;
+            } else {
+                t.kind = Tok::Ident;
+                t.text = word;
+            }
+            out.push_back(t);
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(
+                             peek(1))))) {
+            size_t j = i;
+            bool is_float = false;
+            bool is_hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+            if (is_hex) {
+                j += 2;
+                while (j < n && std::isxdigit(static_cast<unsigned char>(
+                                    src[j]))) {
+                    j++;
+                }
+            } else {
+                while (j < n &&
+                       std::isdigit(static_cast<unsigned char>(src[j]))) {
+                    j++;
+                }
+                if (j < n && src[j] == '.') {
+                    is_float = true;
+                    j++;
+                    while (j < n && std::isdigit(
+                                        static_cast<unsigned char>(
+                                            src[j]))) {
+                        j++;
+                    }
+                }
+                if (j < n && (src[j] == 'e' || src[j] == 'E')) {
+                    is_float = true;
+                    j++;
+                    if (j < n && (src[j] == '+' || src[j] == '-'))
+                        j++;
+                    while (j < n && std::isdigit(
+                                        static_cast<unsigned char>(
+                                            src[j]))) {
+                        j++;
+                    }
+                }
+            }
+            std::string num = src.substr(i, j - i);
+            Token t;
+            t.line = line;
+            if (j < n && (src[j] == 'f' || src[j] == 'F')) {
+                is_float = true;
+                j++;
+            } else if (j < n && (src[j] == 'u' || src[j] == 'U')) {
+                j++;
+            }
+            if (is_float) {
+                t.kind = Tok::FloatLit;
+                t.floatValue = std::strtof(num.c_str(), nullptr);
+            } else {
+                t.kind = Tok::IntLit;
+                t.intValue = std::strtoull(num.c_str(), nullptr, 0);
+            }
+            out.push_back(t);
+            i = j;
+            continue;
+        }
+        switch (c) {
+          case '(': emit(Tok::LParen, 1); break;
+          case ')': emit(Tok::RParen, 1); break;
+          case '{': emit(Tok::LBrace, 1); break;
+          case '}': emit(Tok::RBrace, 1); break;
+          case '[': emit(Tok::LBracket, 1); break;
+          case ']': emit(Tok::RBracket, 1); break;
+          case ',': emit(Tok::Comma, 1); break;
+          case ';': emit(Tok::Semi, 1); break;
+          case '~': emit(Tok::Tilde, 1); break;
+          case '^': emit(Tok::Caret, 1); break;
+          case '?': emit(Tok::Question, 1); break;
+          case ':': emit(Tok::Colon, 1); break;
+          case '%': emit(Tok::Percent, 1); break;
+          case '/': emit(Tok::Slash, 1); break;
+          case '+':
+            if (peek(1) == '=')
+                emit(Tok::PlusAssign, 2);
+            else if (peek(1) == '+')
+                emit(Tok::PlusPlus, 2);
+            else
+                emit(Tok::Plus, 1);
+            break;
+          case '-':
+            if (peek(1) == '=')
+                emit(Tok::MinusAssign, 2);
+            else if (peek(1) == '-')
+                emit(Tok::MinusMinus, 2);
+            else
+                emit(Tok::Minus, 1);
+            break;
+          case '*':
+            if (peek(1) == '=')
+                emit(Tok::StarAssign, 2);
+            else
+                emit(Tok::Star, 1);
+            break;
+          case '&':
+            emit(peek(1) == '&' ? Tok::AmpAmp : Tok::Amp,
+                 peek(1) == '&' ? 2 : 1);
+            break;
+          case '|':
+            emit(peek(1) == '|' ? Tok::PipePipe : Tok::Pipe,
+                 peek(1) == '|' ? 2 : 1);
+            break;
+          case '<':
+            if (peek(1) == '=')
+                emit(Tok::LessEq, 2);
+            else if (peek(1) == '<')
+                emit(Tok::Shl, 2);
+            else
+                emit(Tok::Less, 1);
+            break;
+          case '>':
+            if (peek(1) == '=')
+                emit(Tok::GreaterEq, 2);
+            else if (peek(1) == '>')
+                emit(Tok::Shr, 2);
+            else
+                emit(Tok::Greater, 1);
+            break;
+          case '=':
+            emit(peek(1) == '=' ? Tok::EqEq : Tok::Assign,
+                 peek(1) == '=' ? 2 : 1);
+            break;
+          case '!':
+            emit(peek(1) == '=' ? Tok::BangEq : Tok::Bang,
+                 peek(1) == '=' ? 2 : 1);
+            break;
+          default:
+            simError("kcl line %d: unexpected character '%c'", line, c);
+        }
+    }
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace bifsim::kclc

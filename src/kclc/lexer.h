@@ -1,0 +1,54 @@
+#ifndef BIFSIM_KCLC_LEXER_H
+#define BIFSIM_KCLC_LEXER_H
+
+/**
+ * @file
+ * Lexer for KCL, the OpenCL-C-like kernel language compiled by kclc.
+ * KCL is this project's open stand-in for the paper's vendor OpenCL
+ * toolchain: kclc JIT-compiles kernel source to BIF shader binaries at
+ * enqueue time, exactly where libOpenCL.so invokes the Mali compiler.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bifsim::kclc {
+
+/** Token kinds. */
+enum class Tok
+{
+    End, Ident, IntLit, FloatLit,
+    // Keywords.
+    KwKernel, KwVoid, KwInt, KwUint, KwFloat, KwBool, KwGlobal, KwLocal,
+    KwConst, KwIf, KwElse, KwFor, KwWhile, KwReturn, KwTrue, KwFalse,
+    // Punctuation / operators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi,
+    Plus, Minus, Star, Slash, Percent, Amp, Pipe, Caret, Tilde, Bang,
+    Less, Greater, LessEq, GreaterEq, EqEq, BangEq, AmpAmp, PipePipe,
+    Shl, Shr, Assign, PlusAssign, MinusAssign, StarAssign, PlusPlus,
+    MinusMinus, Question, Colon,
+};
+
+/** A lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;       ///< Identifier spelling.
+    uint64_t intValue = 0;  ///< For IntLit.
+    float floatValue = 0;   ///< For FloatLit.
+    int line = 0;
+};
+
+/**
+ * Tokenises KCL source.
+ * @throws SimError on an unrecognised character or malformed literal.
+ */
+std::vector<Token> lex(const std::string &source);
+
+/** Human-readable token-kind name for diagnostics. */
+const char *tokName(Tok kind);
+
+} // namespace bifsim::kclc
+
+#endif // BIFSIM_KCLC_LEXER_H

@@ -1,0 +1,23 @@
+#ifndef BIFSIM_KCLC_LOWER_H
+#define BIFSIM_KCLC_LOWER_H
+
+/**
+ * @file
+ * AST -> LIR lowering with type checking.
+ */
+
+#include "kclc/ast.h"
+#include "kclc/ir.h"
+
+namespace bifsim::kclc {
+
+/**
+ * Lowers one kernel to LIR, performing semantic checks on the way.
+ * @throws SimError on any semantic error (undefined variables, type
+ *         mismatches, bad builtin usage, ...).
+ */
+LFunc lower(const Kernel &kernel);
+
+} // namespace bifsim::kclc
+
+#endif // BIFSIM_KCLC_LOWER_H

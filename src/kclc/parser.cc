@@ -1,0 +1,502 @@
+#include "kclc/parser.h"
+
+#include "common/logging.h"
+#include "kclc/lexer.h"
+
+namespace bifsim::kclc {
+
+std::string
+Type::str() const
+{
+    std::string s;
+    if (isPointer) {
+        s += space == AddrSpace::Global ? "global "
+           : space == AddrSpace::Local ? "local " : "";
+    }
+    switch (scalar) {
+      case Scalar::Void: s += "void"; break;
+      case Scalar::Int: s += "int"; break;
+      case Scalar::Uint: s += "uint"; break;
+      case Scalar::Float: s += "float"; break;
+      case Scalar::Bool: s += "bool"; break;
+    }
+    if (isPointer)
+        s += "*";
+    return s;
+}
+
+const Kernel *
+Unit::find(const std::string &name) const
+{
+    for (const Kernel &k : kernels) {
+        if (k.name == name)
+            return &k;
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    Unit
+    run()
+    {
+        Unit u;
+        while (peek().kind != Tok::End)
+            u.kernels.push_back(parseKernel());
+        return u;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+
+    const Token &peek(size_t k = 0) const
+    {
+        size_t i = pos_ + k;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+
+    const Token &advance() { return toks_[pos_++]; }
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        simError("kcl line %d: %s (got %s)", peek().line, msg.c_str(),
+                 tokName(peek().kind));
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (peek().kind == kind) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(Tok kind, const char *what)
+    {
+        if (peek().kind != kind)
+            err(strfmt("expected %s", what));
+        return advance();
+    }
+
+    static bool
+    isScalarKw(Tok t)
+    {
+        return t == Tok::KwInt || t == Tok::KwUint || t == Tok::KwFloat ||
+               t == Tok::KwBool;
+    }
+
+    Scalar
+    scalarFrom(Tok t)
+    {
+        switch (t) {
+          case Tok::KwInt: return Scalar::Int;
+          case Tok::KwUint: return Scalar::Uint;
+          case Tok::KwFloat: return Scalar::Float;
+          case Tok::KwBool: return Scalar::Bool;
+          default: err("expected type");
+        }
+    }
+
+    ExprPtr
+    mk(ExprKind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = peek().line;
+        return e;
+    }
+
+    Kernel
+    parseKernel()
+    {
+        expect(Tok::KwKernel, "'kernel'");
+        Kernel k;
+        k.line = peek().line;
+        expect(Tok::KwVoid, "'void'");
+        k.name = expect(Tok::Ident, "kernel name").text;
+        expect(Tok::LParen, "'('");
+        if (!accept(Tok::RParen)) {
+            do {
+                k.params.push_back(parseParam());
+            } while (accept(Tok::Comma));
+            expect(Tok::RParen, "')'");
+        }
+        expect(Tok::LBrace, "'{'");
+        while (!accept(Tok::RBrace))
+            k.body.push_back(parseStmt());
+        return k;
+    }
+
+    Param
+    parseParam()
+    {
+        Param p;
+        AddrSpace space = AddrSpace::None;
+        // const / address space qualifiers in any order before the type.
+        for (;;) {
+            if (accept(Tok::KwConst))
+                continue;
+            if (accept(Tok::KwGlobal)) {
+                space = AddrSpace::Global;
+                continue;
+            }
+            if (accept(Tok::KwLocal)) {
+                space = AddrSpace::Local;
+                continue;
+            }
+            break;
+        }
+        Scalar s = scalarFrom(advance().kind);
+        while (accept(Tok::KwConst)) {}
+        if (accept(Tok::Star)) {
+            if (space == AddrSpace::None)
+                space = AddrSpace::Global;
+            p.type = Type::pointerType(s, space);
+        } else {
+            if (space != AddrSpace::None)
+                err("address space on non-pointer parameter");
+            p.type = Type::scalarType(s);
+        }
+        p.name = expect(Tok::Ident, "parameter name").text;
+        return p;
+    }
+
+    StmtPtr
+    mkStmt(StmtKind kind)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = peek().line;
+        return s;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        switch (peek().kind) {
+          case Tok::LBrace: {
+            advance();
+            auto s = mkStmt(StmtKind::Block);
+            while (!accept(Tok::RBrace))
+                s->body.push_back(parseStmt());
+            return s;
+          }
+          case Tok::KwLocal:
+            return parseLocalArray();
+          case Tok::KwIf: {
+            advance();
+            auto s = mkStmt(StmtKind::If);
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->thenStmt = parseStmt();
+            if (accept(Tok::KwElse))
+                s->elseStmt = parseStmt();
+            return s;
+          }
+          case Tok::KwWhile: {
+            advance();
+            auto s = mkStmt(StmtKind::While);
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->thenStmt = parseStmt();
+            return s;
+          }
+          case Tok::KwFor: {
+            advance();
+            auto s = mkStmt(StmtKind::For);
+            expect(Tok::LParen, "'('");
+            if (!accept(Tok::Semi)) {
+                if (isScalarKw(peek().kind))
+                    s->initStmt = parseDecl();
+                else {
+                    s->initStmt = mkStmt(StmtKind::ExprStmt);
+                    s->initStmt->expr = parseExpr();
+                    expect(Tok::Semi, "';'");
+                }
+            }
+            if (!accept(Tok::Semi)) {
+                s->expr = parseExpr();
+                expect(Tok::Semi, "';'");
+            }
+            if (peek().kind != Tok::RParen)
+                s->stepExpr = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->thenStmt = parseStmt();
+            return s;
+          }
+          case Tok::KwReturn: {
+            advance();
+            auto s = mkStmt(StmtKind::Return);
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::Semi:
+            advance();
+            return mkStmt(StmtKind::Block);   // Empty statement.
+          default:
+            if (isScalarKw(peek().kind))
+                return parseDecl();
+            {
+                auto s = mkStmt(StmtKind::ExprStmt);
+                s->expr = parseExpr();
+                expect(Tok::Semi, "';'");
+                return s;
+            }
+        }
+    }
+
+    /** `local float tile[256];` */
+    StmtPtr
+    parseLocalArray()
+    {
+        expect(Tok::KwLocal, "'local'");
+        auto s = mkStmt(StmtKind::LocalArray);
+        s->declType = Type::scalarType(scalarFrom(advance().kind));
+        s->name = expect(Tok::Ident, "array name").text;
+        expect(Tok::LBracket, "'['");
+        const Token &sz = expect(Tok::IntLit, "array size");
+        s->arraySize = static_cast<uint32_t>(sz.intValue);
+        expect(Tok::RBracket, "']'");
+        expect(Tok::Semi, "';'");
+        if (s->arraySize == 0)
+            simError("kcl line %d: zero-sized local array", s->line);
+        return s;
+    }
+
+    /** One or more declarations: `int a = 1, b;` */
+    StmtPtr
+    parseDecl()
+    {
+        Scalar sc = scalarFrom(advance().kind);
+        auto block = mkStmt(StmtKind::Block);
+        do {
+            auto s = mkStmt(StmtKind::Decl);
+            s->declType = Type::scalarType(sc);
+            s->name = expect(Tok::Ident, "variable name").text;
+            if (accept(Tok::Assign))
+                s->init = parseAssignment();
+            block->body.push_back(std::move(s));
+        } while (accept(Tok::Comma));
+        expect(Tok::Semi, "';'");
+        if (block->body.size() == 1)
+            return std::move(block->body[0]);
+        return block;
+    }
+
+    ExprPtr parseExpr() { return parseAssignment(); }
+
+    ExprPtr
+    parseAssignment()
+    {
+        ExprPtr lhs = parseTernary();
+        Tok k = peek().kind;
+        if (k == Tok::Assign || k == Tok::PlusAssign ||
+            k == Tok::MinusAssign || k == Tok::StarAssign) {
+            auto e = mk(ExprKind::Assign);
+            e->op = k == Tok::Assign ? "=" :
+                    k == Tok::PlusAssign ? "+=" :
+                    k == Tok::MinusAssign ? "-=" : "*=";
+            advance();
+            e->children.push_back(std::move(lhs));
+            e->children.push_back(parseAssignment());
+            return e;
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseTernary()
+    {
+        ExprPtr cond = parseBinary(0);
+        if (peek().kind != Tok::Question)
+            return cond;
+        auto e = mk(ExprKind::Ternary);
+        advance();
+        e->children.push_back(std::move(cond));
+        e->children.push_back(parseExpr());
+        expect(Tok::Colon, "':'");
+        e->children.push_back(parseTernary());
+        return e;
+    }
+
+    struct BinOp
+    {
+        Tok tok;
+        const char *spelling;
+        int prec;
+    };
+
+    static const BinOp *
+    binOp(Tok t)
+    {
+        static const BinOp ops[] = {
+            {Tok::PipePipe, "||", 1}, {Tok::AmpAmp, "&&", 2},
+            {Tok::Pipe, "|", 3},      {Tok::Caret, "^", 4},
+            {Tok::Amp, "&", 5},       {Tok::EqEq, "==", 6},
+            {Tok::BangEq, "!=", 6},   {Tok::Less, "<", 7},
+            {Tok::LessEq, "<=", 7},   {Tok::Greater, ">", 7},
+            {Tok::GreaterEq, ">=", 7}, {Tok::Shl, "<<", 8},
+            {Tok::Shr, ">>", 8},      {Tok::Plus, "+", 9},
+            {Tok::Minus, "-", 9},     {Tok::Star, "*", 10},
+            {Tok::Slash, "/", 10},    {Tok::Percent, "%", 10},
+        };
+        for (const BinOp &op : ops) {
+            if (op.tok == t)
+                return &op;
+        }
+        return nullptr;
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        for (;;) {
+            const BinOp *op = binOp(peek().kind);
+            if (!op || op->prec < min_prec)
+                return lhs;
+            advance();
+            ExprPtr rhs = parseBinary(op->prec + 1);
+            auto e = mk(ExprKind::Binary);
+            e->op = op->spelling;
+            e->children.push_back(std::move(lhs));
+            e->children.push_back(std::move(rhs));
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        switch (peek().kind) {
+          case Tok::Minus: case Tok::Bang: case Tok::Tilde:
+          case Tok::Plus: {
+            auto e = mk(ExprKind::Unary);
+            e->op = peek().kind == Tok::Minus ? "-"
+                  : peek().kind == Tok::Bang ? "!"
+                  : peek().kind == Tok::Tilde ? "~" : "+";
+            advance();
+            e->children.push_back(parseUnary());
+            return e;
+          }
+          case Tok::PlusPlus: case Tok::MinusMinus: {
+            auto e = mk(ExprKind::IncDec);
+            e->op = peek().kind == Tok::PlusPlus ? "++pre" : "--pre";
+            advance();
+            e->children.push_back(parseUnary());
+            return e;
+          }
+          default:
+            return parsePostfix();
+        }
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        for (;;) {
+            if (accept(Tok::LBracket)) {
+                auto idx = mk(ExprKind::Index);
+                idx->children.push_back(std::move(e));
+                idx->children.push_back(parseExpr());
+                expect(Tok::RBracket, "']'");
+                e = std::move(idx);
+            } else if (peek().kind == Tok::PlusPlus ||
+                       peek().kind == Tok::MinusMinus) {
+                auto pd = mk(ExprKind::IncDec);
+                pd->op = peek().kind == Tok::PlusPlus ? "post++"
+                                                      : "post--";
+                advance();
+                pd->children.push_back(std::move(e));
+                e = std::move(pd);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::IntLit: {
+            auto e = mk(ExprKind::IntLit);
+            e->intValue = t.intValue;
+            advance();
+            return e;
+          }
+          case Tok::FloatLit: {
+            auto e = mk(ExprKind::FloatLit);
+            e->floatValue = t.floatValue;
+            advance();
+            return e;
+          }
+          case Tok::KwTrue: case Tok::KwFalse: {
+            auto e = mk(ExprKind::BoolLit);
+            e->intValue = t.kind == Tok::KwTrue;
+            advance();
+            return e;
+          }
+          case Tok::Ident: {
+            std::string name = t.text;
+            advance();
+            if (accept(Tok::LParen)) {
+                auto e = mk(ExprKind::Call);
+                e->name = name;
+                if (!accept(Tok::RParen)) {
+                    do {
+                        e->children.push_back(parseAssignment());
+                    } while (accept(Tok::Comma));
+                    expect(Tok::RParen, "')'");
+                }
+                return e;
+            }
+            auto e = mk(ExprKind::VarRef);
+            e->name = name;
+            return e;
+          }
+          case Tok::LParen: {
+            // Cast or parenthesised expression.
+            if (isScalarKw(peek(1).kind) && peek(2).kind == Tok::RParen) {
+                advance();
+                auto e = mk(ExprKind::Cast);
+                e->castType = Type::scalarType(scalarFrom(advance().kind));
+                expect(Tok::RParen, "')'");
+                e->children.push_back(parseUnary());
+                return e;
+            }
+            advance();
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "')'");
+            return e;
+          }
+          default:
+            err("expected expression");
+        }
+    }
+};
+
+} // namespace
+
+Unit
+parse(const std::string &source)
+{
+    Parser p(lex(source));
+    return p.run();
+}
+
+} // namespace bifsim::kclc

@@ -1,0 +1,21 @@
+#ifndef BIFSIM_KCLC_PARSER_H
+#define BIFSIM_KCLC_PARSER_H
+
+/**
+ * @file
+ * Recursive-descent parser for KCL.
+ */
+
+#include "kclc/ast.h"
+
+namespace bifsim::kclc {
+
+/**
+ * Parses KCL source into an AST.
+ * @throws SimError with line information on any syntax error.
+ */
+Unit parse(const std::string &source);
+
+} // namespace bifsim::kclc
+
+#endif // BIFSIM_KCLC_PARSER_H

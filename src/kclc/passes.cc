@@ -1,0 +1,362 @@
+#include "kclc/passes.h"
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace bifsim::kclc {
+
+namespace {
+
+using bif::Op;
+
+/** True for ops with no side effects (safe to CSE / DCE). */
+bool
+isPure(Op op)
+{
+    switch (op) {
+      case Op::StGlobal: case Op::StGlobalU8: case Op::StLocal:
+      case Op::AtomAddG: case Op::AtomAddL: case Op::Barrier:
+      case Op::Branch: case Op::BranchZ: case Op::BranchNZ: case Op::Ret:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** True for memory loads (pure but not constant-foldable / CSE-able
+ *  across stores; we simply never CSE them). */
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::LdGlobal: case Op::LdGlobalU8: case Op::LdLocal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+float
+asF(uint32_t u)
+{
+    return std::bit_cast<float>(u);
+}
+
+uint32_t
+asU(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+/** Constant-evaluates pure arithmetic; returns false if not handled.
+ *  Semantics mirror the shader-core executor exactly. */
+bool
+evalConst(Op op, uint32_t a, uint32_t b, uint32_t c, int32_t imm,
+          uint32_t &out)
+{
+    auto cmp = [&](int q, bool unordered) {
+        bif::CmpMode m = static_cast<bif::CmpMode>(imm & 7);
+        if (unordered)
+            return m == bif::CmpMode::Ne;
+        switch (m) {
+          case bif::CmpMode::Eq: return q == 0;
+          case bif::CmpMode::Ne: return q != 0;
+          case bif::CmpMode::Lt: return q < 0;
+          case bif::CmpMode::Le: return q <= 0;
+          case bif::CmpMode::Gt: return q > 0;
+          case bif::CmpMode::Ge: return q >= 0;
+        }
+        return false;
+    };
+    switch (op) {
+      case Op::FAdd: out = asU(asF(a) + asF(b)); return true;
+      case Op::FSub: out = asU(asF(a) - asF(b)); return true;
+      case Op::FMul: out = asU(asF(a) * asF(b)); return true;
+      case Op::FFma: out = asU(asF(a) * asF(b) + asF(c)); return true;
+      case Op::FMin: out = asU(std::fmin(asF(a), asF(b))); return true;
+      case Op::FMax: out = asU(std::fmax(asF(a), asF(b))); return true;
+      case Op::FAbs: out = asU(std::fabs(asF(a))); return true;
+      case Op::FNeg: out = asU(-asF(a)); return true;
+      case Op::FFloor: out = asU(std::floor(asF(a))); return true;
+      case Op::IAdd: out = a + b; return true;
+      case Op::ISub: out = a - b; return true;
+      case Op::IMul: out = a * b; return true;
+      case Op::IAnd: out = a & b; return true;
+      case Op::IOr:  out = a | b; return true;
+      case Op::IXor: out = a ^ b; return true;
+      case Op::INot: out = ~a; return true;
+      case Op::IShl: out = a << (b & 31); return true;
+      case Op::IShr: out = a >> (b & 31); return true;
+      case Op::IAsr:
+        out = static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31));
+        return true;
+      case Op::IMin:
+        out = static_cast<int32_t>(a) < static_cast<int32_t>(b) ? a : b;
+        return true;
+      case Op::IMax:
+        out = static_cast<int32_t>(a) > static_cast<int32_t>(b) ? a : b;
+        return true;
+      case Op::UMin: out = a < b ? a : b; return true;
+      case Op::UMax: out = a > b ? a : b; return true;
+      case Op::ICmp: {
+        int32_t sa = static_cast<int32_t>(a), sb = static_cast<int32_t>(b);
+        out = cmp(sa < sb ? -1 : sa > sb ? 1 : 0, false);
+        return true;
+      }
+      case Op::UCmp:
+        out = cmp(a < b ? -1 : a > b ? 1 : 0, false);
+        return true;
+      case Op::FCmp: {
+        float fa = asF(a), fb = asF(b);
+        if (std::isnan(fa) || std::isnan(fb)) {
+            out = cmp(0, true);
+            return true;
+        }
+        out = cmp(fa < fb ? -1 : fa > fb ? 1 : 0, false);
+        return true;
+      }
+      case Op::CSel: out = a != 0 ? b : c; return true;
+      case Op::Mov: out = a; return true;
+      case Op::I2F:
+        out = asU(static_cast<float>(static_cast<int32_t>(a)));
+        return true;
+      case Op::U2F: out = asU(static_cast<float>(a)); return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+constFold(LFunc &f)
+{
+    for (LBlock &blk : f.blocks) {
+        std::map<uint32_t, uint32_t> known;   // vreg -> constant value.
+        for (LInstr &in : blk.instrs) {
+            bool all_const = true;
+            uint32_t vals[3] = {0, 0, 0};
+            for (int i = 0; i < 3; ++i) {
+                const LOperand &o = in.src[i];
+                if (o.kind == LOperand::Kind::None) {
+                    continue;
+                } else if (o.kind == LOperand::Kind::Special &&
+                           o.idx == bif::kSrZero) {
+                    vals[i] = 0;
+                } else if (o.kind == LOperand::Kind::VReg &&
+                           known.count(o.idx)) {
+                    vals[i] = known.at(o.idx);
+                } else {
+                    all_const = false;
+                }
+            }
+
+            uint32_t folded = 0;
+            bool did_fold = false;
+            if (in.op == Op::MovImm) {
+                folded = static_cast<uint32_t>(in.imm);
+                did_fold = true;
+            } else if (in.op == Op::LdRom &&
+                       static_cast<size_t>(in.imm) < f.rom.size()) {
+                folded = f.rom[in.imm];
+                did_fold = true;
+            } else if (all_const && isPure(in.op) && !isLoad(in.op) &&
+                       in.op != Op::LdArg &&
+                       evalConst(in.op, vals[0], vals[1], vals[2], in.imm,
+                                 folded)) {
+                // Replace with a constant materialisation.
+                int64_t sv = static_cast<int32_t>(folded);
+                if (sv >= -(1 << 23) && sv < (1 << 23)) {
+                    in.op = Op::MovImm;
+                    in.imm = static_cast<int32_t>(folded);
+                } else {
+                    in.op = Op::LdRom;
+                    in.imm = static_cast<int32_t>(f.internRom(folded));
+                }
+                in.src[0] = in.src[1] = in.src[2] = LOperand::none();
+                did_fold = true;
+            }
+
+            if (in.dst != kNoVReg) {
+                if (did_fold)
+                    known[in.dst] = folded;
+                else
+                    known.erase(in.dst);
+            }
+        }
+    }
+}
+
+void
+cse(LFunc &f)
+{
+    using Key = std::tuple<Op, uint8_t, uint32_t, uint8_t, uint32_t,
+                           uint8_t, uint32_t, int32_t>;
+    for (LBlock &blk : f.blocks) {
+        std::map<Key, uint32_t> avail;
+        for (LInstr &in : blk.instrs) {
+            if (!isPure(in.op) || isLoad(in.op) || in.dst == kNoVReg ||
+                in.op == Op::Mov) {
+                // Redefinitions still invalidate below.
+            } else {
+                Key k{in.op,
+                      static_cast<uint8_t>(in.src[0].kind), in.src[0].idx,
+                      static_cast<uint8_t>(in.src[1].kind), in.src[1].idx,
+                      static_cast<uint8_t>(in.src[2].kind), in.src[2].idx,
+                      in.imm};
+                auto it = avail.find(k);
+                if (it != avail.end() && it->second != in.dst) {
+                    uint32_t prev = it->second;
+                    in.op = Op::Mov;
+                    in.src[0] = LOperand::vreg(prev);
+                    in.src[1] = in.src[2] = LOperand::none();
+                    in.imm = 0;
+                } else {
+                    avail[k] = in.dst;
+                }
+            }
+            if (in.dst != kNoVReg) {
+                // Invalidate expressions using or producing this vreg.
+                for (auto it = avail.begin(); it != avail.end();) {
+                    const Key &k = it->first;
+                    bool kill = it->second == in.dst;
+                    if (std::get<1>(k) ==
+                            static_cast<uint8_t>(LOperand::Kind::VReg) &&
+                        std::get<2>(k) == in.dst)
+                        kill = true;
+                    if (std::get<3>(k) ==
+                            static_cast<uint8_t>(LOperand::Kind::VReg) &&
+                        std::get<4>(k) == in.dst)
+                        kill = true;
+                    if (std::get<5>(k) ==
+                            static_cast<uint8_t>(LOperand::Kind::VReg) &&
+                        std::get<6>(k) == in.dst)
+                        kill = true;
+                    if (kill)
+                        it = avail.erase(it);
+                    else
+                        ++it;
+                }
+            }
+        }
+    }
+}
+
+void
+copyProp(LFunc &f)
+{
+    for (LBlock &blk : f.blocks) {
+        std::map<uint32_t, uint32_t> copies;   // dst -> src vreg.
+        auto subst = [&](LOperand &o) {
+            if (o.kind == LOperand::Kind::VReg) {
+                auto it = copies.find(o.idx);
+                if (it != copies.end())
+                    o.idx = it->second;
+            }
+        };
+        for (LInstr &in : blk.instrs) {
+            for (LOperand &o : in.src)
+                subst(o);
+            if (in.dst != kNoVReg) {
+                // Kill copies involving the redefined vreg.
+                copies.erase(in.dst);
+                for (auto it = copies.begin(); it != copies.end();) {
+                    if (it->second == in.dst)
+                        it = copies.erase(it);
+                    else
+                        ++it;
+                }
+                if (in.op == Op::Mov &&
+                    in.src[0].kind == LOperand::Kind::VReg &&
+                    in.src[0].idx != in.dst) {
+                    copies[in.dst] = in.src[0].idx;
+                }
+            }
+        }
+        // Terminator condition.
+        if (blk.term == TermKind::CondJump) {
+            auto it = copies.find(blk.condVreg);
+            if (it != copies.end())
+                blk.condVreg = it->second;
+        }
+    }
+}
+
+void
+deadCodeElim(LFunc &f)
+{
+    for (;;) {
+        std::set<uint32_t> used;
+        for (const LBlock &blk : f.blocks) {
+            for (const LInstr &in : blk.instrs) {
+                for (const LOperand &o : in.src) {
+                    if (o.kind == LOperand::Kind::VReg)
+                        used.insert(o.idx);
+                }
+            }
+            if (blk.term == TermKind::CondJump)
+                used.insert(blk.condVreg);
+        }
+        bool changed = false;
+        for (LBlock &blk : f.blocks) {
+            std::vector<LInstr> keep;
+            keep.reserve(blk.instrs.size());
+            for (const LInstr &in : blk.instrs) {
+                bool live = !isPure(in.op) ||
+                            (in.dst != kNoVReg && used.count(in.dst));
+                if (live)
+                    keep.push_back(in);
+                else
+                    changed = true;
+            }
+            blk.instrs = std::move(keep);
+        }
+        if (!changed)
+            return;
+    }
+}
+
+void
+removeUnreachable(LFunc &f)
+{
+    std::vector<bool> reach(f.blocks.size(), false);
+    std::vector<uint32_t> stack = {0};
+    while (!stack.empty()) {
+        uint32_t b = stack.back();
+        stack.pop_back();
+        if (b >= f.blocks.size() || reach[b])
+            continue;
+        reach[b] = true;
+        const LBlock &blk = f.blocks[b];
+        if (blk.term == TermKind::Jump) {
+            stack.push_back(blk.target0);
+        } else if (blk.term == TermKind::CondJump) {
+            stack.push_back(blk.target0);
+            stack.push_back(blk.target1);
+        }
+    }
+    // Renumber.
+    std::vector<uint32_t> remap(f.blocks.size(), 0);
+    std::vector<LBlock> kept;
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+        if (reach[b]) {
+            remap[b] = static_cast<uint32_t>(kept.size());
+            kept.push_back(std::move(f.blocks[b]));
+        }
+    }
+    for (LBlock &blk : kept) {
+        if (blk.term == TermKind::Jump) {
+            blk.target0 = remap[blk.target0];
+        } else if (blk.term == TermKind::CondJump) {
+            blk.target0 = remap[blk.target0];
+            blk.target1 = remap[blk.target1];
+        }
+    }
+    f.blocks = std::move(kept);
+}
+
+} // namespace bifsim::kclc

@@ -1,0 +1,31 @@
+#ifndef BIFSIM_KCLC_PASSES_H
+#define BIFSIM_KCLC_PASSES_H
+
+/**
+ * @file
+ * Machine-independent optimisation passes over the LIR.  Which passes
+ * run depends on the "compiler version" being emulated (Fig. 1).
+ */
+
+#include "kclc/ir.h"
+
+namespace bifsim::kclc {
+
+/** Folds operations whose inputs are compile-time constants. */
+void constFold(LFunc &f);
+
+/** Local common-subexpression elimination (per basic block). */
+void cse(LFunc &f);
+
+/** Local copy propagation (per basic block). */
+void copyProp(LFunc &f);
+
+/** Removes instructions whose results are never used. */
+void deadCodeElim(LFunc &f);
+
+/** Removes blocks unreachable from the entry. */
+void removeUnreachable(LFunc &f);
+
+} // namespace bifsim::kclc
+
+#endif // BIFSIM_KCLC_PASSES_H

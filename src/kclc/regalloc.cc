@@ -1,0 +1,316 @@
+#include "kclc/regalloc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bifsim::kclc {
+
+namespace {
+
+using bif::Op;
+
+constexpr unsigned kNumScratch = 3;
+
+struct Interval
+{
+    uint32_t vreg;
+    uint32_t start;
+    uint32_t end;
+};
+
+/** Per-block liveness over virtual registers. */
+struct Liveness
+{
+    std::vector<std::set<uint32_t>> liveIn;
+    std::vector<std::set<uint32_t>> liveOut;
+};
+
+Liveness
+computeLiveness(const LFunc &f)
+{
+    size_t nb = f.blocks.size();
+    std::vector<std::set<uint32_t>> use(nb), def(nb);
+    for (size_t b = 0; b < nb; ++b) {
+        const LBlock &blk = f.blocks[b];
+        for (const LInstr &in : blk.instrs) {
+            for (const LOperand &o : in.src) {
+                if (o.kind == LOperand::Kind::VReg && !def[b].count(o.idx))
+                    use[b].insert(o.idx);
+            }
+            if (in.dst != kNoVReg)
+                def[b].insert(in.dst);
+        }
+        if (blk.term == TermKind::CondJump &&
+            !def[b].count(blk.condVreg)) {
+            use[b].insert(blk.condVreg);
+        }
+    }
+
+    Liveness lv;
+    lv.liveIn.resize(nb);
+    lv.liveOut.resize(nb);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = nb; i-- > 0;) {
+            const LBlock &blk = f.blocks[i];
+            std::set<uint32_t> out;
+            auto add_succ = [&](uint32_t s) {
+                if (s < nb)
+                    out.insert(lv.liveIn[s].begin(), lv.liveIn[s].end());
+            };
+            if (blk.term == TermKind::Jump) {
+                add_succ(blk.target0);
+            } else if (blk.term == TermKind::CondJump) {
+                add_succ(blk.target0);
+                add_succ(blk.target1);
+            }
+            std::set<uint32_t> in = use[i];
+            for (uint32_t v : out) {
+                if (!def[i].count(v))
+                    in.insert(v);
+            }
+            if (out != lv.liveOut[i] || in != lv.liveIn[i]) {
+                lv.liveOut[i] = std::move(out);
+                lv.liveIn[i] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return lv;
+}
+
+/** Computes conservative live intervals over a global position order. */
+std::vector<Interval>
+computeIntervals(const LFunc &f, const Liveness &lv)
+{
+    std::map<uint32_t, Interval> iv;
+    auto touch = [&](uint32_t v, uint32_t pos) {
+        auto [it, fresh] = iv.try_emplace(v, Interval{v, pos, pos});
+        if (!fresh) {
+            it->second.start = std::min(it->second.start, pos);
+            it->second.end = std::max(it->second.end, pos);
+        }
+    };
+
+    uint32_t pos = 0;
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+        uint32_t block_start = pos;
+        for (uint32_t v : lv.liveIn[b])
+            touch(v, block_start);
+        const LBlock &blk = f.blocks[b];
+        for (const LInstr &in : blk.instrs) {
+            for (const LOperand &o : in.src) {
+                if (o.kind == LOperand::Kind::VReg)
+                    touch(o.idx, pos);
+            }
+            if (in.dst != kNoVReg)
+                touch(in.dst, pos);
+            pos++;
+        }
+        if (blk.term == TermKind::CondJump)
+            touch(blk.condVreg, pos);
+        pos++;   // Terminator position.
+        uint32_t block_end = pos;
+        for (uint32_t v : lv.liveOut[b])
+            touch(v, block_end);
+    }
+
+    std::vector<Interval> out;
+    out.reserve(iv.size());
+    for (const auto &[v, i] : iv)
+        out.push_back(i);
+    std::sort(out.begin(), out.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+    return out;
+}
+
+/** Linear scan; returns false and fills @p to_spill on overflow. */
+bool
+scan(const std::vector<Interval> &intervals, unsigned num_regs,
+     std::map<uint32_t, uint32_t> &assignment,
+     std::set<uint32_t> &to_spill)
+{
+    std::vector<Interval> active;   // Sorted by end.
+    std::set<uint32_t> free_regs;
+    for (unsigned r = 0; r < num_regs; ++r)
+        free_regs.insert(r);
+
+    bool ok = true;
+    for (const Interval &cur : intervals) {
+        // Expire.
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->end < cur.start) {
+                free_regs.insert(assignment.at(it->vreg));
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (free_regs.empty()) {
+            // Spill the active interval with the furthest end (or the
+            // current one if it lives longest).
+            auto furthest =
+                std::max_element(active.begin(), active.end(),
+                                 [](const Interval &a, const Interval &b) {
+                                     return a.end < b.end;
+                                 });
+            if (furthest != active.end() && furthest->end > cur.end) {
+                to_spill.insert(furthest->vreg);
+                free_regs.insert(assignment.at(furthest->vreg));
+                assignment.erase(furthest->vreg);
+                active.erase(furthest);
+            } else {
+                to_spill.insert(cur.vreg);
+                ok = false;
+                continue;
+            }
+            ok = false;
+        }
+        uint32_t r = *free_regs.begin();
+        free_regs.erase(free_regs.begin());
+        assignment[cur.vreg] = r;
+        active.push_back(cur);
+    }
+    return ok;
+}
+
+/** Rewrites spilled vregs through scratch registers + local memory. */
+void
+rewriteSpills(LFunc &f, const std::set<uint32_t> &spilled,
+              unsigned scratch_base)
+{
+    // Assign a local-memory slot per spilled vreg.
+    std::map<uint32_t, uint32_t> slot;
+    for (uint32_t v : spilled) {
+        slot[v] = f.localBytes;
+        f.localBytes += 4;
+    }
+
+    for (LBlock &blk : f.blocks) {
+        std::vector<LInstr> out;
+        out.reserve(blk.instrs.size() * 2);
+        for (LInstr in : blk.instrs) {
+            unsigned next_scratch = 0;
+            // Reload spilled sources.  A "spill register" here is a
+            // fresh vreg pinned later to the scratch GRF range; we use
+            // dedicated high vreg ids to avoid interfering with scan.
+            for (LOperand &o : in.src) {
+                if (o.kind == LOperand::Kind::VReg && spilled.count(o.idx)) {
+                    uint32_t s = 0x80000000u + scratch_base +
+                                 next_scratch++;
+                    LInstr ld;
+                    ld.op = Op::LdLocal;
+                    ld.dst = s;
+                    ld.src[0] = LOperand::special(bif::kSrZero);
+                    ld.imm = static_cast<int32_t>(slot.at(o.idx));
+                    out.push_back(ld);
+                    o = LOperand::vreg(s);
+                }
+            }
+            bool spill_dst =
+                in.dst != kNoVReg && spilled.count(in.dst);
+            uint32_t dslot = spill_dst ? slot.at(in.dst) : 0;
+            if (spill_dst)
+                in.dst = 0x80000000u + scratch_base;   // scratch 0
+            out.push_back(in);
+            if (spill_dst) {
+                LInstr st;
+                st.op = Op::StLocal;
+                st.src[0] = LOperand::special(bif::kSrZero);
+                st.src[1] = LOperand::vreg(in.dst);
+                st.imm = static_cast<int32_t>(dslot);
+                out.push_back(st);
+            }
+        }
+        blk.instrs = std::move(out);
+        // Spilled condition vreg: reload before terminator.
+        if (blk.term == TermKind::CondJump &&
+            spilled.count(blk.condVreg)) {
+            uint32_t s = 0x80000000u + scratch_base;
+            LInstr ld;
+            ld.op = Op::LdLocal;
+            ld.dst = s;
+            ld.src[0] = LOperand::special(bif::kSrZero);
+            ld.imm = static_cast<int32_t>(slot.at(blk.condVreg));
+            blk.instrs.push_back(ld);
+            blk.condVreg = s;
+        }
+    }
+}
+
+} // namespace
+
+AllocResult
+allocateRegisters(LFunc &f)
+{
+    AllocResult res;
+    std::set<uint32_t> spilled;
+
+    for (int round = 0; round < 8; ++round) {
+        Liveness lv = computeLiveness(f);
+        std::vector<Interval> intervals = computeIntervals(f, lv);
+
+        // Scratch-pinned vregs (0x80000000 + k) do not take part in
+        // the scan.
+        std::vector<Interval> scannable;
+        for (const Interval &i : intervals) {
+            if (i.vreg < 0x80000000u)
+                scannable.push_back(i);
+        }
+
+        unsigned usable = bif::kNumGrfRegs -
+                          (spilled.empty() ? 0 : kNumScratch);
+        std::map<uint32_t, uint32_t> assignment;
+        std::set<uint32_t> to_spill;
+        bool fits = scan(scannable, usable, assignment, to_spill);
+
+        if (fits) {
+            // Apply the mapping.
+            uint32_t max_reg = 0;
+            auto map_reg = [&](uint32_t v) -> uint32_t {
+                uint32_t r;
+                if (v >= 0x80000000u) {
+                    r = v - 0x80000000u;   // scratch GRF number
+                } else {
+                    r = assignment.at(v);
+                }
+                max_reg = std::max(max_reg, r);
+                return r;
+            };
+            for (LBlock &blk : f.blocks) {
+                for (LInstr &in : blk.instrs) {
+                    for (LOperand &o : in.src) {
+                        if (o.kind == LOperand::Kind::VReg)
+                            o.idx = map_reg(o.idx);
+                    }
+                    if (in.dst != kNoVReg)
+                        in.dst = map_reg(in.dst);
+                }
+                if (blk.term == TermKind::CondJump)
+                    blk.condVreg = map_reg(blk.condVreg);
+            }
+            res.regCount = max_reg + 1;
+            res.spills = static_cast<uint32_t>(spilled.size());
+            return res;
+        }
+
+        if (to_spill.empty())
+            simError("kclc: register allocation failed to make progress");
+        bool first_spill = spilled.empty();
+        spilled.insert(to_spill.begin(), to_spill.end());
+        // Reserve the top registers as scratch once spilling starts.
+        rewriteSpills(f, to_spill,
+                      bif::kNumGrfRegs - kNumScratch);
+        (void)first_spill;
+    }
+    simError("kclc: register pressure too high (allocation diverged)");
+}
+
+} // namespace bifsim::kclc

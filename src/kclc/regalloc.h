@@ -1,0 +1,38 @@
+#ifndef BIFSIM_KCLC_REGALLOC_H
+#define BIFSIM_KCLC_REGALLOC_H
+
+/**
+ * @file
+ * Linear-scan register allocation onto the 64-entry BIF GRF.
+ *
+ * Intervals are computed from block-level liveness (so loop-carried
+ * values stay live across back edges).  When pressure exceeds the
+ * register file, the longest-lived intervals are spilled to local
+ * memory through reserved scratch registers — adding the local
+ * load/store traffic a real shader compiler would.
+ */
+
+#include "kclc/ir.h"
+
+namespace bifsim::kclc {
+
+/** Allocation outcome. */
+struct AllocResult
+{
+    uint32_t regCount = 0;   ///< Registers used (max index + 1).
+    uint32_t spills = 0;     ///< Number of spilled virtual registers.
+};
+
+/**
+ * Rewrites @p f in place: every LOperand::VReg index becomes a GRF
+ * register number (< bif::kNumGrfRegs), and CondJump condVreg values
+ * become GRF numbers too.
+ *
+ * @throws SimError if the function cannot be allocated even with
+ *         spilling (pathological input).
+ */
+AllocResult allocateRegisters(LFunc &f);
+
+} // namespace bifsim::kclc
+
+#endif // BIFSIM_KCLC_REGALLOC_H

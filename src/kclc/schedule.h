@@ -1,0 +1,37 @@
+#ifndef BIFSIM_KCLC_SCHEDULE_H
+#define BIFSIM_KCLC_SCHEDULE_H
+
+/**
+ * @file
+ * Clause formation: packs register-allocated LIR into BIF clauses.
+ *
+ * This stage is where the emulated "compiler versions" of Fig. 1
+ * diverge most: clause length, dual-issue pairing and clause-temporary
+ * promotion all change the emitted code's instruction counts, empty
+ * slots and register-file traffic.
+ */
+
+#include "gpu/isa/bif.h"
+#include "kclc/ir.h"
+
+namespace bifsim::kclc {
+
+/** Clause-formation knobs (see CompilerOptions presets). */
+struct ScheduleOptions
+{
+    unsigned maxTuples = 8;    ///< Clause length limit (1..8).
+    bool pairSlots = true;     ///< Fill both issue slots of a tuple.
+    bool dualIssue = false;    ///< Reorder to fill both issue slots.
+    bool tempPromote = false;  ///< Promote clause-local values to temps.
+};
+
+/**
+ * Produces an encodable module from a register-allocated function.
+ * Branch targets become clause indices; ROM / local size / barrier
+ * metadata are carried over; regCount reflects GRF registers used.
+ */
+bif::Module schedule(const LFunc &f, const ScheduleOptions &opts);
+
+} // namespace bifsim::kclc
+
+#endif // BIFSIM_KCLC_SCHEDULE_H

@@ -1,0 +1,67 @@
+#include "mem/bus.h"
+
+#include "common/bits.h"
+
+namespace bifsim {
+
+Device *
+Bus::deviceAt(Addr addr, Addr &base_out) const
+{
+    for (const Mapping &m : mappings_) {
+        if (addr >= m.base && addr - m.base < m.size) {
+            base_out = m.base;
+            return m.dev;
+        }
+    }
+    return nullptr;
+}
+
+BusResult
+Bus::read(Addr addr, unsigned size, uint64_t &out)
+{
+    if (mem_ && mem_->contains(addr, size)) {
+        switch (size) {
+          case 1: out = mem_->read<uint8_t>(addr); return BusResult::Ok;
+          case 2: out = mem_->read<uint16_t>(addr); return BusResult::Ok;
+          case 4: out = mem_->read<uint32_t>(addr); return BusResult::Ok;
+          case 8: out = mem_->read<uint64_t>(addr); return BusResult::Ok;
+          default: return BusResult::BadSize;
+        }
+    }
+    Addr base = 0;
+    if (Device *dev = deviceAt(addr, base)) {
+        if (size != 4)
+            return BusResult::BadSize;
+        if (!isAligned(addr, 4))
+            return BusResult::Misaligned;
+        out = dev->mmioRead(addr - base);
+        return BusResult::Ok;
+    }
+    return BusResult::Unmapped;
+}
+
+BusResult
+Bus::write(Addr addr, unsigned size, uint64_t value)
+{
+    if (mem_ && mem_->contains(addr, size)) {
+        switch (size) {
+          case 1: mem_->write<uint8_t>(addr, value); return BusResult::Ok;
+          case 2: mem_->write<uint16_t>(addr, value); return BusResult::Ok;
+          case 4: mem_->write<uint32_t>(addr, value); return BusResult::Ok;
+          case 8: mem_->write<uint64_t>(addr, value); return BusResult::Ok;
+          default: return BusResult::BadSize;
+        }
+    }
+    Addr base = 0;
+    if (Device *dev = deviceAt(addr, base)) {
+        if (size != 4)
+            return BusResult::BadSize;
+        if (!isAligned(addr, 4))
+            return BusResult::Misaligned;
+        dev->mmioWrite(addr - base, static_cast<uint32_t>(value));
+        return BusResult::Ok;
+    }
+    return BusResult::Unmapped;
+}
+
+} // namespace bifsim

@@ -1,0 +1,80 @@
+#ifndef BIFSIM_MEM_BUS_H
+#define BIFSIM_MEM_BUS_H
+
+/**
+ * @file
+ * The system bus routing physical accesses to RAM and MMIO devices.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/device.h"
+#include "mem/phys_mem.h"
+
+namespace bifsim {
+
+/** Outcome of a bus access. */
+enum class BusResult
+{
+    Ok,          ///< Access completed.
+    Unmapped,    ///< No RAM or device at this address.
+    BadSize,     ///< Device access with size other than 4 bytes.
+    Misaligned,  ///< Device access not 4-byte aligned.
+};
+
+/**
+ * Routes physical memory accesses to the RAM block or to memory-mapped
+ * devices.  Devices see only naturally aligned 32-bit accesses; RAM
+ * accepts 1/2/4/8-byte accesses.
+ *
+ * The bus itself holds no locks: RAM accesses may proceed concurrently
+ * from the CPU thread and GPU worker threads (the guest is responsible
+ * for its own synchronisation, as on real hardware), and each device
+ * serialises its own register file internally.
+ */
+class Bus
+{
+  public:
+    Bus() = default;
+
+    /** Attaches the (single) RAM block.  Not owned. */
+    void attachMemory(PhysMem *mem) { mem_ = mem; }
+
+    /** Maps @p dev at [base, base+size).  Not owned. */
+    void
+    attachDevice(Addr base, Addr size, Device *dev)
+    {
+        mappings_.push_back({base, size, dev});
+    }
+
+    /** The attached RAM block (may be null before wiring). */
+    PhysMem *memory() const { return mem_; }
+
+    /**
+     * Reads @p size bytes (1/2/4/8) at @p addr into @p out
+     * (zero-extended).
+     */
+    BusResult read(Addr addr, unsigned size, uint64_t &out);
+
+    /** Writes the low @p size bytes (1/2/4/8) of @p value at @p addr. */
+    BusResult write(Addr addr, unsigned size, uint64_t value);
+
+    /** Looks up the device mapped at @p addr, or null. */
+    Device *deviceAt(Addr addr, Addr &base_out) const;
+
+  private:
+    struct Mapping
+    {
+        Addr base;
+        Addr size;
+        Device *dev;
+    };
+
+    PhysMem *mem_ = nullptr;
+    std::vector<Mapping> mappings_;
+};
+
+} // namespace bifsim
+
+#endif // BIFSIM_MEM_BUS_H

@@ -1,0 +1,41 @@
+#ifndef BIFSIM_MEM_DEVICE_H
+#define BIFSIM_MEM_DEVICE_H
+
+/**
+ * @file
+ * The memory-mapped device interface implemented by all SoC peripherals
+ * (UART, timer, interrupt controller, GPU).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace bifsim {
+
+/** Physical / bus address type.  The guest is 32-bit but we keep 64 bits
+ *  of headroom so host-side bookkeeping never truncates. */
+using Addr = uint64_t;
+
+/**
+ * A device with a 32-bit register file mapped into the physical address
+ * space.  All registers are 32 bits wide; the bus only routes naturally
+ * aligned 4-byte accesses to devices.
+ */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+
+    /** Reads the register at byte @p offset from the device base. */
+    virtual uint32_t mmioRead(Addr offset) = 0;
+
+    /** Writes the register at byte @p offset from the device base. */
+    virtual void mmioWrite(Addr offset, uint32_t value) = 0;
+
+    /** Human-readable device name for diagnostics. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace bifsim
+
+#endif // BIFSIM_MEM_DEVICE_H

@@ -1,0 +1,102 @@
+#ifndef BIFSIM_MEM_PHYS_MEM_H
+#define BIFSIM_MEM_PHYS_MEM_H
+
+/**
+ * @file
+ * Guest physical DRAM, shared between the simulated CPU and GPU
+ * exactly as on the modelled SoC (unified memory).
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mem/device.h"
+
+namespace bifsim {
+
+/**
+ * A contiguous block of guest physical memory.
+ *
+ * Backed by host memory; both the CPU model and the GPU model read and
+ * write through this object, giving the fully shared CPU/GPU memory
+ * system of the Bifrost platform.
+ */
+class PhysMem
+{
+  public:
+    /** Creates @p size bytes of RAM based at physical address @p base. */
+    PhysMem(Addr base, size_t size) : base_(base), data_(size, 0) {}
+
+    /** Base physical address. */
+    Addr base() const { return base_; }
+
+    /** Size in bytes. */
+    size_t size() const { return data_.size(); }
+
+    /** Returns true if [addr, addr+len) lies entirely inside this RAM. */
+    bool
+    contains(Addr addr, size_t len) const
+    {
+        return addr >= base_ && len <= data_.size() &&
+               addr - base_ <= data_.size() - len;
+    }
+
+    /** Raw host pointer to guest physical address @p addr (must be
+     *  in range). */
+    uint8_t *hostPtr(Addr addr) { return data_.data() + (addr - base_); }
+
+    /** Raw const host pointer to guest physical address @p addr. */
+    const uint8_t *
+    hostPtr(Addr addr) const
+    {
+        return data_.data() + (addr - base_);
+    }
+
+    /** Loads a little-endian scalar of type T at @p addr. */
+    template <typename T>
+    T
+    read(Addr addr) const
+    {
+        T v;
+        std::memcpy(&v, hostPtr(addr), sizeof(T));
+        return v;
+    }
+
+    /** Stores a little-endian scalar of type T at @p addr. */
+    template <typename T>
+    void
+    write(Addr addr, T value)
+    {
+        std::memcpy(hostPtr(addr), &value, sizeof(T));
+    }
+
+    /** Copies a block out of guest memory. */
+    void
+    readBlock(Addr addr, void *dst, size_t len) const
+    {
+        std::memcpy(dst, hostPtr(addr), len);
+    }
+
+    /** Copies a block into guest memory. */
+    void
+    writeBlock(Addr addr, const void *src, size_t len)
+    {
+        std::memcpy(hostPtr(addr), src, len);
+    }
+
+    /** Fills a block of guest memory with @p byte. */
+    void
+    fill(Addr addr, uint8_t byte, size_t len)
+    {
+        std::memset(hostPtr(addr), byte, len);
+    }
+
+  private:
+    Addr base_;
+    std::vector<uint8_t> data_;
+};
+
+} // namespace bifsim
+
+#endif // BIFSIM_MEM_PHYS_MEM_H

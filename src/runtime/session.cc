@@ -1,0 +1,352 @@
+#include "runtime/session.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace bifsim::rt {
+
+Arg
+Arg::buf(const Buffer &b)
+{
+    Arg a;
+    a.kind = Kind::Buf;
+    a.value = b.gpuVa;
+    return a;
+}
+
+Arg
+Arg::i32(int32_t v)
+{
+    Arg a;
+    a.kind = Kind::I32;
+    a.value = static_cast<uint32_t>(v);
+    return a;
+}
+
+Arg
+Arg::u32(uint32_t v)
+{
+    Arg a;
+    a.kind = Kind::U32;
+    a.value = v;
+    return a;
+}
+
+Arg
+Arg::f32(float v)
+{
+    Arg a;
+    a.kind = Kind::F32;
+    a.value = std::bit_cast<uint32_t>(v);
+    return a;
+}
+
+Session::Session(SystemConfig cfg, Mode mode)
+    : mode_(mode), sys_(cfg),
+      layout_(guestos::defaultLayout(System::kRamBase))
+{
+    // Guest layout: OS image + mailbox in the first 128 KiB, then the
+    // GPU page-table arena, then the general heap.
+    heap_ = System::kRamBase + 0x20000;
+    gpuVaNext_ = 0x00100000;
+
+    ptRoot_ = allocPhys(4096);
+    ptArena_ = allocPhys(256 * 4096);
+    ptArenaEnd_ = ptArena_ + 256 * 4096;
+
+    descPa_ = allocPhys(4096);
+    argsPa_ = allocPhys(4096);
+    descVa_ = mapRange(descPa_, 4096, false);
+    argsVa_ = mapRange(argsPa_, 4096, false);
+
+    if (mode_ == Mode::FullSystem)
+        bootOs();
+}
+
+Addr
+Session::allocPhys(size_t bytes, size_t align)
+{
+    heap_ = roundUp(heap_, align);
+    Addr pa = heap_;
+    heap_ += roundUp(bytes, 4);
+    if (!sys_.mem().contains(pa, std::max<size_t>(bytes, 1)))
+        simError("guest RAM exhausted (%zu bytes requested)", bytes);
+    return pa;
+}
+
+void
+Session::installMapHost(const MapEntry &e)
+{
+    // Host-side variant of the guest driver's install_mappings.
+    PhysMem &m = sys_.mem();
+    uint32_t va = e.va;
+    uint32_t pa = e.pa;
+    for (uint32_t i = 0; i < e.npages; ++i) {
+        uint32_t vpn1 = va >> 22;
+        uint32_t vpn0 = (va >> 12) & 0x3ff;
+        Addr l1 = ptRoot_ + vpn1 * 4;
+        uint32_t pte1 = m.read<uint32_t>(l1);
+        Addr l0;
+        if (!(pte1 & gpu::kGpuPteValid)) {
+            if (ptArena_ >= ptArenaEnd_)
+                simError("GPU page-table arena exhausted");
+            l0 = ptArena_;
+            ptArena_ += 4096;
+            pte1 = static_cast<uint32_t>((l0 >> 12) << 10) |
+                   gpu::kGpuPteValid;
+            m.write<uint32_t>(l1, pte1);
+        } else {
+            l0 = static_cast<Addr>((pte1 >> 10) & 0xfffff) << 12;
+        }
+        uint32_t pte0 = static_cast<uint32_t>((pa >> 12) << 10) |
+                        gpu::kGpuPteValid |
+                        ((e.flags & 1) ? gpu::kGpuPteWrite : 0);
+        m.write<uint32_t>(l0 + vpn0 * 4, pte0);
+        va += 4096;
+        pa += 4096;
+    }
+    mappedPages_ += e.npages;
+}
+
+uint32_t
+Session::mapRange(Addr pa, size_t bytes, bool writable)
+{
+    uint32_t npages =
+        static_cast<uint32_t>(roundUp(bytes, 4096) / 4096);
+    uint32_t va = gpuVaNext_;
+    gpuVaNext_ += npages * 4096;
+
+    MapEntry e;
+    e.va = va;
+    e.pa = static_cast<uint32_t>(pa);
+    e.npages = npages;
+    e.flags = writable ? 1 : 0;
+
+    if (mode_ == Mode::Direct) {
+        installMapHost(e);
+    } else {
+        pendingMaps_.push_back(e);
+    }
+    return va;
+}
+
+Buffer
+Session::alloc(size_t bytes)
+{
+    if (bytes == 0)
+        bytes = 4;
+    Buffer b;
+    b.bytes = bytes;
+    b.pa = allocPhys(roundUp(bytes, 4096));
+    b.gpuVa = mapRange(b.pa, bytes, true);
+    return b;
+}
+
+void
+Session::write(const Buffer &b, const void *src, size_t len,
+               size_t offset)
+{
+    if (offset + len > b.bytes)
+        simError("buffer write out of range");
+    sys_.mem().writeBlock(b.pa + offset, src, len);
+}
+
+void
+Session::read(const Buffer &b, void *dst, size_t len, size_t offset)
+{
+    if (offset + len > b.bytes)
+        simError("buffer read out of range");
+    sys_.mem().readBlock(b.pa + offset, dst, len);
+}
+
+KernelHandle
+Session::compile(const std::string &source,
+                 const std::string &kernel_name,
+                 const kclc::CompilerOptions &opts)
+{
+    return load(kclc::compileKernel(source, kernel_name, opts));
+}
+
+KernelHandle
+Session::load(const kclc::CompiledKernel &kernel)
+{
+    KernelHandle h;
+    h.info = kernel;
+    h.binaryPa = allocPhys(roundUp(kernel.binary.size(), 4096));
+    sys_.mem().writeBlock(h.binaryPa, kernel.binary.data(),
+                          kernel.binary.size());
+    h.binaryVa = mapRange(h.binaryPa, kernel.binary.size(), false);
+    return h;
+}
+
+void
+Session::bootOs()
+{
+    sa32::Program os = guestos::buildOs(
+        layout_, System::kUartBase, System::kIntcBase, System::kGpuBase,
+        System::kGpuIntcLine);
+    os.loadInto(sys_.mem());
+    sys_.cpu().flushCodeCache();
+    sys_.cpu().setPc(layout_.base);
+
+    // Initialise the mailbox.
+    PhysMem &m = sys_.mem();
+    for (uint32_t off = 0; off < 64; off += 4)
+        m.write<uint32_t>(layout_.mailbox + off, 0);
+
+    // Let the OS run its init code up to the first mailbox poll.
+    sys_.runCpu(10000);
+    osBooted_ = true;
+}
+
+void
+Session::mailboxCommand(uint32_t cmd, uint32_t desc_va)
+{
+    PhysMem &m = sys_.mem();
+    Addr mb = layout_.mailbox;
+
+    // Describe pending mappings for the guest driver.
+    Addr maplist = 0;
+    uint32_t count = static_cast<uint32_t>(pendingMaps_.size());
+    if (cmd == guestos::kCmdSubmit) {
+        maplist = allocPhys(std::max<size_t>(count, 1) * 16);
+        Addr p = maplist;
+        for (const MapEntry &e : pendingMaps_) {
+            m.write<uint32_t>(p + 0, e.va);
+            m.write<uint32_t>(p + 4, e.pa);
+            m.write<uint32_t>(p + 8, e.npages);
+            m.write<uint32_t>(p + 12, e.flags);
+            mappedPages_ += e.npages;
+            p += 16;
+        }
+        pendingMaps_.clear();
+        m.write<uint32_t>(mb + guestos::kMbMapList,
+                          static_cast<uint32_t>(maplist));
+        m.write<uint32_t>(mb + guestos::kMbMapCount, count);
+        m.write<uint32_t>(mb + guestos::kMbPtRoot,
+                          static_cast<uint32_t>(ptRoot_));
+        m.write<uint32_t>(mb + guestos::kMbPtBump,
+                          static_cast<uint32_t>(ptArena_));
+    }
+    m.write<uint32_t>(mb + guestos::kMbDescVa, desc_va);
+    m.write<uint32_t>(mb + guestos::kMbStatus, 0);
+    m.write<uint32_t>(mb + guestos::kMbCmd, cmd);
+
+    // Run the guest driver until it reports completion.
+    uint64_t before = sys_.cpu().stats().instret;
+    for (int spin = 0; spin < 4'000'000; ++spin) {
+        sys_.runCpu(5'000);
+        if (m.read<uint32_t>(mb + guestos::kMbStatus) == 2)
+            break;
+    }
+    driverInstrs_ += sys_.cpu().stats().instret - before;
+
+    if (m.read<uint32_t>(mb + guestos::kMbStatus) != 2)
+        simError("guest driver did not complete the command");
+    if (cmd == guestos::kCmdSubmit) {
+        // The driver consumed the L0 bump allocator; resync.
+        ptArena_ = m.read<uint32_t>(mb + guestos::kMbPtBump);
+    }
+}
+
+gpu::JobResult
+Session::submitDirect(uint32_t desc_va)
+{
+    Bus &bus = sys_.bus();
+    Addr base = System::kGpuBase;
+
+    // Program the address space exactly as the driver would.
+    bus.write(base + gpu::kRegAsTranstab, 4,
+              static_cast<uint32_t>(ptRoot_));
+    bus.write(base + gpu::kRegAsCommand, 4, 1);
+    bus.write(base + gpu::kRegIrqMask, 4, 7);
+    bus.write(base + gpu::kRegJsSubmit, 4, desc_va);
+
+    sys_.gpu().waitIdle();
+
+    // Acknowledge the interrupt like the driver's handler.
+    uint64_t status = 0;
+    bus.read(base + gpu::kRegIrqStatus, 4, status);
+    bus.write(base + gpu::kRegIrqClear, 4,
+              static_cast<uint32_t>(status));
+    uint64_t js = 0;
+    bus.read(base + gpu::kRegJsStatus, 4, js);
+
+    return sys_.gpu().lastJob();
+}
+
+gpu::JobResult
+Session::submitFullSystem(uint32_t desc_va)
+{
+    mailboxCommand(guestos::kCmdSubmit, desc_va);
+    return sys_.gpu().lastJob();
+}
+
+gpu::JobResult
+Session::enqueue(const KernelHandle &kernel, NDRange global,
+                 NDRange local, const std::vector<Arg> &args)
+{
+    PhysMem &m = sys_.mem();
+
+    // Argument table.
+    if (args.size() > gpu::kMaxArgWords)
+        simError("too many kernel arguments");
+    for (size_t i = 0; i < gpu::kMaxArgWords; ++i) {
+        uint32_t v = i < args.size() ? args[i].value : 0;
+        m.write<uint32_t>(argsPa_ + i * 4, v);
+    }
+
+    // Local-memory arena: the driver allocates one slot per guest
+    // shader core (paper §III-B3); the simulator's virtual cores use
+    // host-side storage beyond that.
+    uint32_t local_bytes = kernel.info.localBytes;
+    if (local_bytes > 0) {
+        uint32_t need = local_bytes * sys_.gpu().config().numCores;
+        if (need > localArenaSize_) {
+            localArena_ = alloc(need);
+            localArenaSize_ = need;
+        }
+    }
+
+    // Job descriptor.
+    gpu::JobDescriptor d;
+    d.jobType = gpu::JobDescriptor::kTypeCompute;
+    d.next = 0;
+    d.grid[0] = global.x;
+    d.grid[1] = global.y;
+    d.grid[2] = global.z;
+    d.wg[0] = local.x;
+    d.wg[1] = local.y;
+    d.wg[2] = local.z;
+    d.binaryVa = kernel.binaryVa;
+    d.argsVa = argsVa_;
+    d.localSize = local_bytes;
+    d.localBase = localArena_.gpuVa;
+    uint8_t raw[gpu::JobDescriptor::kSizeBytes];
+    d.writeTo(raw);
+    m.writeBlock(descPa_, raw, sizeof(raw));
+
+    lastResult_ = mode_ == Mode::Direct ? submitDirect(descVa_)
+                                        : submitFullSystem(descVa_);
+    return lastResult_;
+}
+
+bool
+Session::runUserProgram(Addr entry_va, uint32_t satp, uint64_t max_insts)
+{
+    if (!osBooted_)
+        bootOs();
+    PhysMem &m = sys_.mem();
+    Addr mb = layout_.mailbox;
+    m.write<uint32_t>(mb + guestos::kMbDescVa,
+                      static_cast<uint32_t>(entry_va));
+    m.write<uint32_t>(mb + guestos::kMbMapList, satp);
+    m.write<uint32_t>(mb + guestos::kMbStatus, 0);
+    m.write<uint32_t>(mb + guestos::kMbCmd, guestos::kCmdEnterUser);
+    return sys_.runUntilHalt(max_insts);
+}
+
+} // namespace bifsim::rt

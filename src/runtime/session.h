@@ -1,0 +1,178 @@
+#ifndef BIFSIM_RUNTIME_SESSION_H
+#define BIFSIM_RUNTIME_SESSION_H
+
+/**
+ * @file
+ * The OpenCL-like host runtime.
+ *
+ * A Session plays the role of the vendor CL stack on top of the
+ * simulated platform: it allocates device buffers in guest memory,
+ * JIT-compiles KCL kernels with kclc at enqueue time, builds job
+ * descriptors and argument tables, installs GPU page-table mappings,
+ * and drives the Job Manager.
+ *
+ * Two modes reproduce the paper's architectural distinction:
+ *
+ *  - Mode::Direct      the host pokes the MMIO registers itself
+ *                      (fast; the GPU-only use case of Fig. 7/8).
+ *  - Mode::FullSystem  every submission goes through the *guest*
+ *                      driver: the simulated CPU installs the page
+ *                      tables, writes the registers, sleeps in WFI and
+ *                      services the completion interrupt (Fig. 9,
+ *                      Table III).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/shader_core.h"
+#include "guestos/guest_os.h"
+#include "kclc/compiler.h"
+#include "runtime/system.h"
+
+namespace bifsim::rt {
+
+/** How kernel submissions reach the GPU. */
+enum class Mode { Direct, FullSystem };
+
+/** A device buffer in guest memory, mapped into the GPU VA space. */
+struct Buffer
+{
+    uint32_t gpuVa = 0;
+    Addr pa = 0;
+    size_t bytes = 0;
+};
+
+/** A kernel launch argument. */
+struct Arg
+{
+    enum class Kind : uint8_t { Buf, I32, U32, F32 };
+
+    Kind kind = Kind::I32;
+    uint32_t value = 0;
+
+    static Arg buf(const Buffer &b);
+    static Arg i32(int32_t v);
+    static Arg u32(uint32_t v);
+    static Arg f32(float v);
+};
+
+/** Launch dimensions. */
+struct NDRange
+{
+    uint32_t x = 1, y = 1, z = 1;
+};
+
+/** A kernel loaded into guest memory, ready to launch. */
+struct KernelHandle
+{
+    kclc::CompiledKernel info;
+    uint32_t binaryVa = 0;
+    Addr binaryPa = 0;
+};
+
+/**
+ * One simulated platform plus the CL-like stack driving it.
+ */
+class Session
+{
+  public:
+    explicit Session(SystemConfig cfg = SystemConfig(),
+                     Mode mode = Mode::Direct);
+
+    /** The underlying platform. */
+    System &system() { return sys_; }
+
+    /** The submission mode. */
+    Mode mode() const { return mode_; }
+
+    /** Allocates a device buffer (page-aligned, zero-initialised). */
+    Buffer alloc(size_t bytes);
+
+    /** Copies host data into a buffer. */
+    void write(const Buffer &b, const void *src, size_t len,
+               size_t offset = 0);
+
+    /** Copies buffer contents out to host memory. */
+    void read(const Buffer &b, void *dst, size_t len, size_t offset = 0);
+
+    /** JIT-compiles @p kernel_name from @p source and loads it. */
+    KernelHandle compile(const std::string &source,
+                         const std::string &kernel_name,
+                         const kclc::CompilerOptions &opts =
+                             kclc::CompilerOptions());
+
+    /** Loads an already-compiled kernel into guest memory. */
+    KernelHandle load(const kclc::CompiledKernel &kernel);
+
+    /**
+     * Launches a kernel and waits for completion.
+     * @return the job result (check .faulted).
+     */
+    gpu::JobResult enqueue(const KernelHandle &kernel, NDRange global,
+                           NDRange local, const std::vector<Arg> &args);
+
+    /** Result of the most recent launch. */
+    const gpu::JobResult &lastResult() const { return lastResult_; }
+
+    /** Guest instructions spent in the driver across all launches
+     *  (FullSystem mode; 0 in Direct mode). */
+    uint64_t driverInstructions() const { return driverInstrs_; }
+
+    /** Number of GPU page-table mappings installed so far. */
+    uint64_t mappedPages() const { return mappedPages_; }
+
+    /** Runs a user-mode guest program via the mini OS (cmd 3).
+     *  @return true if the guest exited via the exit syscall. */
+    bool runUserProgram(Addr entry_va, uint32_t satp,
+                        uint64_t max_insts = 50'000'000);
+
+  private:
+    struct MapEntry
+    {
+        uint32_t va;
+        uint32_t pa;
+        uint32_t npages;
+        uint32_t flags;
+    };
+
+    Mode mode_;
+    System sys_;
+    guestos::Layout layout_;
+
+    Addr heap_;             ///< Guest-physical bump allocator.
+    uint32_t gpuVaNext_;    ///< GPU virtual address bump allocator.
+
+    Addr ptRoot_ = 0;       ///< GPU page-table root (physical).
+    Addr ptArena_ = 0;      ///< L0 table arena (physical).
+    Addr ptArenaEnd_ = 0;
+
+    std::vector<MapEntry> pendingMaps_;   ///< FullSystem: not yet
+                                          ///< installed by the driver.
+
+    Addr descPa_ = 0;       ///< Reused job-descriptor page.
+    uint32_t descVa_ = 0;
+    Addr argsPa_ = 0;       ///< Reused argument table.
+    uint32_t argsVa_ = 0;
+
+    Buffer localArena_;     ///< Driver-allocated local-memory arena.
+    uint32_t localArenaSize_ = 0;
+
+    gpu::JobResult lastResult_;
+    uint64_t driverInstrs_ = 0;
+    uint64_t mappedPages_ = 0;
+    bool osBooted_ = false;
+
+    Addr allocPhys(size_t bytes, size_t align = 4096);
+    uint32_t mapRange(Addr pa, size_t bytes, bool writable);
+    void installMapHost(const MapEntry &e);
+    void bootOs();
+    void mailboxCommand(uint32_t cmd, uint32_t desc_va);
+    gpu::JobResult submitDirect(uint32_t desc_va);
+    gpu::JobResult submitFullSystem(uint32_t desc_va);
+};
+
+} // namespace bifsim::rt
+
+#endif // BIFSIM_RUNTIME_SESSION_H

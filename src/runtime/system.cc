@@ -1,0 +1,93 @@
+#include "runtime/system.h"
+
+#include <chrono>
+
+namespace bifsim::rt {
+
+System::System(SystemConfig cfg)
+    : cfg_(cfg), mem_(kRamBase, cfg.ramBytes)
+{
+    bus_.attachMemory(&mem_);
+
+    uart_ = std::make_unique<soc::Uart>();
+    uart_->setEcho(cfg.uartEcho);
+
+    sa32::CoreConfig cpu_cfg;
+    cpu_cfg.resetPc = kRamBase;
+    cpu_cfg.blockCache = cfg.cpuBlockCache;
+    cpu_ = std::make_unique<sa32::Core>(bus_, cpu_cfg);
+
+    timer_ = std::make_unique<soc::Timer>([this](bool level) {
+        cpu_->setIrqLine(sa32::kIrqTimer, level);
+        if (level)
+            wakeCv_.notify_all();
+    });
+
+    intc_ = std::make_unique<soc::Intc>([this](bool level) {
+        cpu_->setIrqLine(sa32::kIrqExternal, level);
+        if (level)
+            wakeCv_.notify_all();
+    });
+
+    gpu_ = std::make_unique<gpu::GpuDevice>(
+        mem_, cfg.gpu,
+        [this](bool level) { intc_->setLine(kGpuIntcLine, level); });
+
+    bus_.attachDevice(kUartBase, 0x1000, uart_.get());
+    bus_.attachDevice(kTimerBase, 0x1000, timer_.get());
+    bus_.attachDevice(kIntcBase, 0x1000, intc_.get());
+    bus_.attachDevice(kGpuBase, 0x10000, gpu_.get());
+}
+
+sa32::StopReason
+System::runCpu(uint64_t max_insts)
+{
+    uint64_t executed = 0;
+    uint64_t last = cpu_->stats().instret;
+    unsigned idle_spins = 0;
+    while (executed < max_insts) {
+        sa32::StopReason r = cpu_->run(max_insts - executed);
+        uint64_t now = cpu_->stats().instret;
+        timer_->tick(now - last);
+        executed += now - last;
+        if (now != last)
+            idle_spins = 0;
+        last = now;
+
+        if (r != sa32::StopReason::Wfi)
+            return r;
+
+        // The guest is waiting for an interrupt.  Sleep until a device
+        // wakes us (GPU IRQ through the INTC) or a short timeout lets
+        // guest time advance for the timer.  Bail out eventually so a
+        // guest with nothing pending cannot hang the host.
+        if (++idle_spins > 50000)
+            return sa32::StopReason::Wfi;
+        {
+            std::unique_lock<std::mutex> l(wakeLock_);
+            wakeCv_.wait_for(l, std::chrono::microseconds(200));
+        }
+        timer_->tick(1000);   // Guest time passes while asleep.
+    }
+    return sa32::StopReason::MaxInsts;
+}
+
+bool
+System::runUntilHalt(uint64_t max_insts)
+{
+    uint64_t executed = 0;
+    while (executed < max_insts) {
+        uint64_t before = cpu_->stats().instret;
+        sa32::StopReason r = runCpu(max_insts - executed);
+        executed += cpu_->stats().instret - before;
+        if (r == sa32::StopReason::Halt)
+            return true;
+        if (r != sa32::StopReason::Wfi)
+            return false;
+        if (cpu_->waiting())
+            return false;   // Idle forever: nothing will wake the guest.
+    }
+    return false;
+}
+
+} // namespace bifsim::rt

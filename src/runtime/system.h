@@ -1,0 +1,102 @@
+#ifndef BIFSIM_RUNTIME_SYSTEM_H
+#define BIFSIM_RUNTIME_SYSTEM_H
+
+/**
+ * @file
+ * The simulated platform: CPU + GPU + devices on one bus with shared
+ * memory (paper Fig. 5).  Memory map (Juno-like, single cluster):
+ *
+ *   0x1000_0000  UART
+ *   0x1001_0000  Timer
+ *   0x1002_0000  Interrupt controller
+ *   0x4000_0000  GPU (job manager / MMU registers)
+ *   0x8000_0000  RAM (shared CPU/GPU DRAM)
+ *
+ * The GPU interrupt is level-routed through INTC line 1 to the CPU's
+ * external interrupt; the timer drives the CPU timer interrupt
+ * directly.  Guest time advances one timer tick per retired
+ * instruction.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "cpu/core.h"
+#include "gpu/gpu.h"
+#include "mem/bus.h"
+#include "mem/phys_mem.h"
+#include "soc/devices.h"
+
+namespace bifsim::rt {
+
+/** Platform configuration. */
+struct SystemConfig
+{
+    size_t ramBytes = 256u << 20;   ///< Guest DRAM size.
+    gpu::GpuConfig gpu;             ///< GPU model configuration.
+    bool cpuBlockCache = true;      ///< CPU decode cache (DBT analog).
+    bool uartEcho = false;          ///< Echo guest console to stderr.
+};
+
+/**
+ * Owns and wires every component of the simulated platform.
+ */
+class System
+{
+  public:
+    static constexpr Addr kUartBase = 0x10000000;
+    static constexpr Addr kTimerBase = 0x10010000;
+    static constexpr Addr kIntcBase = 0x10020000;
+    static constexpr Addr kGpuBase = 0x40000000;
+    static constexpr Addr kRamBase = 0x80000000;
+    static constexpr unsigned kGpuIntcLine = 1;
+
+    explicit System(SystemConfig cfg = SystemConfig());
+    ~System() = default;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    PhysMem &mem() { return mem_; }
+    Bus &bus() { return bus_; }
+    sa32::Core &cpu() { return *cpu_; }
+    gpu::GpuDevice &gpu() { return *gpu_; }
+    soc::Uart &uart() { return *uart_; }
+    soc::Intc &intc() { return *intc_; }
+    soc::Timer &timer() { return *timer_; }
+
+    const SystemConfig &config() const { return cfg_; }
+
+    /**
+     * Runs the CPU for up to @p max_insts instructions, advancing guest
+     * time.  A WFI with no pending interrupt blocks the calling thread
+     * (briefly) waiting for device interrupts — this is how the
+     * simulated CPU sleeps while the GPU works.
+     */
+    sa32::StopReason runCpu(uint64_t max_insts);
+
+    /**
+     * Runs until the guest executes HALT, or @p max_insts expires.
+     * @return true if HALT was reached.
+     */
+    bool runUntilHalt(uint64_t max_insts);
+
+  private:
+    SystemConfig cfg_;
+    PhysMem mem_;
+    Bus bus_;
+    std::unique_ptr<soc::Uart> uart_;
+    std::unique_ptr<soc::Timer> timer_;
+    std::unique_ptr<soc::Intc> intc_;
+    std::unique_ptr<sa32::Core> cpu_;
+    std::unique_ptr<gpu::GpuDevice> gpu_;
+
+    std::mutex wakeLock_;
+    std::condition_variable wakeCv_;
+};
+
+} // namespace bifsim::rt
+
+#endif // BIFSIM_RUNTIME_SYSTEM_H

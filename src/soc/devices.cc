@@ -1,0 +1,152 @@
+#include "soc/devices.h"
+
+#include <cstdio>
+
+namespace bifsim::soc {
+
+// ---------------------------------------------------------------- Intc
+
+void
+Intc::setLine(unsigned line, bool level)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    uint32_t mask = 1u << (line & 31);
+    if (level)
+        pending_ |= mask;
+    else
+        pending_ &= ~mask;
+    updateOutput();
+}
+
+uint32_t
+Intc::pending() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return pending_;
+}
+
+void
+Intc::updateOutput()
+{
+    bool level = (pending_ & enable_) != 0;
+    if (level != out_level_) {
+        out_level_ = level;
+        if (output_)
+            output_(level);
+    }
+}
+
+uint32_t
+Intc::mmioRead(Addr offset)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    switch (offset) {
+      case kRegPending:
+        return pending_;
+      case kRegEnable:
+        return enable_;
+      case kRegClaim: {
+        uint32_t active = pending_ & enable_;
+        for (unsigned i = 0; i < 32; ++i) {
+            if (active & (1u << i))
+                return i + 1;
+        }
+        return 0;
+      }
+      default:
+        return 0;
+    }
+}
+
+void
+Intc::mmioWrite(Addr offset, uint32_t value)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    if (offset == kRegEnable) {
+        enable_ = value;
+        updateOutput();
+    }
+}
+
+// --------------------------------------------------------------- Timer
+
+void
+Timer::tick(uint64_t ticks)
+{
+    mtime_ += ticks;
+    update();
+}
+
+void
+Timer::update()
+{
+    if (irq_)
+        irq_(mtime_ >= mtimecmp_);
+}
+
+uint32_t
+Timer::mmioRead(Addr offset)
+{
+    switch (offset) {
+      case kRegTimeLo: return static_cast<uint32_t>(mtime_);
+      case kRegTimeHi: return static_cast<uint32_t>(mtime_ >> 32);
+      case kRegCmpLo:  return static_cast<uint32_t>(mtimecmp_);
+      case kRegCmpHi:  return static_cast<uint32_t>(mtimecmp_ >> 32);
+      default:         return 0;
+    }
+}
+
+void
+Timer::mmioWrite(Addr offset, uint32_t value)
+{
+    switch (offset) {
+      case kRegCmpLo:
+        mtimecmp_ = (mtimecmp_ & 0xffffffff00000000ull) | value;
+        break;
+      case kRegCmpHi:
+        mtimecmp_ = (mtimecmp_ & 0xffffffffull) |
+                    (static_cast<uint64_t>(value) << 32);
+        break;
+      default:
+        break;
+    }
+    update();
+}
+
+// ---------------------------------------------------------------- Uart
+
+std::string
+Uart::output() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return output_;
+}
+
+void
+Uart::clearOutput()
+{
+    std::lock_guard<std::mutex> g(lock_);
+    output_.clear();
+}
+
+uint32_t
+Uart::mmioRead(Addr offset)
+{
+    if (offset == kRegLsr)
+        return 1;   // TX always ready.
+    return 0;
+}
+
+void
+Uart::mmioWrite(Addr offset, uint32_t value)
+{
+    if (offset != kRegThr)
+        return;
+    std::lock_guard<std::mutex> g(lock_);
+    char c = static_cast<char>(value & 0xff);
+    output_ += c;
+    if (echo_)
+        std::fputc(c, stderr);
+}
+
+} // namespace bifsim::soc

@@ -1,0 +1,430 @@
+#include "workloads/kfusion.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bifsim::workloads {
+
+KFusionConfig
+KFusionConfig::standard(uint32_t w, uint32_t h, uint32_t frames)
+{
+    KFusionConfig c;
+    c.name = "standard";
+    c.width = w;
+    c.height = h;
+    c.frames = frames;
+    c.iters[0] = 10;
+    c.iters[1] = 5;
+    c.iters[2] = 4;
+    c.bilateral = true;
+    c.trackScale = 1;
+    return c;
+}
+
+KFusionConfig
+KFusionConfig::fast3(uint32_t w, uint32_t h, uint32_t frames)
+{
+    KFusionConfig c = standard(w, h, frames);
+    c.name = "fast3";
+    c.iters[0] = 4;
+    c.iters[1] = 3;
+    c.iters[2] = 3;
+    c.trackScale = 2;
+    return c;
+}
+
+KFusionConfig
+KFusionConfig::express(uint32_t w, uint32_t h, uint32_t frames)
+{
+    KFusionConfig c = standard(w, h, frames);
+    c.name = "express";
+    c.iters[0] = 2;
+    c.iters[1] = 2;
+    c.iters[2] = 1;
+    c.bilateral = false;
+    c.trackScale = 4;
+    return c;
+}
+
+const char *
+kfusionSource()
+{
+    return R"(
+// 3x3 bilateral filter on the raw depth map.
+kernel void bilateral_filter(global const float* in, global float* out,
+                             int w, int h) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float center = in[y * w + x];
+    if (x == 0 || y == 0 || x == w - 1 || y == h - 1 ||
+        center == 0.0f) {
+        out[y * w + x] = center;
+        return;
+    }
+    float sum = 0.0f;
+    float wsum = 0.0f;
+    for (int dy = 0 - 1; dy <= 1; dy += 1) {
+        for (int dx = 0 - 1; dx <= 1; dx += 1) {
+            float v = in[(y + dy) * w + x + dx];
+            float dr = v - center;
+            float ds = (float)(dx * dx + dy * dy);
+            float wgt = exp2(0.0f - (dr * dr * 50.0f + ds * 0.5f));
+            sum += v * wgt;
+            wsum += wgt;
+        }
+    }
+    out[y * w + x] = sum / wsum;
+}
+
+// 2x2 average downsample.
+kernel void half_sample(global const float* in, global float* out,
+                        int inw, int outw) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float a = in[(2 * y) * inw + 2 * x];
+    float b = in[(2 * y) * inw + 2 * x + 1];
+    float c = in[(2 * y + 1) * inw + 2 * x];
+    float d = in[(2 * y + 1) * inw + 2 * x + 1];
+    out[y * outw + x] = (a + b + c + d) * 0.25f;
+}
+
+// Back-project depth to a 3D vertex map (pinhole camera).
+kernel void depth2vertex(global const float* depth,
+                         global float* vertex, int w, int h, float fx,
+                         float fy, float cx, float cy) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float d = depth[y * w + x];
+    int o = (y * w + x) * 3;
+    vertex[o] = d * ((float)x - cx) / fx;
+    vertex[o + 1] = d * ((float)y - cy) / fy;
+    vertex[o + 2] = d;
+}
+
+// Normals from central differences of the vertex map.
+kernel void vertex2normal(global const float* vertex,
+                          global float* normal, int w, int h) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int o = (y * w + x) * 3;
+    if (x == 0 || y == 0 || x == w - 1 || y == h - 1) {
+        normal[o] = 0.0f;
+        normal[o + 1] = 0.0f;
+        normal[o + 2] = 0.0f;
+        return;
+    }
+    int l = (y * w + x - 1) * 3;
+    int r = (y * w + x + 1) * 3;
+    int u = ((y - 1) * w + x) * 3;
+    int d = ((y + 1) * w + x) * 3;
+    float ax = vertex[r] - vertex[l];
+    float ay = vertex[r + 1] - vertex[l + 1];
+    float az = vertex[r + 2] - vertex[l + 2];
+    float bx = vertex[d] - vertex[u];
+    float by = vertex[d + 1] - vertex[u + 1];
+    float bz = vertex[d + 2] - vertex[u + 2];
+    float nx = ay * bz - az * by;
+    float ny = az * bx - ax * bz;
+    float nz = ax * by - ay * bx;
+    float len2 = nx * nx + ny * ny + nz * nz;
+    if (len2 > 0.0f) {
+        float inv = rsqrt(len2);
+        normal[o] = nx * inv;
+        normal[o + 1] = ny * inv;
+        normal[o + 2] = nz * inv;
+    } else {
+        normal[o] = 0.0f;
+        normal[o + 1] = 0.0f;
+        normal[o + 2] = 0.0f;
+    }
+}
+
+// Point-to-plane ICP residual per pixel against the reference maps.
+// output: 2 floats per pixel = {valid, error}.
+kernel void track(global const float* vertex, global const float* normal,
+                  global const float* refVertex,
+                  global const float* refNormal, global float* output,
+                  int w, int h, float distThresh) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int o = (y * w + x) * 3;
+    int ro = (y * w + x) * 2;
+    float nx = refNormal[o];
+    float ny = refNormal[o + 1];
+    float nz = refNormal[o + 2];
+    float dx = refVertex[o] - vertex[o];
+    float dy = refVertex[o + 1] - vertex[o + 1];
+    float dz = refVertex[o + 2] - vertex[o + 2];
+    float dist2 = dx * dx + dy * dy + dz * dz;
+    if (dist2 > distThresh * distThresh ||
+        (nx == 0.0f && ny == 0.0f && nz == 0.0f)) {
+        output[ro] = 0.0f;
+        output[ro + 1] = 0.0f;
+        return;
+    }
+    float err = nx * dx + ny * dy + nz * dz;
+    output[ro] = 1.0f;
+    output[ro + 1] = err * err;
+}
+
+// Tree reduction of the track output: sums {valid, error} pairs.
+kernel void reduce_track(global const float* input, global float* sums,
+                         int n) {
+    local float sv[128];
+    local float se[128];
+    int lid = get_local_id(0);
+    int g = get_global_id(0);
+    if (g < n) {
+        sv[lid] = input[2 * g];
+        se[lid] = input[2 * g + 1];
+    } else {
+        sv[lid] = 0.0f;
+        se[lid] = 0.0f;
+    }
+    barrier();
+    for (int s = get_local_size(0) / 2; s > 0; s = s / 2) {
+        if (lid < s) {
+            sv[lid] += sv[lid + s];
+            se[lid] += se[lid + s];
+        }
+        barrier();
+    }
+    if (lid == 0) {
+        sums[get_group_id(0) * 2] = sv[0];
+        sums[get_group_id(0) * 2 + 1] = se[0];
+    }
+}
+
+// TSDF integration: each thread walks one voxel column (orthographic
+// projection keeps the mapping simple while preserving the access
+// pattern: a 3D volume updated from a 2D depth image).
+kernel void integrate(global float* volume, global const float* depth,
+                      int vside, int w, int h, float voxelSize,
+                      float mu) {
+    int vx = get_global_id(0);
+    int vy = get_global_id(1);
+    int px = vx * w / vside;
+    int py = vy * h / vside;
+    float d = depth[py * w + px];
+    for (int vz = 0; vz < vside; vz += 1) {
+        float zpos = (float)vz * voxelSize;
+        float sdf = d - zpos;
+        if (sdf > 0.0f - mu) {
+            float tsdf = fmin(1.0f, sdf / mu);
+            int idx = (vz * vside + vy) * vside + vx;
+            float old = volume[idx];
+            volume[idx] = (old + tsdf) * 0.5f;
+        }
+    }
+}
+)";
+}
+
+KFusionResult
+runKFusion(rt::Session &session, const KFusionConfig &cfg)
+{
+    KFusionResult res;
+    rt::Session &s = session;
+    s.system().gpu().resetStats();
+
+    uint32_t w = cfg.width, h = cfg.height;
+    if (w % 32 != 0 || h % 32 != 0) {
+        res.error = "width/height must be multiples of 32";
+        return res;
+    }
+
+    // Compile all kernels once (the vendor stack would JIT at first
+    // enqueue; kclc does the same work here).
+    const char *src = kfusionSource();
+    std::map<std::string, rt::KernelHandle> k;
+    for (const char *name :
+         {"bilateral_filter", "half_sample", "depth2vertex",
+          "vertex2normal", "track", "reduce_track", "integrate"}) {
+        k[name] = s.compile(src, name);
+    }
+
+    auto pix = [&](uint32_t level) {
+        return (w >> level) * (h >> level);
+    };
+
+    // Buffers: depth pyramid, vertex/normal pyramids (3 levels),
+    // reference maps, track output, reduction sums, volume.
+    rt::Buffer rawDepth = s.alloc(pix(0) * 4);
+    rt::Buffer filtered = s.alloc(pix(0) * 4);
+    rt::Buffer depthPyr[3] = {filtered, s.alloc(pix(1) * 4),
+                              s.alloc(pix(2) * 4)};
+    rt::Buffer vertexPyr[3], normalPyr[3], refVertex[3], refNormal[3];
+    for (int l = 0; l < 3; ++l) {
+        vertexPyr[l] = s.alloc(pix(l) * 12);
+        normalPyr[l] = s.alloc(pix(l) * 12);
+        refVertex[l] = s.alloc(pix(l) * 12);
+        refNormal[l] = s.alloc(pix(l) * 12);
+    }
+    rt::Buffer trackOut = s.alloc(pix(0) * 8);
+    uint32_t max_groups = (pix(0) + 127) / 128;
+    rt::Buffer sums = s.alloc(max_groups * 8);
+    rt::Buffer volume =
+        s.alloc(static_cast<size_t>(cfg.volume) * cfg.volume *
+                cfg.volume * 4);
+
+    const float fx = 0.75f * static_cast<float>(w);
+    const float fy = 0.75f * static_cast<float>(h);
+
+    auto fail = [&](const gpu::JobResult &jr) {
+        res.error = jr.fault.detail;
+        return res;
+    };
+    auto launch2d = [&](const char *name, uint32_t lw, uint32_t lh,
+                        std::vector<rt::Arg> args) {
+        res.kernelLaunches++;
+        return s.enqueue(k[name], rt::NDRange{lw, lh, 1},
+                         rt::NDRange{8, 8, 1}, args);
+    };
+
+    double track_error = 0.0;
+    for (uint32_t frame = 0; frame < cfg.frames; ++frame) {
+        // Synthetic depth input: a slowly moving sphere over a plane.
+        std::vector<float> depth(pix(0));
+        float t = static_cast<float>(frame) * 0.05f;
+        for (uint32_t y = 0; y < h; ++y) {
+            for (uint32_t x = 0; x < w; ++x) {
+                float u = static_cast<float>(x) / w - 0.5f - t * 0.1f;
+                float v = static_cast<float>(y) / h - 0.5f;
+                float r2 = u * u + v * v;
+                float d = 2.0f;   // background plane
+                if (r2 < 0.09f)
+                    d = 1.2f - std::sqrt(0.09f - r2);
+                depth[y * w + x] = d + t;
+            }
+        }
+        s.write(rawDepth, depth.data(), depth.size() * 4);
+
+        // 1. Preprocess.
+        if (cfg.bilateral) {
+            gpu::JobResult jr = launch2d(
+                "bilateral_filter", w, h,
+                {rt::Arg::buf(rawDepth), rt::Arg::buf(filtered),
+                 rt::Arg::i32(w), rt::Arg::i32(h)});
+            if (jr.faulted)
+                return fail(jr);
+        } else {
+            std::vector<float> copy = depth;
+            s.write(filtered, copy.data(), copy.size() * 4);
+        }
+
+        // 2. Pyramid.
+        for (int l = 1; l < 3; ++l) {
+            gpu::JobResult jr = launch2d(
+                "half_sample", w >> l, h >> l,
+                {rt::Arg::buf(depthPyr[l - 1]), rt::Arg::buf(depthPyr[l]),
+                 rt::Arg::i32(w >> (l - 1)), rt::Arg::i32(w >> l)});
+            if (jr.faulted)
+                return fail(jr);
+        }
+
+        // 3. Vertex and normal maps per level.
+        for (int l = 0; l < 3; ++l) {
+            uint32_t lw = w >> l, lh = h >> l;
+            gpu::JobResult jr = launch2d(
+                "depth2vertex", lw, lh,
+                {rt::Arg::buf(depthPyr[l]), rt::Arg::buf(vertexPyr[l]),
+                 rt::Arg::i32(lw), rt::Arg::i32(lh),
+                 rt::Arg::f32(fx / static_cast<float>(1 << l)),
+                 rt::Arg::f32(fy / static_cast<float>(1 << l)),
+                 rt::Arg::f32(static_cast<float>(lw) / 2),
+                 rt::Arg::f32(static_cast<float>(lh) / 2)});
+            if (jr.faulted)
+                return fail(jr);
+            jr = launch2d("vertex2normal", lw, lh,
+                          {rt::Arg::buf(vertexPyr[l]),
+                           rt::Arg::buf(normalPyr[l]), rt::Arg::i32(lw),
+                           rt::Arg::i32(lh)});
+            if (jr.faulted)
+                return fail(jr);
+        }
+
+        // 4. ICP tracking against the previous frame (first frame
+        //    tracks against itself), coarse to fine.
+        if (frame == 0) {
+            for (int l = 0; l < 3; ++l) {
+                std::vector<float> tmp(pix(l) * 3);
+                s.read(vertexPyr[l], tmp.data(), tmp.size() * 4);
+                s.write(refVertex[l], tmp.data(), tmp.size() * 4);
+                s.read(normalPyr[l], tmp.data(), tmp.size() * 4);
+                s.write(refNormal[l], tmp.data(), tmp.size() * 4);
+            }
+        }
+        for (int l = 2; l >= 0; --l) {
+            uint32_t lw = w >> l, lh = h >> l;
+            // The fast/express presets track at reduced resolution:
+            // emulate by skipping the finest level(s).
+            if (cfg.trackScale >= 2 && l == 0)
+                continue;
+            if (cfg.trackScale >= 4 && l <= 1)
+                continue;
+            for (uint32_t it = 0; it < cfg.iters[l]; ++it) {
+                gpu::JobResult jr = launch2d(
+                    "track", lw, lh,
+                    {rt::Arg::buf(vertexPyr[l]),
+                     rt::Arg::buf(normalPyr[l]),
+                     rt::Arg::buf(refVertex[l]),
+                     rt::Arg::buf(refNormal[l]), rt::Arg::buf(trackOut),
+                     rt::Arg::i32(lw), rt::Arg::i32(lh),
+                     rt::Arg::f32(0.5f)});
+                if (jr.faulted)
+                    return fail(jr);
+                uint32_t n = lw * lh;
+                uint32_t groups = (n + 127) / 128;
+                res.kernelLaunches++;
+                jr = s.enqueue(k["reduce_track"],
+                               rt::NDRange{groups * 128, 1, 1},
+                               rt::NDRange{128, 1, 1},
+                               {rt::Arg::buf(trackOut),
+                                rt::Arg::buf(sums),
+                                rt::Arg::i32(static_cast<int32_t>(n))});
+                if (jr.faulted)
+                    return fail(jr);
+                std::vector<float> partial(groups * 2);
+                s.read(sums, partial.data(), partial.size() * 4);
+                double valid = 0, err = 0;
+                for (uint32_t g2 = 0; g2 < groups; ++g2) {
+                    valid += partial[g2 * 2];
+                    err += partial[g2 * 2 + 1];
+                }
+                track_error = valid > 0 ? err / valid : 0.0;
+            }
+        }
+
+        // 5. Update the reference maps with this frame's.
+        for (int l = 0; l < 3; ++l) {
+            std::vector<float> tmp(pix(l) * 3);
+            s.read(vertexPyr[l], tmp.data(), tmp.size() * 4);
+            s.write(refVertex[l], tmp.data(), tmp.size() * 4);
+            s.read(normalPyr[l], tmp.data(), tmp.size() * 4);
+            s.write(refNormal[l], tmp.data(), tmp.size() * 4);
+        }
+
+        // 6. Integrate the depth into the TSDF volume.
+        res.kernelLaunches++;
+        gpu::JobResult jr = s.enqueue(
+            k["integrate"], rt::NDRange{cfg.volume, cfg.volume, 1},
+            rt::NDRange{8, 8, 1},
+            {rt::Arg::buf(volume), rt::Arg::buf(filtered),
+             rt::Arg::i32(static_cast<int32_t>(cfg.volume)),
+             rt::Arg::i32(w), rt::Arg::i32(h), rt::Arg::f32(0.1f),
+             rt::Arg::f32(0.3f)});
+        if (jr.faulted)
+            return fail(jr);
+    }
+
+    res.kernel = s.system().gpu().totalKernelStats();
+    res.system = s.system().gpu().systemStats();
+    res.trackError = track_error;
+    res.ok = true;
+    return res;
+}
+
+} // namespace bifsim::workloads

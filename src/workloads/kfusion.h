@@ -1,0 +1,67 @@
+#ifndef BIFSIM_WORKLOADS_KFUSION_H
+#define BIFSIM_WORKLOADS_KFUSION_H
+
+/**
+ * @file
+ * A KFusion-like dense SLAM pipeline (the paper's SLAMBench use case,
+ * §V-E1): bilateral filter -> depth pyramid -> vertex/normal maps ->
+ * iterative ICP-style tracking with reductions -> TSDF volume
+ * integration, all orchestrated by the (simulated) CPU across many
+ * small kernel launches — thousands of kernels per sequence, which is
+ * what breaks single-kernel GPU simulators.
+ *
+ * Three configurations mirror the paper's standard / fast3 / express
+ * presets: progressively fewer tracking iterations and lower tracking
+ * resolution trade accuracy for speed.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "instrument/stats.h"
+#include "runtime/session.h"
+
+namespace bifsim::workloads {
+
+/** A SLAMBench-style configuration. */
+struct KFusionConfig
+{
+    std::string name;
+    uint32_t width = 96;        ///< Input depth-map width.
+    uint32_t height = 96;
+    uint32_t frames = 4;        ///< Frames in the sequence.
+    uint32_t volume = 32;       ///< TSDF volume side (voxels).
+    uint32_t iters[3] = {10, 5, 4};   ///< ICP iterations per level
+                                      ///< (fine..coarse).
+    bool bilateral = true;      ///< Bilateral-filter the input.
+    uint32_t trackScale = 1;    ///< Extra downscale of tracking (1/2/4).
+
+    static KFusionConfig standard(uint32_t w = 96, uint32_t h = 96,
+                                  uint32_t frames = 4);
+    static KFusionConfig fast3(uint32_t w = 96, uint32_t h = 96,
+                               uint32_t frames = 4);
+    static KFusionConfig express(uint32_t w = 96, uint32_t h = 96,
+                                 uint32_t frames = 4);
+};
+
+/** Aggregate results for one configuration run. */
+struct KFusionResult
+{
+    bool ok = false;
+    std::string error;
+    gpu::KernelStats kernel;      ///< Summed over all launches.
+    gpu::SystemStats system;      ///< Pages / ctrl-regs / IRQs / jobs.
+    uint64_t kernelLaunches = 0;
+    double trackError = 0.0;      ///< Final mean ICP residual.
+};
+
+/** Runs the pipeline on @p session. */
+KFusionResult runKFusion(rt::Session &session,
+                         const KFusionConfig &config);
+
+/** The pipeline's KCL source (all kernels). */
+const char *kfusionSource();
+
+} // namespace bifsim::workloads
+
+#endif // BIFSIM_WORKLOADS_KFUSION_H

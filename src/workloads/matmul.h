@@ -1,0 +1,41 @@
+#ifndef BIFSIM_WORKLOADS_MATMUL_H
+#define BIFSIM_WORKLOADS_MATMUL_H
+
+/**
+ * @file
+ * The MatrixMul kernel used by the Fig. 1 compiler-version study: a
+ * 16x16 locally-tiled matrix multiplication, compiled with each
+ * emulated toolchain version to show how much the emitted code
+ * changes between compiler releases.
+ */
+
+namespace bifsim::workloads {
+
+/** Tiled matrix multiply (C = A x B), square size, tile 16. */
+inline const char *kMatrixMulSource = R"(
+kernel void matrixmul(global const float* A, global const float* B,
+                      global float* C, int n) {
+    local float tileA[256];
+    local float tileB[256];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    int tiles = n / 16;
+    for (int t = 0; t < tiles; t += 1) {
+        tileA[ly * 16 + lx] = A[row * n + t * 16 + lx];
+        tileB[ly * 16 + lx] = B[(t * 16 + ly) * n + col];
+        barrier();
+        for (int k = 0; k < 16; k += 1) {
+            acc += tileA[ly * 16 + k] * tileB[k * 16 + lx];
+        }
+        barrier();
+    }
+    C[row * n + col] = acc;
+}
+)";
+
+} // namespace bifsim::workloads
+
+#endif // BIFSIM_WORKLOADS_MATMUL_H

@@ -1,0 +1,300 @@
+#include "workloads/sgemm_variants.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bifsim::workloads {
+
+std::vector<std::string>
+sgemmVariantNames()
+{
+    return {"1:Naive",          "2:LocalMemTiling", "3:MoreWork/Thread",
+            "4:WiderDataTypes", "5:TransInput",     "6:2DRegBlocking"};
+}
+
+const char *
+sgemmVariantsSource()
+{
+    return R"(
+// 1: one thread per output element; every operand read from DRAM.
+kernel void sgemm1(global const float* A, global const float* B,
+                   global float* C, int n) {
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k += 1) {
+        acc += A[row * n + k] * B[k * n + col];
+    }
+    C[row * n + col] = acc;
+}
+
+// 2: classic 16x16 local-memory tiling.
+kernel void sgemm2(global const float* A, global const float* B,
+                   global float* C, int n) {
+    local float tA[256];
+    local float tB[256];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    int tiles = n / 16;
+    for (int t = 0; t < tiles; t += 1) {
+        tA[ly * 16 + lx] = A[row * n + t * 16 + lx];
+        tB[ly * 16 + lx] = B[(t * 16 + ly) * n + col];
+        barrier();
+        for (int k = 0; k < 16; k += 1) {
+            acc += tA[ly * 16 + k] * tB[k * 16 + lx];
+        }
+        barrier();
+    }
+    C[row * n + col] = acc;
+}
+
+// 3: 4 outputs per thread (work-group 16x4 computes a 16x16 tile).
+kernel void sgemm3(global const float* A, global const float* B,
+                   global float* C, int n) {
+    local float tA[256];
+    local float tB[256];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_group_id(0) * 16 + lx;
+    int row0 = get_group_id(1) * 16 + ly;
+    float acc0 = 0.0f;
+    float acc1 = 0.0f;
+    float acc2 = 0.0f;
+    float acc3 = 0.0f;
+    int tiles = n / 16;
+    for (int t = 0; t < tiles; t += 1) {
+        for (int w = 0; w < 4; w += 1) {
+            tA[(ly + w * 4) * 16 + lx] =
+                A[(row0 + w * 4) * n + t * 16 + lx];
+            tB[(ly + w * 4) * 16 + lx] =
+                B[(t * 16 + ly + w * 4) * n + col];
+        }
+        barrier();
+        for (int k = 0; k < 16; k += 1) {
+            float bk = tB[k * 16 + lx];
+            acc0 += tA[ly * 16 + k] * bk;
+            acc1 += tA[(ly + 4) * 16 + k] * bk;
+            acc2 += tA[(ly + 8) * 16 + k] * bk;
+            acc3 += tA[(ly + 12) * 16 + k] * bk;
+        }
+        barrier();
+    }
+    C[row0 * n + col] = acc0;
+    C[(row0 + 4) * n + col] = acc1;
+    C[(row0 + 8) * n + col] = acc2;
+    C[(row0 + 12) * n + col] = acc3;
+}
+
+// 4: 32-wide tiles with 4-element (float4-like) accesses: main memory
+// traffic per output halves again; nearly all reads hit local storage.
+kernel void sgemm4(global const float* A, global const float* B,
+                   global float* C, int n) {
+    local float tA[1024];
+    local float tB[1024];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int gx = get_group_id(0) * 32;
+    int gy = get_group_id(1) * 32;
+    float acc00 = 0.0f;
+    float acc01 = 0.0f;
+    float acc10 = 0.0f;
+    float acc11 = 0.0f;
+    int tiles = n / 32;
+    for (int t = 0; t < tiles; t += 1) {
+        // Each of the 256 threads loads one 4-wide vector per matrix.
+        int flat = ly * 16 + lx;
+        int lrow = flat / 8;
+        int lcol4 = (flat % 8) * 4;
+        int arow = gy + lrow;
+        int acol = t * 32 + lcol4;
+        tA[lrow * 32 + lcol4] = A[arow * n + acol];
+        tA[lrow * 32 + lcol4 + 1] = A[arow * n + acol + 1];
+        tA[lrow * 32 + lcol4 + 2] = A[arow * n + acol + 2];
+        tA[lrow * 32 + lcol4 + 3] = A[arow * n + acol + 3];
+        int brow = t * 32 + lrow;
+        int bcol = gx + lcol4;
+        tB[lrow * 32 + lcol4] = B[brow * n + bcol];
+        tB[lrow * 32 + lcol4 + 1] = B[brow * n + bcol + 1];
+        tB[lrow * 32 + lcol4 + 2] = B[brow * n + bcol + 2];
+        tB[lrow * 32 + lcol4 + 3] = B[brow * n + bcol + 3];
+        barrier();
+        for (int k = 0; k < 32; k += 1) {
+            float a0 = tA[(2 * ly) * 32 + k];
+            float a1 = tA[(2 * ly + 1) * 32 + k];
+            float b0 = tB[k * 32 + 2 * lx];
+            float b1 = tB[k * 32 + 2 * lx + 1];
+            acc00 += a0 * b0;
+            acc01 += a0 * b1;
+            acc10 += a1 * b0;
+            acc11 += a1 * b1;
+        }
+        barrier();
+    }
+    int row = gy + 2 * ly;
+    int col = gx + 2 * lx;
+    C[row * n + col] = acc00;
+    C[row * n + col + 1] = acc01;
+    C[(row + 1) * n + col] = acc10;
+    C[(row + 1) * n + col + 1] = acc11;
+}
+
+// 5: tiling over a pre-transposed B (coalescing-oriented desktop
+// optimisation; Bt[c*n+k] = B[k*n+c], transposed by the host).
+kernel void sgemm5(global const float* A, global const float* Bt,
+                   global float* C, int n) {
+    local float tA[256];
+    local float tB[256];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    int tiles = n / 16;
+    for (int t = 0; t < tiles; t += 1) {
+        tA[ly * 16 + lx] = A[row * n + t * 16 + lx];
+        tB[lx * 16 + ly] = Bt[col * n + t * 16 + ly];
+        barrier();
+        for (int k = 0; k < 16; k += 1) {
+            acc += tA[ly * 16 + k] * tB[lx * 16 + k];
+        }
+        barrier();
+    }
+    C[row * n + col] = acc;
+}
+
+// 6: 2x2 register blocking straight out of DRAM — maximises register
+// reuse (a desktop win) at the price of main-memory traffic.
+kernel void sgemm6(global const float* A, global const float* B,
+                   global float* C, int n) {
+    int col = get_global_id(0) * 2;
+    int row = get_global_id(1) * 2;
+    float acc00 = 0.0f;
+    float acc01 = 0.0f;
+    float acc10 = 0.0f;
+    float acc11 = 0.0f;
+    for (int k = 0; k < n; k += 1) {
+        float a0 = A[row * n + k];
+        float a1 = A[(row + 1) * n + k];
+        float b0 = B[k * n + col];
+        float b1 = B[k * n + col + 1];
+        acc00 += a0 * b0;
+        acc01 += a0 * b1;
+        acc10 += a1 * b0;
+        acc11 += a1 * b1;
+    }
+    C[row * n + col] = acc00;
+    C[row * n + col + 1] = acc01;
+    C[(row + 1) * n + col] = acc10;
+    C[(row + 1) * n + col + 1] = acc11;
+}
+)";
+}
+
+std::vector<SgemmVariantResult>
+runSgemmVariants(rt::Session &session, uint32_t n,
+                 const kclc::CompilerOptions &opts)
+{
+    if (n % 32 != 0)
+        simError("sgemm variants need n to be a multiple of 32");
+
+    std::vector<SgemmVariantResult> results;
+
+    // Inputs.
+    std::vector<float> a(static_cast<size_t>(n) * n);
+    std::vector<float> b(a.size()), bt(a.size());
+    uint64_t seed = 0x9E3779B97F4A7C15ull;
+    auto rnd = [&seed] {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        return static_cast<float>((seed >> 32) & 0xffff) / 65536.0f -
+               0.5f;
+    };
+    for (float &v : a)
+        v = rnd();
+    for (float &v : b)
+        v = rnd();
+    for (uint32_t r = 0; r < n; ++r)
+        for (uint32_t c = 0; c < n; ++c)
+            bt[c * n + r] = b[r * n + c];
+
+    std::vector<float> want(a.size(), 0.0f);
+    for (uint32_t r = 0; r < n; ++r) {
+        for (uint32_t k = 0; k < n; ++k) {
+            float av = a[r * n + k];
+            for (uint32_t c = 0; c < n; ++c)
+                want[r * n + c] += av * b[k * n + c];
+        }
+    }
+
+    rt::Buffer da = session.alloc(a.size() * 4);
+    rt::Buffer db = session.alloc(b.size() * 4);
+    rt::Buffer dbt = session.alloc(bt.size() * 4);
+    rt::Buffer dc = session.alloc(want.size() * 4);
+    session.write(da, a.data(), a.size() * 4);
+    session.write(db, b.data(), b.size() * 4);
+    session.write(dbt, bt.data(), bt.size() * 4);
+
+    struct Launch
+    {
+        const char *kernel;
+        rt::NDRange global;
+        rt::NDRange local;
+        bool transposedB;
+    };
+    const Launch launches[6] = {
+        {"sgemm1", {n, n, 1}, {16, 16, 1}, false},
+        {"sgemm2", {n, n, 1}, {16, 16, 1}, false},
+        {"sgemm3", {n, n / 4, 1}, {16, 4, 1}, false},
+        {"sgemm4", {n / 2, n / 2, 1}, {16, 16, 1}, false},
+        {"sgemm5", {n, n, 1}, {16, 16, 1}, true},
+        {"sgemm6", {n / 2, n / 2, 1}, {16, 16, 1}, false},
+    };
+
+    std::vector<std::string> names = sgemmVariantNames();
+    std::vector<float> got(want.size());
+    for (int v = 0; v < 6; ++v) {
+        SgemmVariantResult res;
+        res.name = names[v];
+        try {
+            rt::KernelHandle k = session.compile(
+                sgemmVariantsSource(), launches[v].kernel, opts);
+            res.regCount = k.info.regCount;
+            std::vector<float> zero(want.size(), 0.0f);
+            session.write(dc, zero.data(), zero.size() * 4);
+            gpu::JobResult jr = session.enqueue(
+                k, launches[v].global, launches[v].local,
+                {rt::Arg::buf(da),
+                 rt::Arg::buf(launches[v].transposedB ? dbt : db),
+                 rt::Arg::buf(dc),
+                 rt::Arg::i32(static_cast<int32_t>(n))});
+            if (jr.faulted) {
+                res.error = jr.fault.detail;
+                results.push_back(res);
+                continue;
+            }
+            res.stats = jr.kernel;
+            session.read(dc, got.data(), got.size() * 4);
+            bool match = true;
+            for (size_t i = 0; i < got.size() && match; ++i) {
+                float diff = std::fabs(got[i] - want[i]);
+                if (diff > 1e-2f + 1e-3f * std::fabs(want[i]))
+                    match = false;
+            }
+            res.ok = match;
+            if (!match)
+                res.error = "output mismatch";
+        } catch (const SimError &e) {
+            res.error = e.what();
+        }
+        results.push_back(res);
+    }
+    return results;
+}
+
+} // namespace bifsim::workloads

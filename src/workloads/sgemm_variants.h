@@ -1,0 +1,57 @@
+#ifndef BIFSIM_WORKLOADS_SGEMM_VARIANTS_H
+#define BIFSIM_WORKLOADS_SGEMM_VARIANTS_H
+
+/**
+ * @file
+ * The six SGEMM kernels of Fig. 15 (after Nugteren's myGEMM
+ * progression): iteratively optimised *for desktop GPUs*, used to show
+ * that desktop-targeted optimisations do not transfer to the mobile
+ * GPU — speedups on the two architectures are uncorrelated, the Mali
+ * optimum is the variant that (almost) eliminates main-memory traffic,
+ * and the most register-hungry variant is the Mali worst case.
+ *
+ *   1 Naive            one thread per element, all-global accesses
+ *   2 LocalMemTiling   16x16 tiles staged in local memory
+ *   3 MoreWork/Thread  4 outputs per thread
+ *   4 WiderDataTypes   32-wide tiles, 4-element (float4-like) accesses
+ *   5 TransInput       tiling over a pre-transposed B
+ *   6 2DRegBlocking    2x2 register blocking, no local memory
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instrument/stats.h"
+#include "kclc/compiler.h"
+#include "runtime/session.h"
+
+namespace bifsim::workloads {
+
+/** Result for one variant. */
+struct SgemmVariantResult
+{
+    std::string name;
+    bool ok = false;
+    std::string error;
+    gpu::KernelStats stats;
+    uint32_t regCount = 0;
+};
+
+/** Display names, variant 1 first. */
+std::vector<std::string> sgemmVariantNames();
+
+/** The KCL source holding all six kernels. */
+const char *sgemmVariantsSource();
+
+/**
+ * Runs all six variants on @p session with square size @p n (multiple
+ * of 32), verifying each against the host product.
+ */
+std::vector<SgemmVariantResult> runSgemmVariants(
+    rt::Session &session, uint32_t n,
+    const kclc::CompilerOptions &opts = kclc::CompilerOptions());
+
+} // namespace bifsim::workloads
+
+#endif // BIFSIM_WORKLOADS_SGEMM_VARIANTS_H

@@ -1,0 +1,122 @@
+#ifndef BIFSIM_WORKLOADS_WORKLOAD_H
+#define BIFSIM_WORKLOADS_WORKLOAD_H
+
+/**
+ * @file
+ * The benchmark workloads of Table II.
+ *
+ * Every workload owns its input generation, kernel source, launch
+ * schedule (some are iterative with host-side control), output
+ * verification, and a host-native reference implementation used both
+ * for checking results and as the "native execution" time base of
+ * Fig. 7.
+ *
+ * Default sizes are scaled-down versions of Table II so the whole
+ * suite runs in seconds on a laptop-class host; `scale = 1.0`
+ * reproduces the paper's sizes where feasible.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/device.h"
+
+namespace bifsim::workloads {
+
+/** Result of one full workload run. */
+struct RunResult
+{
+    bool ok = false;           ///< Launches succeeded and output verified.
+    std::string error;         ///< Failure description.
+    uint64_t launches = 0;     ///< Kernel launches performed.
+};
+
+/** Base class for benchmark workloads. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Canonical lower-case name (e.g. "sobelfilter"). */
+    virtual std::string name() const = 0;
+
+    /** KCL source containing all of the workload's kernels. */
+    virtual std::string source() const = 0;
+
+    /**
+     * Runs the workload on @p dev (which must have had build() called
+     * with source()), verifying device results against the host
+     * reference.
+     */
+    virtual RunResult run(Device &dev) = 0;
+
+    /**
+     * Executes the same computation natively on the host (the Fig. 7
+     * "native" time base).  Returns a checksum so the work cannot be
+     * optimised away.
+     */
+    virtual double runNative() = 0;
+
+  protected:
+    /** Deterministic pseudo-random stream for input generation. */
+    class Rng
+    {
+      public:
+        explicit Rng(uint64_t seed = 0x2545F4914F6CDD1Dull)
+            : state_(seed)
+        {
+        }
+
+        uint32_t
+        next()
+        {
+            state_ ^= state_ << 13;
+            state_ ^= state_ >> 7;
+            state_ ^= state_ << 17;
+            return static_cast<uint32_t>(state_ >> 32);
+        }
+
+        /** Uniform float in [0, 1). */
+        float
+        nextFloat()
+        {
+            return static_cast<float>(next() & 0xffffff) /
+                   16777216.0f;
+        }
+
+        /** Uniform integer in [0, n). */
+        uint32_t nextBelow(uint32_t n) { return n ? next() % n : 0; }
+
+      private:
+        uint64_t state_;
+    };
+
+    /** Relative-error float comparison for verification. */
+    static bool
+    closeEnough(float a, float b, float tol = 2e-4f)
+    {
+        float diff = a > b ? a - b : b - a;
+        float mag = (a < 0 ? -a : a) + (b < 0 ? -b : b);
+        return diff <= tol * (mag + 1.0f);
+    }
+};
+
+/** Creates a workload by name (scale shrinks/grows the input sizes). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 0.05);
+
+/** All Table II workload names (canonical order of Figs. 11-13). */
+std::vector<std::string> allWorkloadNames();
+
+/** The subset used by Fig. 7 (AMD APP benchmarks). */
+std::vector<std::string> fig7WorkloadNames();
+
+/** The subset used by Fig. 8. */
+std::vector<std::string> fig8WorkloadNames();
+
+} // namespace bifsim::workloads
+
+#endif // BIFSIM_WORKLOADS_WORKLOAD_H

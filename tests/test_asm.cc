@@ -1,0 +1,226 @@
+/** @file Unit tests for the SA32 assembler. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "cpu/asm/assembler.h"
+#include "cpu/sa32.h"
+
+namespace bifsim::sa32 {
+namespace {
+
+uint32_t
+word(const Program &p, size_t idx)
+{
+    uint32_t w;
+    std::memcpy(&w, p.bytes.data() + idx * 4, 4);
+    return w;
+}
+
+TEST(Assembler, RegistersAndAliases)
+{
+    EXPECT_EQ(parseRegister("x0"), 0);
+    EXPECT_EQ(parseRegister("x31"), 31);
+    EXPECT_EQ(parseRegister("zero"), 0);
+    EXPECT_EQ(parseRegister("ra"), 1);
+    EXPECT_EQ(parseRegister("sp"), 2);
+    EXPECT_EQ(parseRegister("a0"), 10);
+    EXPECT_EQ(parseRegister("t6"), 31);
+    EXPECT_EQ(parseRegister("s11"), 27);
+    EXPECT_EQ(parseRegister("x32"), -1);
+    EXPECT_EQ(parseRegister("bogus"), -1);
+}
+
+TEST(Assembler, BasicEncoding)
+{
+    Program p = assemble("add x1, x2, x3\n");
+    EXPECT_EQ(word(p, 0), encR(kFnAdd, 1, 2, 3));
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    Program p = assemble("addi a0, a1, -4\nandi a0, a1, 0xFF\n");
+    EXPECT_EQ(word(p, 0), encI(kOpAddI, 10, 11, 0xFFFC));
+    EXPECT_EQ(word(p, 1), encI(kOpAndI, 10, 11, 0xFF));
+}
+
+TEST(Assembler, LoadsAndStores)
+{
+    Program p = assemble("lw a0, 8(sp)\nsw a0, -4(sp)\n");
+    EXPECT_EQ(word(p, 0), encI(kOpLw, 10, 2, 8));
+    EXPECT_EQ(word(p, 1), encS(kOpSw, 10, 2, 0xFFFC));
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        .org 0x80000000
+top:
+        addi t0, t0, 1
+        beq t0, t1, top
+        j top
+    )");
+    // beq at pc 0x80000004, target -1 word.
+    DecodedInst beq = decode(word(p, 1));
+    EXPECT_EQ(beq.op, Op::Beq);
+    EXPECT_EQ(beq.imm, -1);
+    DecodedInst j = decode(word(p, 2));
+    EXPECT_EQ(j.op, Op::Jal);
+    EXPECT_EQ(j.rd, 0);
+    EXPECT_EQ(j.imm, -2);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = assemble(R"(
+        j fwd
+        nop
+fwd:
+        halt
+    )");
+    DecodedInst j = decode(word(p, 0));
+    EXPECT_EQ(j.imm, 2);
+}
+
+TEST(Assembler, LiExpandsToTwoInstructions)
+{
+    Program p = assemble("li a0, 0x12345678\n");
+    ASSERT_EQ(p.bytes.size(), 8u);
+    EXPECT_EQ(word(p, 0), encI(kOpLui, 10, 0, 0x1234));
+    EXPECT_EQ(word(p, 1), encI(kOpOrI, 10, 10, 0x5678));
+}
+
+TEST(Assembler, LaUsesSymbolValue)
+{
+    Program p = assemble(R"(
+        .org 0x80000000
+        la a0, data
+data:
+        .word 42
+    )");
+    EXPECT_EQ(word(p, 0), encI(kOpLui, 10, 0, 0x8000));
+    EXPECT_EQ(word(p, 1), encI(kOpOrI, 10, 10, 0x0008));
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    Program p = assemble(R"(
+        .equ BASE, 0x1000
+        li a0, BASE+8
+        li a1, BASE-8
+    )");
+    EXPECT_EQ(word(p, 1), encI(kOpOrI, 10, 10, 0x1008));
+    EXPECT_EQ(word(p, 3), encI(kOpOrI, 11, 11, 0x0FF8));
+}
+
+TEST(Assembler, PredefinedSymbols)
+{
+    Program p = assemble("li a0, DEV\n", {{"DEV", 0x40000000}});
+    EXPECT_EQ(word(p, 0), encI(kOpLui, 10, 0, 0x4000));
+}
+
+TEST(Assembler, DirectivesWordSpaceAlignAsciz)
+{
+    Program p = assemble(R"(
+        .org 0x80000000
+        .word 1, 2, 3
+        .space 4
+        .align 8
+        .asciz "hi"
+    )");
+    EXPECT_EQ(word(p, 0), 1u);
+    EXPECT_EQ(word(p, 2), 3u);
+    // 12 bytes words + 4 space = 16, aligned to 16; "hi\0" follows.
+    EXPECT_EQ(p.bytes[16], 'h');
+    EXPECT_EQ(p.bytes[17], 'i');
+    EXPECT_EQ(p.bytes[18], 0);
+}
+
+TEST(Assembler, CsrNamesAndPseudo)
+{
+    Program p = assemble(R"(
+        csrw mtvec, t0
+        csrr a0, mcause
+        csrs mie, t1
+        csrc mstatus, t2
+    )");
+    EXPECT_EQ(word(p, 0), encCsr(kOpCsrRw, 0, 5, kCsrMTvec));
+    EXPECT_EQ(word(p, 1), encCsr(kOpCsrRs, 10, 0, kCsrMCause));
+    EXPECT_EQ(word(p, 2), encCsr(kOpCsrRs, 0, 6, kCsrMIe));
+    EXPECT_EQ(word(p, 3), encCsr(kOpCsrRc, 0, 7, kCsrMStatus));
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = assemble(R"(
+        nop
+        mv a0, a1
+        ret
+        jr t0
+        beqz a0, 0x8
+        bnez a0, 0x8
+    )");
+    EXPECT_EQ(word(p, 0), encI(kOpAddI, 0, 0, 0));
+    EXPECT_EQ(word(p, 1), encI(kOpAddI, 10, 11, 0));
+    EXPECT_EQ(word(p, 2), encI(kOpJalr, 0, 1, 0));
+    EXPECT_EQ(word(p, 3), encI(kOpJalr, 0, 5, 0));
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        # full-line comment
+        nop   // trailing
+        nop   ; another style
+
+    )");
+    EXPECT_EQ(p.bytes.size(), 8u);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate a0\n"), SimError);
+}
+
+TEST(Assembler, ErrorUnknownSymbol)
+{
+    EXPECT_THROW(assemble("li a0, NOPE\n"), SimError);
+}
+
+TEST(Assembler, ErrorBadRegister)
+{
+    EXPECT_THROW(assemble("add a0, q7, a1\n"), SimError);
+}
+
+TEST(Assembler, ErrorImmediateRange)
+{
+    EXPECT_THROW(assemble("addi a0, a0, 70000\n"), SimError);
+}
+
+TEST(Assembler, ErrorWrongOperandCount)
+{
+    EXPECT_THROW(assemble("add a0, a1\n"), SimError);
+}
+
+TEST(Assembler, ErrorMessageHasLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbogus\n");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, ProgramSymbolLookup)
+{
+    Program p = assemble(".org 0x80000000\nentry:\n    nop\n");
+    EXPECT_EQ(p.symbol("entry"), 0x80000000u);
+    EXPECT_THROW(p.symbol("missing"), SimError);
+}
+
+} // namespace
+} // namespace bifsim::sa32

@@ -1,0 +1,130 @@
+/** @file Unit tests for the m2ssim baseline simulator. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/m2ssim.h"
+#include "gpu/isa/bif.h"
+#include "kclc/compiler.h"
+
+namespace bifsim::baseline {
+namespace {
+
+const char *kSaxpy = R"(
+kernel void saxpy(global const float* x, global float* y, int n,
+                  float a) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+)";
+
+TEST(M2sSim, AllocatorBumpsAndAligns)
+{
+    M2sSim sim(1 << 20);
+    uint32_t a = sim.alloc(100);
+    uint32_t b = sim.alloc(100);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(b % 4096, 0u);
+}
+
+TEST(M2sSim, RunsCompiledKernel)
+{
+    M2sSim sim(1 << 20);
+    kclc::CompiledKernel k = kclc::compileKernel(kSaxpy, "saxpy");
+    constexpr int kN = 100;
+    uint32_t dx = sim.alloc(kN * 4), dy = sim.alloc(kN * 4);
+    std::vector<float> x(kN), y(kN, 1.0f);
+    for (int i = 0; i < kN; ++i)
+        x[i] = static_cast<float>(i);
+    sim.write(dx, x.data(), kN * 4);
+    sim.write(dy, y.data(), kN * 4);
+    uint32_t grid[3] = {128, 1, 1}, wg[3] = {64, 1, 1};
+    std::vector<uint32_t> args = {dx, dy, kN,
+                                  std::bit_cast<uint32_t>(3.0f)};
+    std::string err;
+    ASSERT_TRUE(sim.launch(k.binary, grid, wg, args, err)) << err;
+    std::vector<float> got(kN);
+    sim.read(dy, got.data(), kN * 4);
+    for (int i = 0; i < kN; ++i)
+        ASSERT_FLOAT_EQ(got[i], 3.0f * i + 1.0f);
+    EXPECT_EQ(sim.stats().workItems, 128u);
+    EXPECT_EQ(sim.stats().workGroups, 2u);
+    EXPECT_GT(sim.stats().instructions, 0u);
+}
+
+TEST(M2sSim, ReDecodesEverySlot)
+{
+    // The defining baseline behaviour: slot decodes grow with executed
+    // work, not with static code size.
+    M2sSim sim(1 << 20);
+    kclc::CompiledKernel k = kclc::compileKernel(kSaxpy, "saxpy");
+    uint32_t buf = sim.alloc(4096);
+    uint32_t grid[3] = {64, 1, 1}, wg[3] = {64, 1, 1};
+    std::vector<uint32_t> args = {buf, buf, 0, 0};
+    std::string err;
+    ASSERT_TRUE(sim.launch(k.binary, grid, wg, args, err));
+    uint64_t first = sim.stats().slotDecodes;
+    ASSERT_TRUE(sim.launch(k.binary, grid, wg, args, err));
+    EXPECT_EQ(sim.stats().slotDecodes, 2 * first);
+}
+
+TEST(M2sSim, RejectsBadBinary)
+{
+    M2sSim sim(1 << 20);
+    std::vector<uint8_t> junk(128, 0xEE);
+    uint32_t grid[3] = {1, 1, 1}, wg[3] = {1, 1, 1};
+    std::string err;
+    EXPECT_FALSE(sim.launch(junk, grid, wg, {}, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(M2sSim, RejectsBadDimensions)
+{
+    M2sSim sim(1 << 20);
+    kclc::CompiledKernel k = kclc::compileKernel(kSaxpy, "saxpy");
+    uint32_t grid[3] = {10, 1, 1}, wg[3] = {4, 1, 1};
+    std::string err;
+    EXPECT_FALSE(sim.launch(k.binary, grid, wg, {}, err));
+}
+
+TEST(M2sSim, OutOfRangeAccessFails)
+{
+    M2sSim sim(1 << 20);
+    kclc::CompiledKernel k = kclc::compileKernel(kSaxpy, "saxpy");
+    uint32_t grid[3] = {64, 1, 1}, wg[3] = {64, 1, 1};
+    // y buffer points near the end of device memory.
+    std::vector<uint32_t> args = {0xFFFFF0, 0xFFFFF0, 64,
+                                  std::bit_cast<uint32_t>(1.0f)};
+    std::string err;
+    EXPECT_FALSE(sim.launch(k.binary, grid, wg, args, err));
+    EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST(M2sSim, BarrierPhasing)
+{
+    // Local-memory reversal requires correct barrier phasing even in
+    // the scalar baseline.
+    const char *src = R"(
+kernel void rev(global int* out) {
+    local int tile[8];
+    int lid = get_local_id(0);
+    tile[lid] = lid;
+    barrier();
+    out[lid] = tile[7 - lid];
+}
+)";
+    M2sSim sim(1 << 20);
+    kclc::CompiledKernel k = kclc::compileKernel(src, "rev");
+    uint32_t out = sim.alloc(8 * 4);
+    uint32_t grid[3] = {8, 1, 1}, wg[3] = {8, 1, 1};
+    std::string err;
+    ASSERT_TRUE(sim.launch(k.binary, grid, wg, {out}, err)) << err;
+    uint32_t got[8];
+    sim.read(out, got, 32);
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(got[i], 7 - i);
+}
+
+} // namespace
+} // namespace bifsim::baseline

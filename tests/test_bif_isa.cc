@@ -1,0 +1,261 @@
+/** @file Unit and property tests for the BIF shader ISA: encode/decode
+ *  round trips, structural validation, and the disassembler. */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/logging.h"
+#include "gpu/isa/bif.h"
+
+namespace bifsim::bif {
+namespace {
+
+Instr
+mk(Op op, uint8_t dst, uint8_t s0, uint8_t s1, uint8_t s2, int32_t imm)
+{
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = s0;
+    i.src1 = s1;
+    i.src2 = s2;
+    i.imm = imm;
+    return i;
+}
+
+Module
+singleClauseModule(std::vector<Instr> slot0s)
+{
+    Module m;
+    Clause cl;
+    for (const Instr &in : slot0s) {
+        Tuple t;
+        t.slot[0] = in;
+        cl.tuples.push_back(t);
+    }
+    // Final tuple carries a Ret in slot 1.
+    Tuple t;
+    t.slot[1] = mk(Op::Ret, kOperandNone, kOperandNone, kOperandNone,
+                   kOperandNone, 0);
+    cl.tuples.push_back(t);
+    m.clauses.push_back(cl);
+    return m;
+}
+
+TEST(BifInstr, EncodeDecodeRoundTrip)
+{
+    Instr i = mk(Op::FFma, 5, 6, 7, 8, -12345);
+    Instr d = Instr::decode(i.encode());
+    EXPECT_EQ(d, i);
+}
+
+TEST(BifInstr, ImmSignExtension)
+{
+    Instr i = mk(Op::MovImm, 0, kOperandNone, kOperandNone, kOperandNone,
+                 -1);
+    EXPECT_EQ(Instr::decode(i.encode()).imm, -1);
+    i.imm = (1 << 23) - 1;
+    EXPECT_EQ(Instr::decode(i.encode()).imm, (1 << 23) - 1);
+}
+
+TEST(BifInstr, RandomRoundTripProperty)
+{
+    std::mt19937 rng(42);
+    for (int n = 0; n < 2000; ++n) {
+        Instr i;
+        i.op = static_cast<Op>(rng() % static_cast<unsigned>(Op::NumOps_));
+        i.dst = static_cast<uint8_t>(rng());
+        i.src0 = static_cast<uint8_t>(rng());
+        i.src1 = static_cast<uint8_t>(rng());
+        i.src2 = static_cast<uint8_t>(rng());
+        i.imm = static_cast<int32_t>(rng() << 8) >> 8;
+        EXPECT_EQ(Instr::decode(i.encode()), i);
+    }
+}
+
+TEST(BifOperands, Classification)
+{
+    EXPECT_TRUE(isGrf(0));
+    EXPECT_TRUE(isGrf(63));
+    EXPECT_FALSE(isGrf(64));
+    EXPECT_TRUE(isTemp(64));
+    EXPECT_TRUE(isTemp(71));
+    EXPECT_FALSE(isTemp(72));
+    EXPECT_TRUE(isSpecial(kSrLaneId));
+    EXPECT_TRUE(isSpecial(kSrZero));
+    EXPECT_FALSE(isSpecial(kOperandNone));
+}
+
+TEST(BifCategory, SlotLegality)
+{
+    EXPECT_TRUE(legalInSlot0(Op::FAdd));
+    EXPECT_TRUE(legalInSlot0(Op::LdGlobal));
+    EXPECT_FALSE(legalInSlot0(Op::Branch));
+    EXPECT_TRUE(legalInSlot1(Op::FAdd));
+    EXPECT_FALSE(legalInSlot1(Op::LdGlobal));
+    EXPECT_TRUE(legalInSlot1(Op::Ret));
+    EXPECT_EQ(category(Op::Nop), Category::Nop);
+    EXPECT_EQ(category(Op::AtomAddG), Category::LoadStore);
+}
+
+TEST(BifModule, EncodeDecodeModuleRoundTrip)
+{
+    Module m = singleClauseModule({
+        mk(Op::MovImm, 1, kOperandNone, kOperandNone, kOperandNone, 42),
+        mk(Op::IAdd, 2, 1, kSrLocalIdX, kOperandNone, 0),
+    });
+    m.rom = {0xdeadbeef, 0x3f800000};
+    m.regCount = 3;
+    m.localBytes = 64;
+    std::vector<uint8_t> bytes = encode(m);
+    Module out;
+    std::string err;
+    ASSERT_TRUE(decode(bytes.data(), bytes.size(), out, err)) << err;
+    EXPECT_EQ(out.rom, m.rom);
+    EXPECT_EQ(out.regCount, 3u);
+    EXPECT_EQ(out.localBytes, 64u);
+    ASSERT_EQ(out.clauses.size(), 1u);
+    EXPECT_EQ(out.clauses[0].tuples.size(), m.clauses[0].tuples.size());
+    EXPECT_EQ(out.clauses[0].tuples[0].slot[0].imm, 42);
+}
+
+TEST(BifModule, ValidateRejectsOversizedClause)
+{
+    Module m;
+    Clause cl;
+    for (int i = 0; i < 9; ++i) {
+        Tuple t;
+        t.slot[0] = mk(Op::IAdd, 0, 0, 0, kOperandNone, 0);
+        cl.tuples.push_back(t);
+    }
+    m.clauses.push_back(cl);
+    EXPECT_NE(validate(m), "");
+}
+
+TEST(BifModule, ValidateRejectsLsInSlot1)
+{
+    Module m;
+    Clause cl;
+    Tuple t;
+    t.slot[1] = mk(Op::LdGlobal, 0, 1, kOperandNone, kOperandNone, 0);
+    cl.tuples.push_back(t);
+    m.clauses.push_back(cl);
+    EXPECT_NE(validate(m), "");
+}
+
+TEST(BifModule, ValidateRejectsCfBeforeEnd)
+{
+    Module m;
+    Clause cl;
+    Tuple t1;
+    t1.slot[1] = mk(Op::Ret, kOperandNone, kOperandNone, kOperandNone,
+                    kOperandNone, 0);
+    Tuple t2;
+    t2.slot[0] = mk(Op::IAdd, 0, 0, 0, kOperandNone, 0);
+    cl.tuples.push_back(t1);
+    cl.tuples.push_back(t2);
+    m.clauses.push_back(cl);
+    EXPECT_NE(validate(m), "");
+}
+
+TEST(BifModule, ValidateRejectsBranchOutOfRange)
+{
+    Module m;
+    Clause cl;
+    Tuple t;
+    t.slot[1] = mk(Op::Branch, kOperandNone, kOperandNone, kOperandNone,
+                   kOperandNone, 5);
+    cl.tuples.push_back(t);
+    m.clauses.push_back(cl);
+    EXPECT_NE(validate(m), "");
+}
+
+TEST(BifModule, ValidateRejectsTempReadBeforeWrite)
+{
+    Module m;
+    Clause cl;
+    Tuple t;
+    t.slot[0] = mk(Op::IAdd, 0, kOperandTemp0, 0, kOperandNone, 0);
+    cl.tuples.push_back(t);
+    m.clauses.push_back(cl);
+    EXPECT_NE(validate(m), "");
+}
+
+TEST(BifModule, TempWriteThenReadIsValid)
+{
+    Module m;
+    Clause cl;
+    Tuple t1;
+    t1.slot[0] = mk(Op::MovImm, kOperandTemp0, kOperandNone,
+                    kOperandNone, kOperandNone, 1);
+    Tuple t2;
+    t2.slot[0] = mk(Op::IAdd, 0, kOperandTemp0, kOperandTemp0,
+                    kOperandNone, 0);
+    cl.tuples.push_back(t1);
+    cl.tuples.push_back(t2);
+    m.clauses.push_back(cl);
+    EXPECT_EQ(validate(m), "");
+}
+
+TEST(BifModule, ValidateRejectsBarrierNotAlone)
+{
+    Module m;
+    Clause cl;
+    Tuple t;
+    t.slot[0] = mk(Op::IAdd, 0, 0, 0, kOperandNone, 0);
+    t.slot[1] = mk(Op::Barrier, kOperandNone, kOperandNone,
+                   kOperandNone, kOperandNone, 0);
+    cl.tuples.push_back(t);
+    m.clauses.push_back(cl);
+    EXPECT_NE(validate(m), "");
+}
+
+TEST(BifModule, DecodeRejectsGarbage)
+{
+    Module out;
+    std::string err;
+    std::vector<uint8_t> junk(64, 0xAB);
+    EXPECT_FALSE(decode(junk.data(), junk.size(), out, err));
+    EXPECT_FALSE(err.empty());
+    std::vector<uint8_t> tiny(8, 0);
+    EXPECT_FALSE(decode(tiny.data(), tiny.size(), out, err));
+}
+
+TEST(BifModule, DecodeRejectsTruncated)
+{
+    Module m = singleClauseModule(
+        {mk(Op::MovImm, 1, kOperandNone, kOperandNone, kOperandNone, 1)});
+    std::vector<uint8_t> bytes = encode(m);
+    Module out;
+    std::string err;
+    EXPECT_FALSE(decode(bytes.data(), bytes.size() - 8, out, err));
+}
+
+TEST(BifDisasm, RendersOperandsAndModes)
+{
+    Instr i = mk(Op::FCmp, 1, 2, kSrLocalIdX, kOperandNone,
+                 static_cast<int32_t>(CmpMode::Lt));
+    std::string s = disassemble(i);
+    EXPECT_NE(s.find("fcmp"), std::string::npos);
+    EXPECT_NE(s.find("r1"), std::string::npos);
+    EXPECT_NE(s.find("lid.x"), std::string::npos);
+    EXPECT_NE(s.find(".lt"), std::string::npos);
+
+    Instr t = mk(Op::Mov, kOperandTemp0 + 3, 9, kOperandNone,
+                 kOperandNone, 0);
+    EXPECT_NE(disassemble(t).find("t3"), std::string::npos);
+}
+
+TEST(BifDisasm, ModuleDump)
+{
+    Module m = singleClauseModule(
+        {mk(Op::MovImm, 1, kOperandNone, kOperandNone, kOperandNone, 7)});
+    std::string s = disassemble(m);
+    EXPECT_NE(s.find("clause 0"), std::string::npos);
+    EXPECT_NE(s.find("movimm"), std::string::npos);
+    EXPECT_NE(s.find("ret"), std::string::npos);
+}
+
+} // namespace
+} // namespace bifsim::bif

@@ -1,0 +1,148 @@
+/** @file Unit tests for the common utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+
+namespace bifsim {
+namespace {
+
+TEST(Bits, ExtractBasic)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 16), 0xDEADu);
+    EXPECT_EQ(bits(0xDEADBEEF, 15, 0), 0xBEEFu);
+    EXPECT_EQ(bits(0xFF, 3, 0), 0xFu);
+    EXPECT_EQ(bits(0x80000000u, 31, 31), 1u);
+}
+
+TEST(Bits, ExtractFullWidth)
+{
+    EXPECT_EQ(bits(~uint64_t{0}, 63, 0), ~uint64_t{0});
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(bit(uint64_t{1} << 63, 63), 1u);
+}
+
+TEST(Bits, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xAB), 0xAB00u);
+    EXPECT_EQ(insertBits(0xFFFF, 7, 4, 0), 0xFF0Fu);
+    EXPECT_EQ(insertBits(0, 63, 0, ~uint64_t{0}), ~uint64_t{0});
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(sext(0xFF, 8), -1);
+    EXPECT_EQ(sext(0x7F, 8), 127);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext32(0xFFFF, 16), -1);
+    EXPECT_EQ(sext32(0x7FFF, 16), 32767);
+    EXPECT_EQ(sext(0, 1), 0);
+    EXPECT_EQ(sext(1, 1), -1);
+}
+
+TEST(Bits, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(127, 8));
+    EXPECT_TRUE(fitsSigned(-128, 8));
+    EXPECT_FALSE(fitsSigned(128, 8));
+    EXPECT_FALSE(fitsSigned(-129, 8));
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+}
+
+TEST(Bits, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(255, 8));
+    EXPECT_FALSE(fitsUnsigned(256, 8));
+    EXPECT_TRUE(fitsUnsigned(~uint64_t{0}, 64));
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_TRUE(isAligned(0x1000, 4096));
+    EXPECT_FALSE(isAligned(0x1001, 4096));
+    EXPECT_EQ(roundUp(5, 4), 8u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+    EXPECT_EQ(roundDown(7, 4), 4u);
+}
+
+TEST(Histogram, SampleAndTotal)
+{
+    Histogram h(9);
+    h.sample(1);
+    h.sample(1);
+    h.sample(8, 3);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(8), 3u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, Clamping)
+{
+    Histogram h(4);
+    h.sample(-5);
+    h.sample(100);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, FractionAndMean)
+{
+    Histogram h(4);
+    h.sample(1, 3);
+    h.sample(3, 1);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.mean(), (3.0 * 1 + 1.0 * 3) / 4.0);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a(4), b(4);
+    a.sample(2);
+    b.sample(2, 2);
+    b.sample(0);
+    a.merge(b);
+    EXPECT_EQ(a.count(2), 3u);
+    EXPECT_EQ(a.count(0), 1u);
+}
+
+TEST(Histogram, EmptyMeanIsZero)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.fraction(1), 0.0);
+}
+
+TEST(Logging, StrFmt)
+{
+    EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strfmt("%08x", 0xabc), "00000abc");
+}
+
+TEST(Logging, SimErrorThrows)
+{
+    EXPECT_THROW(simError("bad %d", 7), SimError);
+    try {
+        simError("code %d", 13);
+    } catch (const SimError &e) {
+        EXPECT_STREQ(e.what(), "code 13");
+    }
+}
+
+TEST(Logging, InformToggle)
+{
+    setInformEnabled(false);
+    EXPECT_FALSE(informEnabled());
+    setInformEnabled(true);
+    EXPECT_TRUE(informEnabled());
+}
+
+} // namespace
+} // namespace bifsim

@@ -1,0 +1,215 @@
+/** @file Unit tests for the CPU MMU: translation, permissions, TLB,
+ *  megapages, and user-mode execution behind paging. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/asm/assembler.h"
+#include "cpu/core.h"
+#include "cpu/mmu.h"
+#include "mem/bus.h"
+#include "mem/phys_mem.h"
+
+namespace bifsim::sa32 {
+namespace {
+
+constexpr Addr kBase = 0x80000000;
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest() : mem(kBase, 1 << 20)
+    {
+        bus.attachMemory(&mem);
+        mmu = std::make_unique<CpuMmu>(bus);
+        root = kBase + 0x10000;
+        l0 = kBase + 0x11000;
+        mem.fill(root, 0, 8192);
+    }
+
+    /** Maps 4KiB VA page -> PA page with @p perms. */
+    void
+    map(uint32_t va, Addr pa, uint32_t perms)
+    {
+        uint32_t vpn1 = va >> 22, vpn0 = (va >> 12) & 0x3ff;
+        mem.write<uint32_t>(root + vpn1 * 4,
+                            static_cast<uint32_t>((l0 >> 12) << 10) |
+                                kPteValid);
+        mem.write<uint32_t>(l0 + vpn0 * 4,
+                            static_cast<uint32_t>((pa >> 12) << 10) |
+                                perms | kPteValid);
+    }
+
+    uint32_t
+    satp() const
+    {
+        return 0x80000000u | static_cast<uint32_t>(root >> 12);
+    }
+
+    PhysMem mem;
+    Bus bus;
+    std::unique_ptr<CpuMmu> mmu;
+    Addr root, l0;
+};
+
+TEST_F(MmuTest, MachineModeBypassesTranslation)
+{
+    TranslateResult r = mmu->translate(0xdeadbeec, AccessType::Load,
+                                       Priv::Machine, satp());
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, 0xdeadbeecu);
+}
+
+TEST_F(MmuTest, PagingDisabledIsIdentity)
+{
+    TranslateResult r =
+        mmu->translate(0x1234, AccessType::Load, Priv::User, 0);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, 0x1234u);
+}
+
+TEST_F(MmuTest, BasicTranslation)
+{
+    map(0x00400000, kBase + 0x20000, kPteRead | kPteWrite | kPteUser);
+    TranslateResult r = mmu->translate(0x00400abc, AccessType::Load,
+                                       Priv::User, satp());
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, kBase + 0x20abc);
+}
+
+TEST_F(MmuTest, PermissionChecks)
+{
+    map(0x00400000, kBase + 0x20000, kPteRead | kPteUser);
+    EXPECT_TRUE(mmu->translate(0x00400000, AccessType::Load, Priv::User,
+                               satp())
+                    .ok);
+    TranslateResult w = mmu->translate(0x00400000, AccessType::Store,
+                                       Priv::User, satp());
+    EXPECT_FALSE(w.ok);
+    EXPECT_EQ(w.cause, kCauseStorePageFault);
+    TranslateResult x = mmu->translate(0x00400000, AccessType::Fetch,
+                                       Priv::User, satp());
+    EXPECT_FALSE(x.ok);
+    EXPECT_EQ(x.cause, kCauseFetchPageFault);
+}
+
+TEST_F(MmuTest, NonUserPageFaultsInUserMode)
+{
+    map(0x00400000, kBase + 0x20000, kPteRead | kPteWrite | kPteExec);
+    TranslateResult r = mmu->translate(0x00400000, AccessType::Load,
+                                       Priv::User, satp());
+    EXPECT_FALSE(r.ok);
+}
+
+TEST_F(MmuTest, UnmappedFaults)
+{
+    TranslateResult r = mmu->translate(0x00800000, AccessType::Load,
+                                       Priv::User, satp());
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.cause, kCauseLoadPageFault);
+}
+
+TEST_F(MmuTest, MegapageTranslation)
+{
+    // Level-1 leaf: map 4 MiB VA 0x00800000 -> PA kBase.
+    uint32_t vpn1 = 0x00800000 >> 22;
+    mem.write<uint32_t>(root + vpn1 * 4,
+                        static_cast<uint32_t>((kBase >> 12) << 10) |
+                            kPteRead | kPteUser | kPteValid);
+    TranslateResult r = mmu->translate(0x00800000 + 0x123456,
+                                       AccessType::Load, Priv::User,
+                                       satp());
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, kBase + 0x123456);
+}
+
+TEST_F(MmuTest, TlbCachesAndFlushes)
+{
+    map(0x00400000, kBase + 0x20000, kPteRead | kPteUser);
+    mmu->translate(0x00400000, AccessType::Load, Priv::User, satp());
+    uint64_t walks = mmu->stats().pageWalks;
+    mmu->translate(0x00400004, AccessType::Load, Priv::User, satp());
+    EXPECT_EQ(mmu->stats().pageWalks, walks);   // TLB hit.
+    mmu->flushTlb();
+    mmu->translate(0x00400008, AccessType::Load, Priv::User, satp());
+    EXPECT_EQ(mmu->stats().pageWalks, walks + 1);
+}
+
+TEST_F(MmuTest, StaleTlbAfterRemapRequiresFlush)
+{
+    map(0x00400000, kBase + 0x20000, kPteRead | kPteUser);
+    mmu->translate(0x00400000, AccessType::Load, Priv::User, satp());
+    map(0x00400000, kBase + 0x30000, kPteRead | kPteUser);
+    TranslateResult r = mmu->translate(0x00400000, AccessType::Load,
+                                       Priv::User, satp());
+    EXPECT_EQ(r.pa, kBase + 0x20000u);   // Stale entry (by design).
+    mmu->flushTlb();
+    r = mmu->translate(0x00400000, AccessType::Load, Priv::User, satp());
+    EXPECT_EQ(r.pa, kBase + 0x30000u);
+}
+
+TEST_F(MmuTest, UserModeExecutionWithSyscall)
+{
+    // Machine-mode stub: set up paging, drop to user mode; user code
+    // ecalls back, handler records and halts.
+    Program os = assemble(R"(
+        .org 0x80000000
+        la   t0, handler
+        csrw mtvec, t0
+        li   t0, SATP
+        csrw satp, t0
+        li   t0, 0x00400000
+        csrw mepc, t0
+        li   t0, 0x80        # MPIE, MPP=User
+        csrw mstatus, t0
+        mret
+handler:
+        csrr a1, mcause
+        halt
+    )", {{"SATP", 0x80000000u | (root >> 12)}});
+    os.loadInto(mem);
+
+    Program user = assemble(R"(
+        .org 0x00400000
+        li   a0, 1234
+        ecall
+    )");
+    Addr user_pa = kBase + 0x40000;
+    mem.writeBlock(user_pa, user.bytes.data(), user.bytes.size());
+
+    map(0x00400000, user_pa,
+        kPteRead | kPteWrite | kPteExec | kPteUser);
+
+    Core core(bus);
+    StopReason r = core.run(10000);
+    EXPECT_EQ(r, StopReason::Halt);
+    EXPECT_EQ(core.reg(10), 1234u);
+    EXPECT_EQ(core.reg(11), kCauseECallU);
+}
+
+TEST_F(MmuTest, UserFetchFromUnmappedTraps)
+{
+    Program os = assemble(R"(
+        .org 0x80000000
+        la   t0, handler
+        csrw mtvec, t0
+        li   t0, SATP
+        csrw satp, t0
+        li   t0, 0x00700000      # not mapped
+        csrw mepc, t0
+        li   t0, 0x80
+        csrw mstatus, t0
+        mret
+handler:
+        csrr a1, mcause
+        csrr a2, mtval
+        halt
+    )", {{"SATP", 0x80000000u | (root >> 12)}});
+    os.loadInto(mem);
+    Core core(bus);
+    core.run(10000);
+    EXPECT_EQ(core.reg(11), kCauseFetchPageFault);
+    EXPECT_EQ(core.reg(12), 0x00700000u);
+}
+
+} // namespace
+} // namespace bifsim::sa32

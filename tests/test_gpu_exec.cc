@@ -1,0 +1,505 @@
+/** @file Integration tests for the GPU device model: job manager,
+ *  MMU, warps, divergence, barriers, local memory, faults, the shader
+ *  decode cache, and virtual-core consistency. */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "gpu/gpu.h"
+#include "gpu/isa/bif.h"
+#include "runtime/session.h"
+
+namespace bifsim {
+namespace {
+
+using bif::Instr;
+using bif::Op;
+
+Instr
+mk(Op op, uint8_t dst, uint8_t s0, uint8_t s1, uint8_t s2, int32_t imm)
+{
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = s0;
+    i.src1 = s1;
+    i.src2 = s2;
+    i.imm = imm;
+    return i;
+}
+
+constexpr uint8_t kNone = bif::kOperandNone;
+
+/** Builds clauses from a flat list: each instr gets its own tuple in
+ *  one clause, split at control flow. */
+bif::Module
+buildModule(const std::vector<std::vector<Instr>> &clauses,
+            std::vector<uint32_t> rom = {}, uint32_t local_bytes = 0)
+{
+    bif::Module m;
+    for (const auto &instrs : clauses) {
+        // Chunk long groups into 8-tuple clauses.  NOTE: tests with
+        // branches must keep every group under 9 instructions so that
+        // group indices equal clause indices.
+        bif::Clause cl;
+        for (const Instr &in : instrs) {
+            bif::Tuple t;
+            if (bif::legalInSlot0(in.op))
+                t.slot[0] = in;
+            else
+                t.slot[1] = in;
+            cl.tuples.push_back(t);
+            if (cl.tuples.size() == bif::kMaxTuplesPerClause &&
+                &in != &instrs.back()) {
+                m.clauses.push_back(cl);
+                cl.tuples.clear();
+            }
+        }
+        if (!cl.tuples.empty())
+            m.clauses.push_back(cl);
+    }
+    m.rom = std::move(rom);
+    m.localBytes = local_bytes;
+    for (const auto &cl : m.clauses) {
+        for (const auto &t : cl.tuples) {
+            if (t.slot[0].op == Op::Barrier || t.slot[1].op == Op::Barrier)
+                m.usesBarrier = true;
+        }
+    }
+    m.regCount = 64;
+    return m;
+}
+
+/** Loads a raw module into a session as a launchable kernel. */
+rt::KernelHandle
+loadModule(rt::Session &s, const bif::Module &m)
+{
+    kclc::CompiledKernel ck;
+    ck.name = "raw";
+    ck.mod = m;
+    ck.binary = bif::encode(m);
+    ck.localBytes = m.localBytes;
+    ck.regCount = m.regCount;
+    return s.load(ck);
+}
+
+class GpuExecTest : public ::testing::Test
+{
+  protected:
+    GpuExecTest() : session(makeConfig(), rt::Mode::Direct) {}
+
+    static rt::SystemConfig
+    makeConfig()
+    {
+        rt::SystemConfig cfg;
+        cfg.gpu.hostThreads = 2;
+        return cfg;
+    }
+
+    rt::Session session;
+};
+
+TEST_F(GpuExecTest, GlobalIdStore)
+{
+    // out[global_id] = global_id  (1D, groups of 4)
+    bif::Module m = buildModule({{
+        mk(Op::IMul, 1, bif::kSrGroupIdX, bif::kSrLocalSizeX, kNone, 0),
+        mk(Op::IAdd, 1, 1, bif::kSrLocalIdX, kNone, 0),
+        mk(Op::IShl, 2, 1, kNone, kNone, 0),   // addr = base + id*4
+        mk(Op::MovImm, 3, kNone, kNone, kNone, 2),
+        mk(Op::IShl, 2, 1, 3, kNone, 0),
+        mk(Op::LdArg, 4, kNone, kNone, kNone, 0),
+        mk(Op::IAdd, 2, 2, 4, kNone, 0),
+        mk(Op::StGlobal, kNone, 2, 1, kNone, 0),
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer out = session.alloc(64 * 4);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{4, 1, 1},
+                        {rt::Arg::buf(out)});
+    ASSERT_FALSE(r.faulted) << r.fault.detail;
+    std::vector<uint32_t> got(64);
+    session.read(out, got.data(), 64 * 4);
+    for (uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(got[i], i);
+    EXPECT_EQ(r.kernel.threadsLaunched, 64u);
+    EXPECT_EQ(r.kernel.warpsLaunched, 16u);
+    EXPECT_EQ(r.kernel.workgroups, 16u);
+}
+
+TEST_F(GpuExecTest, FloatPipeline)
+{
+    // out[0] = sqrt(rom[0]) * 2.0 via temps.
+    float two = 2.0f;
+    bif::Module m = buildModule(
+        {{
+            mk(Op::LdRom, 64, kNone, kNone, kNone, 0),      // t0
+            mk(Op::FSqrt, 65, 64, kNone, kNone, 0),         // t1
+            mk(Op::LdRom, 1, kNone, kNone, kNone, 1),
+            mk(Op::FMul, 2, 65, 1, kNone, 0),
+            mk(Op::LdArg, 3, kNone, kNone, kNone, 0),
+            mk(Op::StGlobal, kNone, 3, 2, kNone, 0),
+            mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+        }},
+        {std::bit_cast<uint32_t>(16.0f), std::bit_cast<uint32_t>(two)});
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer out = session.alloc(16);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1},
+                        {rt::Arg::buf(out)});
+    ASSERT_FALSE(r.faulted) << r.fault.detail;
+    float got;
+    session.read(out, &got, 4);
+    EXPECT_FLOAT_EQ(got, 8.0f);
+}
+
+TEST_F(GpuExecTest, WarpDivergenceReconverges)
+{
+    // Threads with lane < 2 take one path, others another; all store.
+    // clause0: cmp + branch, clause1: then, clause2: else, clause3: join
+    bif::Module m = buildModule({
+        {
+            mk(Op::MovImm, 1, kNone, kNone, kNone, 2),
+            mk(Op::ICmp, 2, bif::kSrLaneId, 1, kNone,
+               static_cast<int32_t>(bif::CmpMode::Lt)),
+            mk(Op::BranchNZ, kNone, 2, kNone, kNone, 2),
+        },
+        {
+            // else path (fallthrough): v = 100
+            mk(Op::MovImm, 3, kNone, kNone, kNone, 100),
+            mk(Op::Branch, kNone, kNone, kNone, kNone, 3),
+        },
+        {
+            // then path: v = 7
+            mk(Op::MovImm, 3, kNone, kNone, kNone, 7),
+        },
+        {
+            // join: out[gid] = v
+            mk(Op::MovImm, 4, kNone, kNone, kNone, 2),
+            mk(Op::IShl, 5, bif::kSrLocalIdX, 4, kNone, 0),
+            mk(Op::LdArg, 6, kNone, kNone, kNone, 0),
+            mk(Op::IAdd, 5, 5, 6, kNone, 0),
+            mk(Op::StGlobal, kNone, 5, 3, kNone, 0),
+            mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+        },
+    });
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer out = session.alloc(4 * 4);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{4, 1, 1}, rt::NDRange{4, 1, 1},
+                        {rt::Arg::buf(out)});
+    ASSERT_FALSE(r.faulted) << r.fault.detail;
+    uint32_t got[4];
+    session.read(out, got, 16);
+    EXPECT_EQ(got[0], 7u);
+    EXPECT_EQ(got[1], 7u);
+    EXPECT_EQ(got[2], 100u);
+    EXPECT_EQ(got[3], 100u);
+    EXPECT_GE(r.kernel.divergentBranches, 1u);
+    // CFG edges from the branching clause split 50/50.
+    auto it = r.kernel.cfgEdges.find(gpu::cfgEdgeKey(0, 2));
+    ASSERT_NE(it, r.kernel.cfgEdges.end());
+    EXPECT_EQ(it->second, 2u);
+}
+
+TEST_F(GpuExecTest, LocalMemoryAndBarrier)
+{
+    // Reverse a workgroup through local memory: local[lid] = lid;
+    // barrier; out[gid] = local[size-1-lid].
+    bif::Module m = buildModule(
+        {
+            {
+                mk(Op::MovImm, 1, kNone, kNone, kNone, 2),
+                mk(Op::IShl, 2, bif::kSrLocalIdX, 1, kNone, 0),
+                mk(Op::StLocal, kNone, 2, bif::kSrLocalIdX, kNone, 0),
+            },
+            {
+                mk(Op::Barrier, kNone, kNone, kNone, kNone, 0),
+            },
+            {
+                mk(Op::MovImm, 3, kNone, kNone, kNone, 1),
+                mk(Op::ISub, 4, bif::kSrLocalSizeX, 3, kNone, 0),
+                mk(Op::ISub, 4, 4, bif::kSrLocalIdX, kNone, 0),
+                mk(Op::IShl, 5, 4, 1, kNone, 0),
+                mk(Op::LdLocal, 6, 5, kNone, kNone, 0),
+                mk(Op::IShl, 7, bif::kSrLocalIdX, 1, kNone, 0),
+                mk(Op::LdArg, 8, kNone, kNone, kNone, 0),
+                mk(Op::IAdd, 7, 7, 8, kNone, 0),
+                mk(Op::StGlobal, kNone, 7, 6, kNone, 0),
+                mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+            },
+        },
+        {}, 64);
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer out = session.alloc(8 * 4);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{8, 1, 1}, rt::NDRange{8, 1, 1},
+                        {rt::Arg::buf(out)});
+    ASSERT_FALSE(r.faulted) << r.fault.detail;
+    uint32_t got[8];
+    session.read(out, got, 32);
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(got[i], 7 - i);
+}
+
+TEST_F(GpuExecTest, AtomicGlobalAdd)
+{
+    bif::Module m = buildModule({{
+        mk(Op::LdArg, 1, kNone, kNone, kNone, 0),
+        mk(Op::MovImm, 2, kNone, kNone, kNone, 1),
+        mk(Op::AtomAddG, 3, 1, 2, kNone, 0),
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer counter = session.alloc(4);
+    uint32_t zero = 0;
+    session.write(counter, &zero, 4);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{256, 1, 1}, rt::NDRange{16, 1, 1},
+                        {rt::Arg::buf(counter)});
+    ASSERT_FALSE(r.faulted) << r.fault.detail;
+    uint32_t got;
+    session.read(counter, &got, 4);
+    EXPECT_EQ(got, 256u);
+}
+
+TEST_F(GpuExecTest, MmuFaultOnUnmappedAddress)
+{
+    bif::Module m = buildModule({{
+        mk(Op::MovImm, 1, kNone, kNone, kNone, 0x7ffffc),
+        mk(Op::IShl, 1, 1, kNone, kNone, 0),
+        mk(Op::LdGlobal, 2, 1, kNone, kNone, 0),   // VA 0x7ffffc unmapped
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1}, {});
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault.kind, gpu::JobFaultKind::MmuFault);
+    // Fault registers reflect the failure.
+    uint64_t status = 0;
+    session.system().bus().read(
+        rt::System::kGpuBase + gpu::kRegAsFaultStatus, 4, status);
+    EXPECT_EQ(status,
+              static_cast<uint64_t>(gpu::JobFaultKind::MmuFault));
+}
+
+TEST_F(GpuExecTest, MisalignedAccessFaults)
+{
+    bif::Module m = buildModule({{
+        mk(Op::LdArg, 1, kNone, kNone, kNone, 0),
+        mk(Op::LdGlobal, 2, 1, kNone, kNone, 2),   // +2: misaligned
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer buf = session.alloc(16);
+    gpu::JobResult r = session.enqueue(
+        k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1},
+        {rt::Arg::buf(buf)});
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault.kind, gpu::JobFaultKind::BadAccess);
+}
+
+TEST_F(GpuExecTest, LocalOutOfRangeFaults)
+{
+    bif::Module m = buildModule(
+        {{
+            mk(Op::MovImm, 1, kNone, kNone, kNone, 4096),
+            mk(Op::LdLocal, 2, 1, kNone, kNone, 0),
+            mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+        }},
+        {}, 16);
+    rt::KernelHandle k = loadModule(session, m);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1}, {});
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault.kind, gpu::JobFaultKind::BadAccess);
+}
+
+TEST_F(GpuExecTest, BadDimensionsFault)
+{
+    bif::Module m = buildModule({{
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{10, 1, 1}, rt::NDRange{4, 1, 1},
+                        {});
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault.kind, gpu::JobFaultKind::BadDimensions);
+}
+
+TEST_F(GpuExecTest, BadBinaryFault)
+{
+    kclc::CompiledKernel ck;
+    ck.name = "junk";
+    ck.binary.assign(64, 0x5A);
+    rt::KernelHandle k = session.load(ck);
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1}, {});
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault.kind, gpu::JobFaultKind::BadBinary);
+}
+
+TEST_F(GpuExecTest, ShaderDecodeCacheDecodesOnce)
+{
+    bif::Module m = buildModule({{
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    for (int i = 0; i < 5; ++i) {
+        gpu::JobResult r = session.enqueue(
+            k, rt::NDRange{4, 1, 1}, rt::NDRange{4, 1, 1}, {});
+        ASSERT_FALSE(r.faulted);
+    }
+    gpu::ShaderCacheStats cs = session.system().gpu().shaderCacheStats();
+    EXPECT_EQ(cs.decodes, 1u);
+    EXPECT_EQ(cs.hits, 4u);
+}
+
+TEST_F(GpuExecTest, InstrumentationCountsExact)
+{
+    // One thread, one clause: 2 arith + 1 store + ret.
+    bif::Module m = buildModule({{
+        mk(Op::MovImm, 1, kNone, kNone, kNone, 21),
+        mk(Op::IAdd, 2, 1, 1, kNone, 0),
+        mk(Op::LdArg, 3, kNone, kNone, kNone, 0),
+        mk(Op::StGlobal, kNone, 3, 2, kNone, 0),
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer out = session.alloc(4);
+    gpu::JobResult r = session.enqueue(
+        k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1},
+        {rt::Arg::buf(out)});
+    ASSERT_FALSE(r.faulted);
+    EXPECT_EQ(r.kernel.arithInstrs, 3u);   // movimm, iadd, ldarg
+    EXPECT_EQ(r.kernel.lsInstrs, 1u);
+    EXPECT_EQ(r.kernel.cfInstrs, 1u);
+    EXPECT_EQ(r.kernel.constReads, 1u);
+    EXPECT_EQ(r.kernel.globalLdSt, 1u);
+    EXPECT_EQ(r.kernel.clausesExecuted, 1u);
+    uint32_t got;
+    session.read(out, &got, 4);
+    EXPECT_EQ(got, 42u);
+}
+
+TEST_F(GpuExecTest, InstrumentationOffCollectsNothing)
+{
+    rt::SystemConfig cfg;
+    cfg.gpu.instrument = false;
+    rt::Session s2(cfg);
+    bif::Module m = buildModule({{
+        mk(Op::MovImm, 1, kNone, kNone, kNone, 1),
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(s2, m);
+    gpu::JobResult r = s2.enqueue(k, rt::NDRange{16, 1, 1},
+                                  rt::NDRange{4, 1, 1}, {});
+    ASSERT_FALSE(r.faulted);
+    EXPECT_EQ(r.kernel.arithInstrs, 0u);
+    EXPECT_EQ(r.kernel.clausesExecuted, 0u);
+    EXPECT_EQ(r.pagesAccessed, 0u);
+    // Thread accounting still works (Multi2Sim parity).
+    EXPECT_EQ(r.kernel.threadsLaunched, 16u);
+}
+
+TEST_F(GpuExecTest, VirtualCoresMatchSingleThread)
+{
+    // Same kernel under 1 and 8 host threads must produce identical
+    // results and identical instrumentation totals (paper §III-B3).
+    auto run = [&](unsigned host_threads) {
+        rt::SystemConfig cfg;
+        cfg.gpu.hostThreads = host_threads;
+        rt::Session s(cfg);
+        bif::Module m = buildModule(
+            {
+                {
+                    mk(Op::MovImm, 1, kNone, kNone, kNone, 2),
+                    mk(Op::IShl, 2, bif::kSrLocalIdX, 1, kNone, 0),
+                    mk(Op::StLocal, kNone, 2, bif::kSrLocalIdX, kNone,
+                       0),
+                },
+                {
+                    mk(Op::Barrier, kNone, kNone, kNone, kNone, 0),
+                },
+                {
+                    mk(Op::LdLocal, 3, 2, kNone, kNone, 0),
+                    mk(Op::IMul, 4, bif::kSrGroupIdX,
+                       bif::kSrLocalSizeX, kNone, 0),
+                    mk(Op::IAdd, 4, 4, bif::kSrLocalIdX, kNone, 0),
+                    mk(Op::IShl, 5, 4, 1, kNone, 0),
+                    mk(Op::LdArg, 6, kNone, kNone, kNone, 0),
+                    mk(Op::IAdd, 5, 5, 6, kNone, 0),
+                    mk(Op::IAdd, 3, 3, 4, kNone, 0),
+                    mk(Op::StGlobal, kNone, 5, 3, kNone, 0),
+                    mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+                },
+            },
+            {}, 64);
+        rt::KernelHandle k = loadModule(s, m);
+        rt::Buffer out = s.alloc(128 * 4);
+        gpu::JobResult r = s.enqueue(k, rt::NDRange{128, 1, 1},
+                                     rt::NDRange{8, 1, 1},
+                                     {rt::Arg::buf(out)});
+        EXPECT_FALSE(r.faulted);
+        std::vector<uint32_t> got(128);
+        s.read(out, got.data(), 128 * 4);
+        return std::make_pair(got, r.kernel.totalInstrs());
+    };
+    auto [r1, i1] = run(1);
+    auto [r8, i8] = run(8);
+    EXPECT_EQ(r1, r8);
+    EXPECT_EQ(i1, i8);
+}
+
+TEST_F(GpuExecTest, JobChainExecutesAllJobs)
+{
+    // Hand-build a chain of two descriptors via the raw MMIO protocol.
+    bif::Module m = buildModule({{
+        mk(Op::LdArg, 1, kNone, kNone, kNone, 0),
+        mk(Op::MovImm, 2, kNone, kNone, kNone, 1),
+        mk(Op::AtomAddG, 3, 1, 2, kNone, 0),
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    rt::Buffer counter = session.alloc(4);
+
+    // First launch establishes arg table & mappings via the session.
+    gpu::JobResult r = session.enqueue(
+        k, rt::NDRange{4, 1, 1}, rt::NDRange{4, 1, 1},
+        {rt::Arg::buf(counter)});
+    ASSERT_FALSE(r.faulted);
+    uint64_t jobs_before = session.system().gpu().systemStats().computeJobs;
+    EXPECT_GE(jobs_before, 1u);
+}
+
+TEST_F(GpuExecTest, FallingOffTheEndTerminates)
+{
+    // No Ret: threads terminate at module end.
+    bif::Module m = buildModule({{
+        mk(Op::MovImm, 1, kNone, kNone, kNone, 1),
+    }});
+    rt::KernelHandle k = loadModule(session, m);
+    gpu::JobResult r = session.enqueue(
+        k, rt::NDRange{8, 1, 1}, rt::NDRange{4, 1, 1}, {});
+    EXPECT_FALSE(r.faulted);
+    EXPECT_EQ(r.kernel.threadsLaunched, 8u);
+}
+
+TEST_F(GpuExecTest, GpuIdAndConfigRegisters)
+{
+    Bus &bus = session.system().bus();
+    uint64_t v = 0;
+    bus.read(rt::System::kGpuBase + gpu::kRegGpuId, 4, v);
+    EXPECT_EQ(v & 0xFFFF0000u, 0x47310000u);
+    bus.read(rt::System::kGpuBase + gpu::kRegScCount, 4, v);
+    EXPECT_EQ(v, 8u);
+    bus.read(rt::System::kGpuBase + gpu::kRegScThreads, 4, v);
+    EXPECT_EQ(v, 2u);
+}
+
+} // namespace
+} // namespace bifsim

@@ -1,0 +1,116 @@
+/** @file Unit tests for the GPU MMU: driver-format page tables,
+ *  write protection, TLB behaviour and fault reporting. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gmmu.h"
+#include "mem/phys_mem.h"
+
+namespace bifsim::gpu {
+namespace {
+
+constexpr Addr kBase = 0x80000000;
+
+class GpuMmuTest : public ::testing::Test
+{
+  protected:
+    GpuMmuTest() : mem(kBase, 1 << 20), mmu(mem)
+    {
+        root = kBase + 0x4000;
+        l0 = kBase + 0x5000;
+        mem.fill(root, 0, 8192);
+        mmu.setRoot(root);
+    }
+
+    void
+    map(uint32_t va, Addr pa, bool writable)
+    {
+        uint32_t vpn1 = va >> 22, vpn0 = (va >> 12) & 0x3ff;
+        mem.write<uint32_t>(root + vpn1 * 4,
+                            static_cast<uint32_t>((l0 >> 12) << 10) |
+                                kGpuPteValid);
+        mem.write<uint32_t>(l0 + vpn0 * 4,
+                            static_cast<uint32_t>((pa >> 12) << 10) |
+                                kGpuPteValid |
+                                (writable ? kGpuPteWrite : 0));
+    }
+
+    PhysMem mem;
+    GpuMmu mmu;
+    GpuTlb tlb;
+    Addr root, l0;
+};
+
+TEST_F(GpuMmuTest, TranslateBasic)
+{
+    map(0x00100000, kBase + 0x8000, true);
+    Addr pa = 0;
+    ASSERT_TRUE(mmu.translate(0x00100abc, false, tlb, pa));
+    EXPECT_EQ(pa, kBase + 0x8abc);
+    ASSERT_TRUE(mmu.translate(0x00100abc, true, tlb, pa));
+}
+
+TEST_F(GpuMmuTest, ReadOnlyBlocksWrites)
+{
+    map(0x00100000, kBase + 0x8000, false);
+    Addr pa = 0;
+    EXPECT_TRUE(mmu.translate(0x00100000, false, tlb, pa));
+    EXPECT_FALSE(mmu.translate(0x00100000, true, tlb, pa));
+}
+
+TEST_F(GpuMmuTest, UnmappedFails)
+{
+    Addr pa = 0;
+    EXPECT_FALSE(mmu.translate(0x00300000, false, tlb, pa));
+}
+
+TEST_F(GpuMmuTest, NullRootFails)
+{
+    mmu.setRoot(0);
+    Addr pa = 0;
+    EXPECT_FALSE(mmu.translate(0x00100000, false, tlb, pa));
+}
+
+TEST_F(GpuMmuTest, TlbAvoidsRepeatWalks)
+{
+    map(0x00100000, kBase + 0x8000, true);
+    Addr pa = 0;
+    mmu.translate(0x00100000, false, tlb, pa);
+    uint64_t walks = mmu.walkCount();
+    for (int i = 0; i < 100; ++i)
+        mmu.translate(0x00100000 + i * 4, false, tlb, pa);
+    EXPECT_EQ(mmu.walkCount(), walks);
+    tlb.flush();
+    mmu.translate(0x00100000, false, tlb, pa);
+    EXPECT_EQ(mmu.walkCount(), walks + 1);
+}
+
+TEST_F(GpuMmuTest, TlbCachesWritePermission)
+{
+    map(0x00100000, kBase + 0x8000, false);
+    Addr pa = 0;
+    // Prime the TLB with a read, then try to write through the entry.
+    ASSERT_TRUE(mmu.translate(0x00100000, false, tlb, pa));
+    EXPECT_FALSE(mmu.translate(0x00100004, true, tlb, pa));
+}
+
+TEST_F(GpuMmuTest, DistinctPagesDistinctFrames)
+{
+    map(0x00100000, kBase + 0x8000, true);
+    map(0x00101000, kBase + 0x20000, true);
+    Addr pa1 = 0, pa2 = 0;
+    ASSERT_TRUE(mmu.translate(0x00100000, false, tlb, pa1));
+    ASSERT_TRUE(mmu.translate(0x00101000, false, tlb, pa2));
+    EXPECT_EQ(pa1, kBase + 0x8000);
+    EXPECT_EQ(pa2, kBase + 0x20000);
+}
+
+TEST_F(GpuMmuTest, PageTableOutsideRamFails)
+{
+    mmu.setRoot(0x10000000);   // Not RAM.
+    Addr pa = 0;
+    EXPECT_FALSE(mmu.translate(0x00100000, false, tlb, pa));
+}
+
+} // namespace
+} // namespace bifsim::gpu

@@ -1,0 +1,630 @@
+/** @file Tests for the kclc compiler: lexer, parser, semantic checks,
+ *  code generation correctness (executed on the reference
+ *  interpreter), optimisation-level equivalence, structural clause
+ *  invariants, and register-pressure handling. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "gpu/ref/ref_interp.h"
+#include "kclc/compiler.h"
+#include "kclc/lexer.h"
+#include "kclc/parser.h"
+
+namespace bifsim::kclc {
+namespace {
+
+/** Compiles and runs one work-item with the given args and 64KiB of
+ *  flat global memory; returns the memory afterwards. */
+struct RunOut
+{
+    std::vector<uint8_t> mem;
+    bool ok;
+    std::string error;
+};
+
+RunOut
+runKernel(const std::string &src, const std::string &name,
+          const std::vector<uint32_t> &args,
+          const std::vector<uint8_t> &init_mem = {},
+          const CompilerOptions &opts = CompilerOptions(),
+          uint32_t threads = 1)
+{
+    CompiledKernel k = compileKernel(src, name, opts);
+    RunOut out;
+    out.mem.assign(65536, 0);
+    std::copy(init_mem.begin(), init_mem.end(), out.mem.begin());
+    std::vector<uint8_t> local(std::max<uint32_t>(k.localBytes, 4), 0);
+    for (uint32_t t = 0; t < threads; ++t) {
+        gpu::ref::RefContext ctx;
+        ctx.args = args;
+        ctx.globalMem = &out.mem;
+        ctx.localMem = &local;
+        ctx.localId[0] = t;
+        ctx.localSize[0] = threads;
+        ctx.gridSize[0] = threads;
+        gpu::ref::RefResult r = gpu::ref::runThread(k.mod, ctx);
+        if (!r.ok) {
+            out.ok = false;
+            out.error = r.error;
+            return out;
+        }
+    }
+    out.ok = true;
+    return out;
+}
+
+uint32_t
+memU32(const RunOut &o, uint32_t addr)
+{
+    uint32_t v;
+    std::memcpy(&v, o.mem.data() + addr, 4);
+    return v;
+}
+
+float
+memF32(const RunOut &o, uint32_t addr)
+{
+    return std::bit_cast<float>(memU32(o, addr));
+}
+
+// ---------------------------------------------------------------- lexer
+
+TEST(Lexer, TokensAndLiterals)
+{
+    auto toks = lex("kernel void f(int a) { a = 0x10 + 2.5f; }");
+    EXPECT_EQ(toks[0].kind, Tok::KwKernel);
+    EXPECT_EQ(toks[1].kind, Tok::KwVoid);
+    EXPECT_EQ(toks[2].kind, Tok::Ident);
+    EXPECT_EQ(toks[2].text, "f");
+    bool saw_hex = false, saw_float = false;
+    for (const Token &t : toks) {
+        if (t.kind == Tok::IntLit && t.intValue == 16)
+            saw_hex = true;
+        if (t.kind == Tok::FloatLit && t.floatValue == 2.5f)
+            saw_float = true;
+    }
+    EXPECT_TRUE(saw_hex);
+    EXPECT_TRUE(saw_float);
+}
+
+TEST(Lexer, OperatorsAndComments)
+{
+    auto toks = lex("a += b && c || d >> 2 /* x */ // y\n<= >=");
+    std::vector<Tok> kinds;
+    for (const Token &t : toks)
+        kinds.push_back(t.kind);
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::PlusAssign),
+              kinds.end());
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::AmpAmp),
+              kinds.end());
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::PipePipe),
+              kinds.end());
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::Shr),
+              kinds.end());
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::LessEq),
+              kinds.end());
+}
+
+TEST(Lexer, RejectsBadChar)
+{
+    EXPECT_THROW(lex("kernel @"), SimError);
+}
+
+// --------------------------------------------------------------- parser
+
+TEST(Parser, KernelSignature)
+{
+    Unit u = parse("kernel void k(global float* out, const int n, "
+                   "local int* scratch) {}");
+    ASSERT_EQ(u.kernels.size(), 1u);
+    const Kernel &k = u.kernels[0];
+    EXPECT_EQ(k.name, "k");
+    ASSERT_EQ(k.params.size(), 3u);
+    EXPECT_TRUE(k.params[0].type.isPointer);
+    EXPECT_EQ(k.params[0].type.space, AddrSpace::Global);
+    EXPECT_FALSE(k.params[1].type.isPointer);
+    EXPECT_EQ(k.params[2].type.space, AddrSpace::Local);
+}
+
+TEST(Parser, MultipleKernels)
+{
+    Unit u = parse("kernel void a() {} kernel void b() {}");
+    EXPECT_EQ(u.kernels.size(), 2u);
+    EXPECT_NE(u.find("a"), nullptr);
+    EXPECT_NE(u.find("b"), nullptr);
+    EXPECT_EQ(u.find("c"), nullptr);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parse("kernel void f( {}"), SimError);
+    EXPECT_THROW(parse("kernel void f() { int; }"), SimError);
+    EXPECT_THROW(parse("kernel void f() { if (1 }"), SimError);
+    EXPECT_THROW(parse("void f() {}"), SimError);
+}
+
+// --------------------------------------------------------------- sema
+
+TEST(Sema, UndefinedVariable)
+{
+    EXPECT_THROW(
+        compileKernel("kernel void f(global int* o) { o[0] = zz; }", "f"),
+        SimError);
+}
+
+TEST(Sema, Redefinition)
+{
+    EXPECT_THROW(compileKernel(
+                     "kernel void f() { int a = 1; int a = 2; }", "f"),
+                 SimError);
+}
+
+TEST(Sema, PointerMisuse)
+{
+    EXPECT_THROW(
+        compileKernel("kernel void f(global int* p) { int a = p + 1; }",
+                      "f"),
+        SimError);
+    EXPECT_THROW(
+        compileKernel("kernel void f(int a) { a[0] = 1; }", "f"),
+        SimError);
+}
+
+TEST(Sema, FloatModuloRejected)
+{
+    EXPECT_THROW(
+        compileKernel(
+            "kernel void f(global float* o, float a) { o[0] = a % 2.0f; }",
+            "f"),
+        SimError);
+}
+
+TEST(Sema, BadBuiltinUsage)
+{
+    EXPECT_THROW(
+        compileKernel(
+            "kernel void f(global int* o, int d) { o[0] = "
+            "get_global_id(d); }",
+            "f"),
+        SimError);
+    EXPECT_THROW(
+        compileKernel("kernel void f() { nothere(1); }", "f"),
+        SimError);
+}
+
+// ------------------------------------------------------- codegen basics
+
+const char *kArith = R"(
+kernel void arith(global int* out, int a, int b) {
+    out[0] = a + b;
+    out[1] = a - b;
+    out[2] = a * b;
+    out[3] = a / b;
+    out[4] = a % b;
+    out[5] = (a << 2) | (b & 7);
+    out[6] = a > b ? a : b;
+    out[7] = -a;
+    out[8] = ~a;
+    out[9] = !a;
+}
+)";
+
+TEST(Codegen, IntegerArithmetic)
+{
+    RunOut o = runKernel(kArith, "arith", {4096, 17u, 5u});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(memU32(o, 4096), 22u);
+    EXPECT_EQ(memU32(o, 4100), 12u);
+    EXPECT_EQ(memU32(o, 4104), 85u);
+    EXPECT_EQ(memU32(o, 4108), 3u);
+    EXPECT_EQ(memU32(o, 4112), 2u);
+    EXPECT_EQ(memU32(o, 4116), (17u << 2) | (5u & 7u));
+    EXPECT_EQ(memU32(o, 4120), 17u);
+    EXPECT_EQ(memU32(o, 4124), static_cast<uint32_t>(-17));
+    EXPECT_EQ(memU32(o, 4128), ~17u);
+    EXPECT_EQ(memU32(o, 4132), 0u);
+}
+
+TEST(Codegen, FloatArithmeticAndBuiltins)
+{
+    const char *src = R"(
+kernel void f(global float* out, float x) {
+    out[0] = x * 2.0f + 1.0f;
+    out[1] = sqrt(x);
+    out[2] = fabs(0.0f - x);
+    out[3] = fmin(x, 3.0f);
+    out[4] = fmax(x, 30.0f);
+    out[5] = floor(x / 4.0f);
+    out[6] = clamp(x, 0.0f, 10.0f);
+}
+)";
+    RunOut o = runKernel(src, "f", {4096,
+                                    std::bit_cast<uint32_t>(16.0f)});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_FLOAT_EQ(memF32(o, 4096), 33.0f);
+    EXPECT_FLOAT_EQ(memF32(o, 4100), 4.0f);
+    EXPECT_FLOAT_EQ(memF32(o, 4104), 16.0f);
+    EXPECT_FLOAT_EQ(memF32(o, 4108), 3.0f);
+    EXPECT_FLOAT_EQ(memF32(o, 4112), 30.0f);
+    EXPECT_FLOAT_EQ(memF32(o, 4116), 4.0f);
+    EXPECT_FLOAT_EQ(memF32(o, 4120), 10.0f);
+}
+
+TEST(Codegen, ExpLogPow)
+{
+    const char *src = R"(
+kernel void f(global float* out, float x) {
+    out[0] = exp(x);
+    out[1] = log(x);
+    out[2] = pow(x, 2.0f);
+    out[3] = exp2(x);
+    out[4] = log2(x);
+}
+)";
+    RunOut o = runKernel(src, "f", {4096, std::bit_cast<uint32_t>(2.0f)});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_NEAR(memF32(o, 4096), std::exp(2.0f), 1e-3);
+    EXPECT_NEAR(memF32(o, 4100), std::log(2.0f), 1e-4);
+    EXPECT_NEAR(memF32(o, 4104), 4.0f, 1e-3);
+    EXPECT_FLOAT_EQ(memF32(o, 4108), 4.0f);
+    EXPECT_FLOAT_EQ(memF32(o, 4112), 1.0f);
+}
+
+TEST(Codegen, Conversions)
+{
+    const char *src = R"(
+kernel void f(global int* out, float x, int i) {
+    out[0] = (int)x;
+    out[1] = (int)(float)i;
+    global float* fo = out;
+    fo[2] = (float)i;
+    out[3] = (int)(uint)3000000000u;
+}
+)";
+    // Pointer re-declaration of a parameter type isn't in the language;
+    // use a second buffer arg instead.
+    const char *src2 = R"(
+kernel void f(global int* out, global float* fout, float x, int i) {
+    out[0] = (int)x;
+    out[1] = (int)(float)i;
+    fout[0] = (float)i;
+}
+)";
+    (void)src;
+    RunOut o = runKernel(src2, "f",
+                         {4096, 8192, std::bit_cast<uint32_t>(7.9f), 12u});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(memU32(o, 4096), 7u);
+    EXPECT_EQ(memU32(o, 4100), 12u);
+    EXPECT_FLOAT_EQ(memF32(o, 8192), 12.0f);
+}
+
+TEST(Codegen, ControlFlowIfElseLoops)
+{
+    const char *src = R"(
+kernel void f(global int* out, int n) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) {
+            sum += i;
+        } else {
+            sum -= 1;
+        }
+    }
+    int j = 0;
+    while (j < 3) {
+        j++;
+    }
+    out[0] = sum;
+    out[1] = j;
+}
+)";
+    RunOut o = runKernel(src, "f", {4096, 10u});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(memU32(o, 4096), static_cast<uint32_t>(0 + 2 + 4 + 6 + 8 - 5));
+    EXPECT_EQ(memU32(o, 4100), 3u);
+}
+
+TEST(Codegen, ShortCircuitGuardsMemory)
+{
+    // The right operand indexes out of bounds unless short-circuited.
+    const char *src = R"(
+kernel void f(global int* out, global const int* data, int i, int n) {
+    if (i < n && data[i] > 0) {
+        out[0] = 1;
+    } else {
+        out[0] = 2;
+    }
+    if (i >= n || data[i] > 0) {
+        out[1] = 3;
+    } else {
+        out[1] = 4;
+    }
+}
+)";
+    // i = huge: data[i] would fault if evaluated.
+    RunOut o = runKernel(src, "f", {4096, 8192, 1000000u, 4u});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(memU32(o, 4096), 2u);
+    EXPECT_EQ(memU32(o, 4100), 3u);
+}
+
+TEST(Codegen, TernaryGuardsMemory)
+{
+    const char *src = R"(
+kernel void f(global int* out, global const int* data, int i, int n) {
+    out[0] = i < n ? data[i] : -1;
+}
+)";
+    RunOut o = runKernel(src, "f", {4096, 8192, 999999u, 4u});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(memU32(o, 4096), static_cast<uint32_t>(-1));
+}
+
+TEST(Codegen, UnsignedSemantics)
+{
+    const char *src = R"(
+kernel void f(global uint* out, uint a, uint b) {
+    out[0] = a / b;
+    out[1] = a >> 4;
+    out[2] = a < b ? 1u : 0u;
+}
+)";
+    RunOut o = runKernel(src, "f", {4096, 0x80000000u, 2u});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(memU32(o, 4096), 0x40000000u);
+    EXPECT_EQ(memU32(o, 4100), 0x08000000u);
+    EXPECT_EQ(memU32(o, 4104), 0u);
+}
+
+TEST(Codegen, IncDecAndCompound)
+{
+    const char *src = R"(
+kernel void f(global int* out) {
+    int a = 5;
+    out[0] = a++;
+    out[1] = ++a;
+    out[2] = a--;
+    out[3] = --a;
+    int b = 10;
+    b *= 3;
+    b -= 5;
+    b += 1;
+    out[4] = b;
+    out[5] = 0;
+    out[5] += 9;
+}
+)";
+    RunOut o = runKernel(src, "f", {4096});
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(memU32(o, 4096), 5u);
+    EXPECT_EQ(memU32(o, 4100), 7u);
+    EXPECT_EQ(memU32(o, 4104), 7u);
+    EXPECT_EQ(memU32(o, 4108), 5u);
+    EXPECT_EQ(memU32(o, 4112), 26u);
+    EXPECT_EQ(memU32(o, 4116), 9u);
+}
+
+TEST(Codegen, ReturnExitsEarly)
+{
+    const char *src = R"(
+kernel void f(global int* out, int flag) {
+    out[0] = 1;
+    if (flag != 0) {
+        return;
+    }
+    out[0] = 2;
+}
+)";
+    RunOut o1 = runKernel(src, "f", {4096, 1u});
+    EXPECT_EQ(memU32(o1, 4096), 1u);
+    RunOut o0 = runKernel(src, "f", {4096, 0u});
+    EXPECT_EQ(memU32(o0, 4096), 2u);
+}
+
+TEST(Codegen, LocalArrayRoundTrip)
+{
+    const char *src = R"(
+kernel void f(global int* out) {
+    local int tile[8];
+    int lid = get_local_id(0);
+    tile[lid] = lid * 10;
+    barrier();
+    out[lid] = tile[7 - lid];
+}
+)";
+    RunOut o = runKernel(src, "f", {4096}, {}, CompilerOptions(), 8);
+    ASSERT_TRUE(o.ok) << o.error;
+    // Single-thread reference executes threads serially; each thread
+    // only reads its mirror slot which thread (7-lid) wrote... with
+    // serial execution thread 0 reads slot 7 before thread 7 writes.
+    // So only check thread-local consistency via the full simulator in
+    // test_gpu_exec; here check the last thread's view.
+    EXPECT_EQ(memU32(o, 4096 + 7 * 4), 0u);   // tile[0] = 0*10.
+}
+
+TEST(Codegen, BuiltinsIds)
+{
+    const char *src = R"(
+kernel void f(global int* out) {
+    out[0] = get_global_id(0);
+    out[1] = get_local_id(0);
+    out[2] = get_group_id(0);
+    out[3] = get_local_size(0);
+    out[4] = get_global_size(0);
+    out[5] = get_num_groups(0);
+}
+)";
+    CompiledKernel k = compileKernel(src, "f");
+    std::vector<uint8_t> mem(65536, 0);
+    std::vector<uint8_t> local(4, 0);
+    gpu::ref::RefContext ctx;
+    ctx.args = {4096};
+    ctx.globalMem = &mem;
+    ctx.localMem = &local;
+    ctx.localId[0] = 3;
+    ctx.groupId[0] = 2;
+    ctx.localSize[0] = 8;
+    ctx.gridSize[0] = 32;
+    ctx.numGroups[0] = 4;
+    gpu::ref::RefResult r = gpu::ref::runThread(k.mod, ctx);
+    ASSERT_TRUE(r.ok) << r.error;
+    auto rd = [&](uint32_t a) {
+        uint32_t v;
+        std::memcpy(&v, mem.data() + a, 4);
+        return v;
+    };
+    EXPECT_EQ(rd(4096), 2u * 8u + 3u);
+    EXPECT_EQ(rd(4100), 3u);
+    EXPECT_EQ(rd(4104), 2u);
+    EXPECT_EQ(rd(4108), 8u);
+    EXPECT_EQ(rd(4112), 32u);
+    EXPECT_EQ(rd(4116), 4u);
+}
+
+// -------------------------------------------- optimisation equivalence
+
+const char *kLoopy = R"(
+kernel void loopy(global int* out, global const int* in, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        int v = in[i];
+        if (v > 50) {
+            acc += v * 2;
+        } else {
+            acc += v;
+        }
+    }
+    out[0] = acc;
+    out[1] = 6 * 7;          // constant-foldable
+    out[2] = (3 + 4) * (3 + 4);
+}
+)";
+
+TEST(OptLevels, AllLevelsAgree)
+{
+    std::vector<uint8_t> init(65536, 0);
+    for (uint32_t i = 0; i < 16; ++i) {
+        uint32_t v = i * 13 % 100;
+        std::memcpy(init.data() + 8192 + i * 4, &v, 4);
+    }
+    uint32_t want = 0;
+    bool have_want = false;
+    for (int level = 0; level <= 3; ++level) {
+        RunOut o = runKernel(kLoopy, "loopy", {4096, 8192, 16u}, init,
+                             CompilerOptions::forLevel(level));
+        ASSERT_TRUE(o.ok) << o.error;
+        uint32_t got = memU32(o, 4096);
+        if (!have_want) {
+            want = got;
+            have_want = true;
+        }
+        EXPECT_EQ(got, want) << "level " << level;
+        EXPECT_EQ(memU32(o, 4100), 42u);
+        EXPECT_EQ(memU32(o, 4104), 49u);
+    }
+}
+
+TEST(OptLevels, HigherLevelsEmitDenserCode)
+{
+    CompiledKernel k0 =
+        compileKernel(kLoopy, "loopy", CompilerOptions::forLevel(0));
+    CompiledKernel k3 =
+        compileKernel(kLoopy, "loopy", CompilerOptions::forLevel(3));
+    // O0: one instruction per clause.
+    for (const bif::Clause &cl : k0.mod.clauses)
+        EXPECT_EQ(cl.tuples.size(), 1u);
+    // O3 packs multiple tuples per clause and uses temporaries.
+    size_t max_tuples = 0;
+    bool uses_temp = false;
+    for (const bif::Clause &cl : k3.mod.clauses) {
+        max_tuples = std::max(max_tuples, cl.tuples.size());
+        for (const bif::Tuple &t : cl.tuples) {
+            for (const bif::Instr &in : t.slot) {
+                if (bif::isTemp(in.dst))
+                    uses_temp = true;
+            }
+        }
+    }
+    EXPECT_GT(max_tuples, 1u);
+    EXPECT_TRUE(uses_temp);
+    EXPECT_LT(k3.binary.size(), k0.binary.size());
+}
+
+TEST(OptLevels, VersionPresets)
+{
+    EXPECT_EQ(CompilerOptions::forVersion("5.6").maxTuples, 1u);
+    EXPECT_EQ(CompilerOptions::forVersion("6.2").versionName, "6.2");
+    EXPECT_TRUE(CompilerOptions::forVersion("6.1").dualIssue);
+    EXPECT_THROW(CompilerOptions::forVersion("9.9"), SimError);
+}
+
+// -------------------------------------------------- structural checks
+
+TEST(Structure, EveryCompiledModuleValidates)
+{
+    for (int level = 0; level <= 3; ++level) {
+        CompiledKernel k = compileKernel(
+            kLoopy, "loopy", CompilerOptions::forLevel(level));
+        EXPECT_EQ(bif::validate(k.mod), "") << "level " << level;
+    }
+}
+
+TEST(Structure, RegisterPressureSpills)
+{
+    // Build a kernel with ~80 simultaneously-live values.
+    std::string src = "kernel void big(global float* out) {\n";
+    for (int i = 0; i < 80; ++i) {
+        src += strfmt("    float v%d = %d.5f + (float)get_global_id(0);\n",
+                      i, i);
+    }
+    src += "    float acc = 0.0f;\n";
+    for (int i = 0; i < 80; ++i)
+        src += strfmt("    acc += v%d;\n", i);
+    src += "    out[0] = acc;\n}\n";
+
+    CompiledKernel k = compileKernel(src, "big");
+    EXPECT_GT(k.spills, 0u);
+    EXPECT_EQ(bif::validate(k.mod), "");
+
+    // And it still computes the right answer.
+    std::vector<uint8_t> mem(65536, 0);
+    std::vector<uint8_t> local(std::max<uint32_t>(k.localBytes, 4), 0);
+    gpu::ref::RefContext ctx;
+    ctx.args = {4096};
+    ctx.globalMem = &mem;
+    ctx.localMem = &local;
+    gpu::ref::RefResult r = gpu::ref::runThread(k.mod, ctx);
+    ASSERT_TRUE(r.ok) << r.error;
+    float got;
+    std::memcpy(&got, mem.data() + 4096, 4);
+    float want = 0;
+    for (int i = 0; i < 80; ++i)
+        want += static_cast<float>(i) + 0.5f;
+    EXPECT_FLOAT_EQ(got, want);
+}
+
+TEST(Structure, ArgumentMetadata)
+{
+    CompiledKernel k = compileKernel(
+        "kernel void f(global float* a, int n, float s) {}", "f");
+    ASSERT_EQ(k.args.size(), 3u);
+    EXPECT_TRUE(k.args[0].isBuffer);
+    EXPECT_EQ(k.args[0].name, "a");
+    EXPECT_FALSE(k.args[1].isBuffer);
+    EXPECT_FALSE(k.args[2].isBuffer);
+}
+
+TEST(Structure, MissingKernelName)
+{
+    EXPECT_THROW(compileKernel("kernel void f() {}", "g"), SimError);
+}
+
+} // namespace
+} // namespace bifsim::kclc

@@ -1,0 +1,112 @@
+/** @file Unit tests for the SoC devices: UART, timer, INTC. */
+
+#include <gtest/gtest.h>
+
+#include "soc/devices.h"
+
+namespace bifsim::soc {
+namespace {
+
+TEST(Uart, CapturesOutput)
+{
+    Uart u;
+    for (char c : std::string("hi\n"))
+        u.mmioWrite(Uart::kRegThr, static_cast<uint32_t>(c));
+    EXPECT_EQ(u.output(), "hi\n");
+    u.clearOutput();
+    EXPECT_EQ(u.output(), "");
+}
+
+TEST(Uart, TxAlwaysReady)
+{
+    Uart u;
+    EXPECT_EQ(u.mmioRead(Uart::kRegLsr) & 1, 1u);
+}
+
+TEST(Uart, IgnoresOtherOffsets)
+{
+    Uart u;
+    u.mmioWrite(0x40, 'x');
+    EXPECT_EQ(u.output(), "");
+    EXPECT_EQ(u.mmioRead(Uart::kRegThr), 0u);
+}
+
+TEST(Timer, CountsTicks)
+{
+    Timer t(nullptr);
+    t.tick(100);
+    EXPECT_EQ(t.now(), 100u);
+    EXPECT_EQ(t.mmioRead(Timer::kRegTimeLo), 100u);
+    EXPECT_EQ(t.mmioRead(Timer::kRegTimeHi), 0u);
+}
+
+TEST(Timer, CompareRaisesAndClearsIrq)
+{
+    bool level = false;
+    Timer t([&](bool l) { level = l; });
+    t.mmioWrite(Timer::kRegCmpLo, 50);
+    t.mmioWrite(Timer::kRegCmpHi, 0);
+    t.tick(49);
+    EXPECT_FALSE(level);
+    t.tick(1);
+    EXPECT_TRUE(level);
+    // Move the compare forward: IRQ drops.
+    t.mmioWrite(Timer::kRegCmpLo, 1000);
+    EXPECT_FALSE(level);
+}
+
+TEST(Timer, SixtyFourBitTime)
+{
+    Timer t(nullptr);
+    t.tick(0x1'0000'0000ull);
+    EXPECT_EQ(t.mmioRead(Timer::kRegTimeHi), 1u);
+}
+
+TEST(Intc, PendingAndEnable)
+{
+    bool level = false;
+    Intc ic([&](bool l) { level = l; });
+    ic.setLine(3, true);
+    EXPECT_FALSE(level);               // Not enabled yet.
+    ic.mmioWrite(Intc::kRegEnable, 1u << 3);
+    EXPECT_TRUE(level);
+    EXPECT_EQ(ic.mmioRead(Intc::kRegPending), 1u << 3);
+}
+
+TEST(Intc, ClaimReturnsLowestLine)
+{
+    Intc ic(nullptr);
+    ic.mmioWrite(Intc::kRegEnable, 0xFF);
+    ic.setLine(5, true);
+    ic.setLine(2, true);
+    EXPECT_EQ(ic.mmioRead(Intc::kRegClaim), 3u);   // line 2 + 1.
+    ic.setLine(2, false);
+    EXPECT_EQ(ic.mmioRead(Intc::kRegClaim), 6u);   // line 5 + 1.
+    ic.setLine(5, false);
+    EXPECT_EQ(ic.mmioRead(Intc::kRegClaim), 0u);
+}
+
+TEST(Intc, LevelDropsWhenSourceClears)
+{
+    bool level = false;
+    Intc ic([&](bool l) { level = l; });
+    ic.mmioWrite(Intc::kRegEnable, 2);
+    ic.setLine(1, true);
+    EXPECT_TRUE(level);
+    ic.setLine(1, false);
+    EXPECT_FALSE(level);
+}
+
+TEST(Intc, DisableMasksOutput)
+{
+    bool level = false;
+    Intc ic([&](bool l) { level = l; });
+    ic.mmioWrite(Intc::kRegEnable, 2);
+    ic.setLine(1, true);
+    EXPECT_TRUE(level);
+    ic.mmioWrite(Intc::kRegEnable, 0);
+    EXPECT_FALSE(level);
+}
+
+} // namespace
+} // namespace bifsim::soc

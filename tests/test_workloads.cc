@@ -1,0 +1,210 @@
+/** @file End-to-end workload tests: every Table II benchmark verifies
+ *  against its host reference on the full simulator; a subset also
+ *  runs through the guest driver (full-system) and on the m2ssim
+ *  baseline (which must agree with the full model). */
+
+#include <gtest/gtest.h>
+
+#include "baseline/m2ssim.h"
+#include "common/logging.h"
+#include "workloads/cost_model.h"
+#include "workloads/kfusion.h"
+#include "workloads/sgemm_variants.h"
+#include "workloads/workload.h"
+
+namespace bifsim::workloads {
+namespace {
+
+constexpr double kTinyScale = 0.002;
+
+class WorkloadDirect : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadDirect, VerifiesAgainstHostReference)
+{
+    setInformEnabled(false);
+    auto wl = makeWorkload(GetParam(), kTinyScale);
+    rt::SystemConfig cfg;
+    cfg.gpu.hostThreads = 2;
+    rt::Session session(cfg);
+    SessionDevice dev(session);
+    dev.build(wl->source(), kclc::CompilerOptions());
+    RunResult rr = wl->run(dev);
+    EXPECT_TRUE(rr.ok) << rr.error;
+    EXPECT_GE(rr.launches, 1u);
+    // Instrumentation collected something meaningful.
+    gpu::KernelStats ks = session.system().gpu().totalKernelStats();
+    EXPECT_GT(ks.totalInstrs(), 0u);
+    EXPECT_GT(ks.threadsLaunched, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadDirect,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+class WorkloadO0 : public ::testing::TestWithParam<std::string>
+{
+};
+
+/** The whole suite must also be correct with the naive compiler. */
+TEST_P(WorkloadO0, VerifiesAtOptLevelZero)
+{
+    setInformEnabled(false);
+    auto wl = makeWorkload(GetParam(), kTinyScale);
+    rt::SystemConfig cfg;
+    cfg.gpu.hostThreads = 2;
+    rt::Session session(cfg);
+    SessionDevice dev(session);
+    dev.build(wl->source(), kclc::CompilerOptions::forLevel(0));
+    RunResult rr = wl->run(dev);
+    EXPECT_TRUE(rr.ok) << rr.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subset, WorkloadO0,
+    ::testing::Values("sobelfilter", "reduction", "bfs",
+                      "binomialoption", "scanlargearrays"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+class WorkloadFullSystem : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadFullSystem, VerifiesThroughGuestDriver)
+{
+    setInformEnabled(false);
+    auto wl = makeWorkload(GetParam(), kTinyScale);
+    rt::SystemConfig cfg;
+    cfg.gpu.hostThreads = 2;
+    rt::Session session(cfg, rt::Mode::FullSystem);
+    SessionDevice dev(session);
+    dev.build(wl->source(), kclc::CompilerOptions());
+    RunResult rr = wl->run(dev);
+    EXPECT_TRUE(rr.ok) << rr.error;
+    EXPECT_GT(session.driverInstructions(), 0u);
+    gpu::SystemStats st = session.system().gpu().systemStats();
+    EXPECT_GE(st.computeJobs, rr.launches);
+    EXPECT_GE(st.irqsAsserted, rr.launches);
+    EXPECT_GT(st.pagesAccessed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subset, WorkloadFullSystem,
+    ::testing::Values("sobelfilter", "reduction", "bfs", "stencil"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+class WorkloadBaseline : public ::testing::TestWithParam<std::string>
+{
+};
+
+/** The Multi2Sim-style baseline must produce the same functional
+ *  results as the full-system model. */
+TEST_P(WorkloadBaseline, BaselineAgrees)
+{
+    setInformEnabled(false);
+    auto wl = makeWorkload(GetParam(), kTinyScale);
+    baseline::M2sSim sim(128u << 20);
+    M2sDevice dev(sim);
+    dev.build(wl->source(), kclc::CompilerOptions());
+    RunResult rr = wl->run(dev);
+    EXPECT_TRUE(rr.ok) << rr.error;
+    EXPECT_GT(sim.stats().instructions, 0u);
+    EXPECT_GT(sim.stats().slotDecodes, sim.stats().instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subset, WorkloadBaseline,
+    ::testing::Values("sobelfilter", "reduction", "dct",
+                      "matrixtranspose", "binarysearch"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(SgemmVariants, AllVerifyAndDiffer)
+{
+    setInformEnabled(false);
+    rt::Session session;
+    auto res = runSgemmVariants(session, 64);
+    ASSERT_EQ(res.size(), 6u);
+    for (const SgemmVariantResult &r : res)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    // Variant 4 must hit main memory far less than the naive variant.
+    EXPECT_LT(res[3].stats.globalLdSt * 4, res[0].stats.globalLdSt);
+    // Variant 6 uses no local memory; variant 2 uses plenty.
+    EXPECT_EQ(res[5].stats.localLdSt, 0u);
+    EXPECT_GT(res[1].stats.localLdSt, 0u);
+    // Cost models rank them differently (the Fig. 15 claim).
+    CostModel mali = maliCostModel(), desk = desktopCostModel();
+    int best_mali = 0, best_desk = 0;
+    for (int i = 1; i < 6; ++i) {
+        if (evalCost(res[i].stats, mali) <
+            evalCost(res[best_mali].stats, mali))
+            best_mali = i;
+        if (evalCost(res[i].stats, desk) <
+            evalCost(res[best_desk].stats, desk))
+            best_desk = i;
+    }
+    EXPECT_EQ(best_mali, 3);   // 4:WiderDataTypes wins on mobile.
+    EXPECT_NE(best_mali, best_desk);
+}
+
+TEST(KFusion, PipelineRunsAndConfigsOrder)
+{
+    setInformEnabled(false);
+    uint32_t size = 32, frames = 2;
+    rt::Session s1;
+    KFusionResult std_r =
+        runKFusion(s1, KFusionConfig::standard(size, size, frames));
+    ASSERT_TRUE(std_r.ok) << std_r.error;
+    rt::Session s2;
+    KFusionResult fast_r =
+        runKFusion(s2, KFusionConfig::fast3(size, size, frames));
+    ASSERT_TRUE(fast_r.ok) << fast_r.error;
+    rt::Session s3;
+    KFusionResult exp_r =
+        runKFusion(s3, KFusionConfig::express(size, size, frames));
+    ASSERT_TRUE(exp_r.ok) << exp_r.error;
+
+    // Many kernels per sequence, strictly decreasing work.
+    EXPECT_GT(std_r.kernelLaunches, 20u);
+    EXPECT_LT(fast_r.kernel.totalInstrs(), std_r.kernel.totalInstrs());
+    EXPECT_LT(exp_r.kernel.totalInstrs(), fast_r.kernel.totalInstrs());
+    // FPS proxy ordering matches the paper's measured ordering.
+    CostModel mali = maliCostModel();
+    double c_std = evalCost(std_r.kernel, mali);
+    double c_fast = evalCost(fast_r.kernel, mali);
+    double c_exp = evalCost(exp_r.kernel, mali);
+    EXPECT_GT(c_std, c_fast);
+    EXPECT_GT(c_fast, c_exp);
+}
+
+TEST(Workloads, RegistryComplete)
+{
+    std::vector<std::string> names = allWorkloadNames();
+    EXPECT_EQ(names.size(), 19u);   // Table II.
+    EXPECT_THROW(makeWorkload("nonexistent", 1.0), SimError);
+    for (const std::string &n : fig7WorkloadNames())
+        EXPECT_NE(std::find(names.begin(), names.end(), n), names.end());
+    for (const std::string &n : fig8WorkloadNames())
+        EXPECT_NE(std::find(names.begin(), names.end(), n), names.end());
+}
+
+TEST(Workloads, NativeReferencesAreDeterministic)
+{
+    for (const char *name : {"sobelfilter", "reduction", "sgemm"}) {
+        auto w1 = makeWorkload(name, kTinyScale);
+        auto w2 = makeWorkload(name, kTinyScale);
+        EXPECT_EQ(w1->runNative(), w2->runNative()) << name;
+    }
+}
+
+} // namespace
+} // namespace bifsim::workloads
