@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_compiler_versions.dir/fig01_compiler_versions.cpp.o"
+  "CMakeFiles/fig01_compiler_versions.dir/fig01_compiler_versions.cpp.o.d"
+  "fig01_compiler_versions"
+  "fig01_compiler_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_compiler_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_divergence_cfg.dir/fig06_divergence_cfg.cpp.o"
+  "CMakeFiles/fig06_divergence_cfg.dir/fig06_divergence_cfg.cpp.o.d"
+  "fig06_divergence_cfg"
+  "fig06_divergence_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_divergence_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

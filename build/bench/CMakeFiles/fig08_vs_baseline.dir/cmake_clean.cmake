@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vs_baseline.dir/fig08_vs_baseline.cpp.o"
+  "CMakeFiles/fig08_vs_baseline.dir/fig08_vs_baseline.cpp.o.d"
+  "fig08_vs_baseline"
+  "fig08_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_driver_scaling.dir/fig09_driver_scaling.cpp.o"
+  "CMakeFiles/fig09_driver_scaling.dir/fig09_driver_scaling.cpp.o.d"
+  "fig09_driver_scaling"
+  "fig09_driver_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_driver_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_clause_sizes.dir/fig13_clause_sizes.cpp.o"
+  "CMakeFiles/fig13_clause_sizes.dir/fig13_clause_sizes.cpp.o.d"
+  "fig13_clause_sizes"
+  "fig13_clause_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_clause_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_slambench.dir/fig14_slambench.cpp.o"
+  "CMakeFiles/fig14_slambench.dir/fig14_slambench.cpp.o.d"
+  "fig14_slambench"
+  "fig14_slambench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_slambench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sgemm_variants.dir/fig15_sgemm_variants.cpp.o"
+  "CMakeFiles/fig15_sgemm_variants.dir/fig15_sgemm_variants.cpp.o.d"
+  "fig15_sgemm_variants"
+  "fig15_sgemm_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sgemm_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

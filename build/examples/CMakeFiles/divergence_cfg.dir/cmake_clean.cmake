@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergence_cfg.dir/divergence_cfg.cpp.o"
+  "CMakeFiles/divergence_cfg.dir/divergence_cfg.cpp.o.d"
+  "divergence_cfg"
+  "divergence_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergence_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

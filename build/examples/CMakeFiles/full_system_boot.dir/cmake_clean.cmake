@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_system_boot.dir/full_system_boot.cpp.o"
+  "CMakeFiles/full_system_boot.dir/full_system_boot.cpp.o.d"
+  "full_system_boot"
+  "full_system_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_system_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kclc_tool.dir/kclc_tool.cpp.o"
+  "CMakeFiles/kclc_tool.dir/kclc_tool.cpp.o.d"
+  "kclc_tool"
+  "kclc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kclc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slambench.dir/slambench.cpp.o"
+  "CMakeFiles/slambench.dir/slambench.cpp.o.d"
+  "slambench"
+  "slambench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slambench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for slambench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/m2ssim.cc" "src/CMakeFiles/bifsim.dir/baseline/m2ssim.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/baseline/m2ssim.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/bifsim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/common/logging.cc.o.d"
+  "/root/repo/src/cpu/asm/assembler.cc" "src/CMakeFiles/bifsim.dir/cpu/asm/assembler.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/cpu/asm/assembler.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/bifsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/decoder.cc" "src/CMakeFiles/bifsim.dir/cpu/decoder.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/cpu/decoder.cc.o.d"
+  "/root/repo/src/cpu/mmu.cc" "src/CMakeFiles/bifsim.dir/cpu/mmu.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/cpu/mmu.cc.o.d"
+  "/root/repo/src/gpu/gmmu.cc" "src/CMakeFiles/bifsim.dir/gpu/gmmu.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/gpu/gmmu.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/bifsim.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/isa/bif.cc" "src/CMakeFiles/bifsim.dir/gpu/isa/bif.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/gpu/isa/bif.cc.o.d"
+  "/root/repo/src/gpu/ref/ref_interp.cc" "src/CMakeFiles/bifsim.dir/gpu/ref/ref_interp.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/gpu/ref/ref_interp.cc.o.d"
+  "/root/repo/src/gpu/shader_core.cc" "src/CMakeFiles/bifsim.dir/gpu/shader_core.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/gpu/shader_core.cc.o.d"
+  "/root/repo/src/guestos/guest_os.cc" "src/CMakeFiles/bifsim.dir/guestos/guest_os.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/guestos/guest_os.cc.o.d"
+  "/root/repo/src/instrument/cfg.cc" "src/CMakeFiles/bifsim.dir/instrument/cfg.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/instrument/cfg.cc.o.d"
+  "/root/repo/src/instrument/report.cc" "src/CMakeFiles/bifsim.dir/instrument/report.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/instrument/report.cc.o.d"
+  "/root/repo/src/instrument/stats.cc" "src/CMakeFiles/bifsim.dir/instrument/stats.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/instrument/stats.cc.o.d"
+  "/root/repo/src/kclc/compiler.cc" "src/CMakeFiles/bifsim.dir/kclc/compiler.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/kclc/compiler.cc.o.d"
+  "/root/repo/src/kclc/lexer.cc" "src/CMakeFiles/bifsim.dir/kclc/lexer.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/kclc/lexer.cc.o.d"
+  "/root/repo/src/kclc/lower.cc" "src/CMakeFiles/bifsim.dir/kclc/lower.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/kclc/lower.cc.o.d"
+  "/root/repo/src/kclc/parser.cc" "src/CMakeFiles/bifsim.dir/kclc/parser.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/kclc/parser.cc.o.d"
+  "/root/repo/src/kclc/passes.cc" "src/CMakeFiles/bifsim.dir/kclc/passes.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/kclc/passes.cc.o.d"
+  "/root/repo/src/kclc/regalloc.cc" "src/CMakeFiles/bifsim.dir/kclc/regalloc.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/kclc/regalloc.cc.o.d"
+  "/root/repo/src/kclc/schedule.cc" "src/CMakeFiles/bifsim.dir/kclc/schedule.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/kclc/schedule.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/bifsim.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/mem/bus.cc.o.d"
+  "/root/repo/src/runtime/session.cc" "src/CMakeFiles/bifsim.dir/runtime/session.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/runtime/session.cc.o.d"
+  "/root/repo/src/runtime/system.cc" "src/CMakeFiles/bifsim.dir/runtime/system.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/runtime/system.cc.o.d"
+  "/root/repo/src/soc/devices.cc" "src/CMakeFiles/bifsim.dir/soc/devices.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/soc/devices.cc.o.d"
+  "/root/repo/src/workloads/device.cc" "src/CMakeFiles/bifsim.dir/workloads/device.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/workloads/device.cc.o.d"
+  "/root/repo/src/workloads/kernels_amdapp.cc" "src/CMakeFiles/bifsim.dir/workloads/kernels_amdapp.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/workloads/kernels_amdapp.cc.o.d"
+  "/root/repo/src/workloads/kernels_parboil.cc" "src/CMakeFiles/bifsim.dir/workloads/kernels_parboil.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/workloads/kernels_parboil.cc.o.d"
+  "/root/repo/src/workloads/kfusion.cc" "src/CMakeFiles/bifsim.dir/workloads/kfusion.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/workloads/kfusion.cc.o.d"
+  "/root/repo/src/workloads/sgemm_variants.cc" "src/CMakeFiles/bifsim.dir/workloads/sgemm_variants.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/workloads/sgemm_variants.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/bifsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/bifsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

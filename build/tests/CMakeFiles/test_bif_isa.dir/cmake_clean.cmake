@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bif_isa.dir/test_bif_isa.cc.o"
+  "CMakeFiles/test_bif_isa.dir/test_bif_isa.cc.o.d"
+  "test_bif_isa"
+  "test_bif_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bif_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

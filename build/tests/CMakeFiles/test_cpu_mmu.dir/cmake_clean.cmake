@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_mmu.dir/test_cpu_mmu.cc.o"
+  "CMakeFiles/test_cpu_mmu.dir/test_cpu_mmu.cc.o.d"
+  "test_cpu_mmu"
+  "test_cpu_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_exec.dir/test_gpu_exec.cc.o"
+  "CMakeFiles/test_gpu_exec.dir/test_gpu_exec.cc.o.d"
+  "test_gpu_exec"
+  "test_gpu_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_mmu.dir/test_gpu_mmu.cc.o"
+  "CMakeFiles/test_gpu_mmu.dir/test_gpu_mmu.cc.o.d"
+  "test_gpu_mmu"
+  "test_gpu_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

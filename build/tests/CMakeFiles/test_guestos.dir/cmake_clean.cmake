@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guestos.dir/test_guestos.cc.o"
+  "CMakeFiles/test_guestos.dir/test_guestos.cc.o.d"
+  "test_guestos"
+  "test_guestos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

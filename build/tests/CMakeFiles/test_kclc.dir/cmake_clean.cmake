@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kclc.dir/test_kclc.cc.o"
+  "CMakeFiles/test_kclc.dir/test_kclc.cc.o.d"
+  "test_kclc"
+  "test_kclc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kclc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kclc_fuzz.dir/test_kclc_fuzz.cc.o"
+  "CMakeFiles/test_kclc_fuzz.dir/test_kclc_fuzz.cc.o.d"
+  "test_kclc_fuzz"
+  "test_kclc_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kclc_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
