@@ -97,6 +97,12 @@ Core::setIrqLine(IrqNum irq, bool level)
 }
 
 bool
+Core::wfiWakePending() const
+{
+    return (mip_.load(std::memory_order_acquire) & mie_) != 0;
+}
+
+bool
 Core::interruptPending(uint32_t &cause) const
 {
     uint32_t pending = mip_.load(std::memory_order_acquire) & mie_;
@@ -386,8 +392,7 @@ Core::execute(const DecodedInst &d, Addr cur_pc)
         return ExecResult::Redirect;
       }
       case Op::Wfi: {
-        uint32_t cause;
-        if (interruptPending(cause))
+        if (wfiWakePending())
             return ExecResult::Next;
         pc_ = cur_pc + 4;
         waiting_ = true;
@@ -438,8 +443,14 @@ Core::run(uint64_t max_insts)
             waiting_ = false;
             trap(icause, 0, pc_);
         }
-        if (waiting_)
-            return StopReason::Wfi;
+        if (waiting_) {
+            // Pending-but-masked interrupts end the stall without
+            // trapping; execution resumes after the wfi.
+            if (wfiWakePending())
+                waiting_ = false;
+            else
+                return StopReason::Wfi;
+        }
 
         TranslateResult tr =
             mmu_.translate(pc_, AccessType::Fetch, priv_, satp_);

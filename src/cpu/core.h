@@ -137,6 +137,13 @@ class Core
     void trap(uint32_t cause, uint32_t tval, Addr epc);
     bool interruptPending(uint32_t &cause) const;
 
+    /** WFI wake-up condition: an interrupt is pending in mip & mie.
+     *  Unlike interruptPending() this ignores mstatus.MIE — the RISC-V
+     *  spec resumes a stalled hart on pending-but-globally-masked
+     *  interrupts, which is what makes the canonical
+     *  mask / check / wfi / unmask wait loop race-free. */
+    bool wfiWakePending() const;
+
     bool memLoad(Addr va, unsigned size, bool sign_extend, uint32_t &out,
                  Addr cur_pc);
     bool memStore(Addr va, unsigned size, uint32_t value, Addr cur_pc);

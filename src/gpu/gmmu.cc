@@ -4,21 +4,27 @@
 
 namespace bifsim::gpu {
 
-bool
-GpuMmu::translate(uint32_t va, bool write, GpuTlb &tlb, Addr &pa_out)
+const GpuTlb::Entry *
+GpuMmu::lookup(uint32_t va, bool write, GpuTlb &tlb)
 {
-    uint32_t vpn = va >> 12;
+    uint32_t vpn = va >> kGpuPageShift;
     GpuTlb::Entry &e = tlb.entries[vpn % GpuTlb::kEntries];
-    if (e.valid && e.vpn == vpn) {
-        if (write && !e.writable)
-            return false;
-        pa_out = (static_cast<Addr>(e.ppn) << 12) | (va & 0xfff);
-        return true;
+    if (e.vpn == vpn) [[likely]] {
+        if (write && !e.writable) [[unlikely]]
+            return nullptr;
+        tlb.arrayHits++;
+        tlb.last = &e;
+        return &e;
     }
+    return walkFill(va, write, tlb);
+}
 
+const GpuTlb::Entry *
+GpuMmu::walkFill(uint32_t va, bool write, GpuTlb &tlb)
+{
     Addr root = root_.load(std::memory_order_acquire);
     if (root == 0)
-        return false;
+        return nullptr;
     walks_.fetch_add(1, std::memory_order_relaxed);
 
     uint32_t vpn1 = bits(va, 31, 22);
@@ -26,27 +32,45 @@ GpuMmu::translate(uint32_t va, bool write, GpuTlb &tlb, Addr &pa_out)
 
     Addr l1_addr = root + vpn1 * 4;
     if (!mem_.contains(l1_addr, 4))
-        return false;
+        return nullptr;
     uint32_t pte1 = mem_.read<uint32_t>(l1_addr);
     if (!(pte1 & kGpuPteValid))
-        return false;
+        return nullptr;
 
-    Addr l0 = static_cast<Addr>((pte1 >> 10) & 0xfffffu) << 12;
+    Addr l0 = static_cast<Addr>((pte1 >> 10) & 0xfffffu) << kGpuPageShift;
     Addr l0_addr = l0 + vpn0 * 4;
     if (!mem_.contains(l0_addr, 4))
-        return false;
+        return nullptr;
     uint32_t pte0 = mem_.read<uint32_t>(l0_addr);
     if (!(pte0 & kGpuPteValid))
-        return false;
+        return nullptr;
 
-    e.valid = true;
+    uint32_t vpn = va >> kGpuPageShift;
+    GpuTlb::Entry &e = tlb.entries[vpn % GpuTlb::kEntries];
     e.vpn = vpn;
     e.ppn = (pte0 >> 10) & 0xfffffu;
     e.writable = (pte0 & kGpuPteWrite) != 0;
+    // Cache the host pointer only when the whole frame is RAM-backed;
+    // otherwise accesses through this entry take the physical-address
+    // slow path with its per-access bounds check.
+    Addr frame = static_cast<Addr>(e.ppn) << kGpuPageShift;
+    e.host = mem_.contains(frame, kGpuPageBytes) ? mem_.hostPtr(frame)
+                                                 : nullptr;
 
     if (write && !e.writable)
+        return nullptr;
+    tlb.last = &e;
+    return &e;
+}
+
+bool
+GpuMmu::translate(uint32_t va, bool write, GpuTlb &tlb, Addr &pa_out)
+{
+    const GpuTlb::Entry *e = lookup(va, write, tlb);
+    if (!e)
         return false;
-    pa_out = (static_cast<Addr>(e.ppn) << 12) | (va & 0xfff);
+    pa_out = (static_cast<Addr>(e->ppn) << kGpuPageShift) |
+             (va & (kGpuPageBytes - 1));
     return true;
 }
 

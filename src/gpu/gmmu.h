@@ -16,6 +16,14 @@
  *
  *   PTE: bit0 VALID, bit1 WRITE; PPN in bits [29:10]
  *   level-1 entries are always pointers (no huge pages).
+ *
+ * Fast path: successful walks cache the *host* pointer to the frame in
+ * the worker's TLB entry, so a hit turns a shader load/store into a
+ * direct memcpy with no physical-address recomposition and no per-access
+ * RAM bounds check.  Invalidation is epoch-based: AS_COMMAND, root
+ * changes and job boundaries bump a global epoch counter; workers
+ * compare their TLB's epoch lazily at clause boundaries and flush only
+ * when stale, so there is no cross-thread flush coordination.
  */
 
 #include <atomic>
@@ -25,6 +33,8 @@
 
 namespace bifsim::gpu {
 
+class GpuMmu;
+
 /** GPU PTE bits. */
 enum GpuPteBits : uint32_t
 {
@@ -32,28 +42,54 @@ enum GpuPteBits : uint32_t
     kGpuPteWrite = 1u << 1,
 };
 
+/** GPU page geometry. */
+constexpr uint32_t kGpuPageShift = 12;
+constexpr uint32_t kGpuPageBytes = 1u << kGpuPageShift;
+
 /** A small per-worker TLB; workers own one each so no locking is needed
  *  on the translation fast path. */
 struct GpuTlb
 {
     static constexpr size_t kEntries = 64;
 
+    /** Sentinel VPN: 32-bit GPU VAs have 20-bit VPNs, so this never
+     *  matches a real page and doubles as the invalid marker. */
+    static constexpr uint32_t kInvalidVpn = 0xffffffffu;
+
     struct Entry
     {
-        bool valid = false;
-        uint32_t vpn = 0;
+        uint32_t vpn = kInvalidVpn;
         uint32_t ppn = 0;
+        uint8_t *host = nullptr;  ///< Host pointer to the frame base, or
+                                  ///< null if the frame is not entirely
+                                  ///< inside RAM (slow path per access).
         bool writable = false;
     };
 
     Entry entries[kEntries];
 
+    /** One-entry last-page cache in front of the set-indexed array. */
+    const Entry *last = nullptr;
+
+    /** Epoch observed at the last flush (see GpuMmu::epoch()). */
+    uint64_t epoch = 0;
+
+    // Per-worker translation counters (no atomics; folded into the job
+    // result at completion).
+    uint64_t lastPageHits = 0;
+    uint64_t arrayHits = 0;
+
     void
     flush()
     {
         for (Entry &e : entries)
-            e.valid = false;
+            e.vpn = kInvalidVpn;
+        last = nullptr;
     }
+
+    /** Lazily flushes if the MMU epoch moved (clause-boundary check).
+     *  @return true if a flush happened. */
+    inline bool syncEpoch(const GpuMmu &mmu);
 };
 
 /**
@@ -66,8 +102,14 @@ class GpuMmu
   public:
     explicit GpuMmu(PhysMem &mem) : mem_(mem) {}
 
-    /** Sets the page-table root physical address (AS_TRANSTAB). */
-    void setRoot(Addr root_pa) { root_.store(root_pa); }
+    /** Sets the page-table root physical address (AS_TRANSTAB).
+     *  Bumps the epoch: cached translations become stale. */
+    void
+    setRoot(Addr root_pa)
+    {
+        root_.store(root_pa);
+        bumpEpoch();
+    }
 
     /** Current page-table root. */
     Addr root() const { return root_.load(); }
@@ -81,14 +123,51 @@ class GpuMmu
      */
     bool translate(uint32_t va, bool write, GpuTlb &tlb, Addr &pa_out);
 
+    /**
+     * Fast-path lookup: returns the TLB entry covering @p va (filling it
+     * by a walk on miss), or null on a translation/permission fault.
+     * On success the entry is also installed as @p tlb's last-page
+     * cache.  The entry's host pointer is null when the frame is not
+     * entirely inside RAM; callers must then fall back to physical
+     * addressing.
+     */
+    const GpuTlb::Entry *lookup(uint32_t va, bool write, GpuTlb &tlb);
+
     /** Translation statistics (monotonic, approximate under threads). */
     uint64_t walkCount() const { return walks_.load(); }
 
+    /** Global TLB-invalidation epoch (bumped by AS_COMMAND, root
+     *  changes and job boundaries). */
+    uint64_t
+    epoch() const
+    {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    /** Invalidates all worker TLBs lazily: workers notice the new epoch
+     *  at their next clause boundary and flush locally. */
+    void bumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
+
   private:
+    /** Cold path: walks the page table and fills @p e. */
+    const GpuTlb::Entry *walkFill(uint32_t va, bool write, GpuTlb &tlb);
+
     PhysMem &mem_;
     std::atomic<Addr> root_{0};
     std::atomic<uint64_t> walks_{0};
+    std::atomic<uint64_t> epoch_{1};
 };
+
+inline bool
+GpuTlb::syncEpoch(const GpuMmu &mmu)
+{
+    uint64_t cur = mmu.epoch();
+    if (epoch == cur)
+        return false;
+    flush();
+    epoch = cur;
+    return true;
+}
 
 } // namespace bifsim::gpu
 

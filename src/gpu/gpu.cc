@@ -108,8 +108,11 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
         mmu_.setRoot(value);
         break;
       case kRegAsCommand:
-        // TLB flush: worker TLBs are flushed at job start, so a flush
-        // between jobs is implicit; nothing more to do functionally.
+        // TLB flush: bump the global epoch; workers notice at their
+        // next clause boundary and flush locally (no broadcast, no
+        // cross-thread coordination).
+        if (value == 1)
+            mmu_.bumpEpoch();
         break;
       default:
         break;
@@ -274,6 +277,7 @@ GpuDevice::runJob(const JobDescriptor &desc)
     ctx.mmu = &mmu_;
     ctx.mem = &mem_;
     ctx.collect = cfg_.instrument;
+    ctx.fastPath = cfg_.fastPath;
     for (int d = 0; d < 3; ++d)
         ctx.groups[d] = desc.grid[d] / desc.wg[d];
     ctx.totalGroups = ctx.groups[0] * ctx.groups[1] * ctx.groups[2];
@@ -286,6 +290,11 @@ GpuDevice::runJob(const JobDescriptor &desc)
         }
         std::memcpy(ctx.args, argbytes.data(), sizeof(ctx.args));
     }
+
+    // Job boundary: stale translations from the previous job must not
+    // survive.  Workers pick up the new epoch in beginJob.
+    mmu_.bumpEpoch();
+    uint64_t walks_before = mmu_.walkCount();
 
     // Dispatch to the worker pool.
     {
@@ -308,8 +317,11 @@ GpuDevice::runJob(const JobDescriptor &desc)
         result.kernel.merge(ex.collector().kernel);
         pages.insert(ex.collector().pages.begin(),
                      ex.collector().pages.end());
+        result.tlb.lastPageHits += ex.tlb().lastPageHits;
+        result.tlb.arrayHits += ex.tlb().arrayHits;
     }
     result.pagesAccessed = pages.size();
+    result.tlb.walks = mmu_.walkCount() - walks_before;
 
     if (ctx.faulted.load()) {
         return fail(ctx.fault.kind, ctx.fault.va, ctx.fault.detail);

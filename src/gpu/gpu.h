@@ -59,12 +59,16 @@ struct GpuConfig
                                ///< MP8 as on the HiKey960).
     unsigned hostThreads = 8;  ///< Host worker threads ("virtual cores").
     bool instrument = true;    ///< Collect execution statistics.
+    bool fastPath = true;      ///< Micro-op dispatch + host-pointer TLB;
+                               ///< false selects the legacy interpreter
+                               ///< (A/B baseline, differential tests).
 };
 
 /** Merged results for the most recent job. */
 struct JobResult
 {
     KernelStats kernel;
+    TlbStats tlb;              ///< Translation fast-path counters.
     uint64_t pagesAccessed = 0;
     bool faulted = false;
     JobFault fault;

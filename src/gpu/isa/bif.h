@@ -107,6 +107,17 @@ enum Operand : uint8_t
     kOperandNone = 255,
 };
 
+/**
+ * Unified register-file layout used by the interpreter fast path: the
+ * operand encodings above double as indices into one flat per-thread
+ * array (0..63 GRF, 64..71 temps, 72..88 specials preloaded at warp
+ * init), plus a write-discard sink so every micro-op can commit its
+ * result with an unconditional indexed store.  kSrZero serves as the
+ * always-zero source for absent operands.
+ */
+constexpr unsigned kUnifiedSink = kSrZero + 1;         // 89
+constexpr unsigned kNumUnifiedRegs = kUnifiedSink + 1; // 90
+
 /** Returns true for operands naming a GRF register. */
 constexpr bool isGrf(uint8_t op) { return op < kNumGrfRegs; }
 

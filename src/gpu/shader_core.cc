@@ -15,21 +15,81 @@ using bif::Op;
 /** CFG node id used for thread exit (Ret). */
 constexpr uint32_t kCfgExitNode = 0xffffffffu;
 
+namespace {
+
+/** Maps an instruction destination to its unified-register index: only
+ *  GRF/temp destinations of value-producing ops commit; everything else
+ *  lands in the write sink. */
+uint8_t
+mapDst(const bif::Instr &in)
+{
+    if (bif::category(in.op) == bif::Category::ControlFlow ||
+        in.op == Op::StGlobal || in.op == Op::StGlobalU8 ||
+        in.op == Op::StLocal) {
+        return bif::kUnifiedSink;
+    }
+    if (bif::isGrf(in.dst) || bif::isTemp(in.dst))
+        return in.dst;
+    return bif::kUnifiedSink;
+}
+
+/** Maps a source operand to its unified-register index; anything that
+ *  is not a register or special reads the always-zero slot. */
+uint8_t
+mapSrc(uint8_t op)
+{
+    return op <= bif::kSrZero ? op : static_cast<uint8_t>(bif::kSrZero);
+}
+
+} // namespace
+
 DecodedShader
 DecodedShader::build(bif::Module m)
 {
     DecodedShader s;
     s.mod = std::move(m);
     s.info = analyzeClauses(s.mod);
-    s.isBarrier.resize(s.mod.clauses.size(), 0);
-    for (size_t c = 0; c < s.mod.clauses.size(); ++c) {
+    size_t nc = s.mod.clauses.size();
+    s.isBarrier.resize(nc, 0);
+    s.hasCf.resize(nc, 0);
+    s.uopStart.reserve(nc + 1);
+
+    for (size_t c = 0; c < nc; ++c) {
+        s.uopStart.push_back(static_cast<uint32_t>(s.uops.size()));
         for (const bif::Tuple &t : s.mod.clauses[c].tuples) {
             for (const bif::Instr &in : t.slot) {
+                if (in.op == Op::Nop)
+                    continue;
                 if (in.op == Op::Barrier)
                     s.isBarrier[c] = 1;
+                if (bif::category(in.op) == bif::Category::ControlFlow)
+                    s.hasCf[c] = 1;
+
+                MicroOp u;
+                u.op = in.op;
+                u.dst = mapDst(in);
+                u.src0 = mapSrc(in.src0);
+                u.src1 = mapSrc(in.src1);
+                u.src2 = mapSrc(in.src2);
+                u.imm = in.imm;
+                // Pre-resolve table indices so the execute loop needs no
+                // range checks.
+                if (in.op == Op::LdRom) {
+                    if (static_cast<size_t>(in.imm) >= s.mod.rom.size()) {
+                        u.op = Op::MovImm;   // Out-of-range ROM reads 0.
+                        u.imm = 0;
+                    }
+                } else if (in.op == Op::LdArg) {
+                    u.imm = static_cast<int32_t>(
+                        static_cast<uint32_t>(in.imm) % kMaxArgWords);
+                }
+                s.uops.push_back(u);
             }
         }
     }
+    s.uopStart.push_back(static_cast<uint32_t>(s.uops.size()));
+    for (uint8_t b : s.isBarrier)
+        s.anyBarrier |= b != 0;
     return s;
 }
 
@@ -138,18 +198,16 @@ uint32_t
 WorkgroupExecutor::readOperand(const Thread &t, uint8_t op) const
 {
     using namespace bif;
-    if (isGrf(op))
-        return t.grf[op];
-    if (isTemp(op))
-        return t.temp[op - kOperandTemp0];
+    if (isGrf(op) || isTemp(op))
+        return t.reg[op];
     switch (op) {
       case kSrLaneId:
-        return (t.localId[0] + t.localId[1] * job_->desc.wg[0] +
-                t.localId[2] * job_->desc.wg[0] * job_->desc.wg[1]) %
+        return (t.reg[kSrLocalIdX] + t.reg[kSrLocalIdY] * job_->desc.wg[0] +
+                t.reg[kSrLocalIdZ] * job_->desc.wg[0] * job_->desc.wg[1]) %
                kWarpWidth;
-      case kSrLocalIdX: return t.localId[0];
-      case kSrLocalIdY: return t.localId[1];
-      case kSrLocalIdZ: return t.localId[2];
+      case kSrLocalIdX: return t.reg[kSrLocalIdX];
+      case kSrLocalIdY: return t.reg[kSrLocalIdY];
+      case kSrLocalIdZ: return t.reg[kSrLocalIdZ];
       case kSrGroupIdX: return groupId_[0];
       case kSrGroupIdY: return groupId_[1];
       case kSrGroupIdZ: return groupId_[2];
@@ -170,17 +228,86 @@ WorkgroupExecutor::readOperand(const Thread &t, uint8_t op) const
 void
 WorkgroupExecutor::writeOperand(Thread &t, uint8_t op, uint32_t value)
 {
-    if (bif::isGrf(op))
-        t.grf[op] = value;
-    else if (bif::isTemp(op))
-        t.temp[op - bif::kOperandTemp0] = value;
+    if (bif::isGrf(op) || bif::isTemp(op))
+        t.reg[op] = value;
     // Special and None destinations are rejected by the validator;
     // silently ignore for safety.
+}
+
+void
+WorkgroupExecutor::notePage(uint32_t vpn)
+{
+    // Streams of accesses hit the same page; dedupe against the last
+    // insert so the hash-set update leaves the per-access path.
+    if (vpn != lastPageIns_) {
+        coll_.pages.insert(vpn);
+        lastPageIns_ = vpn;
+    }
 }
 
 bool
 WorkgroupExecutor::memAccess(uint32_t va, unsigned size, bool write,
                              uint32_t &val)
+{
+    if (va & (size - 1)) [[unlikely]] {
+        job_->raiseFault(JobFaultKind::BadAccess, va,
+                         "misaligned global access");
+        return false;
+    }
+    uint32_t vpn = va >> kGpuPageShift;
+    const GpuTlb::Entry *e = tlb_.last;
+    if (e && e->vpn == vpn && (!write || e->writable)) [[likely]] {
+        tlb_.lastPageHits++;
+    } else {
+        e = job_->mmu->lookup(va, write, tlb_);
+        if (!e) [[unlikely]] {
+            job_->raiseFault(JobFaultKind::MmuFault, va,
+                             write ? "store translation fault"
+                                   : "load translation fault");
+            return false;
+        }
+    }
+    if (job_->collect)
+        notePage(vpn);
+    if (uint8_t *host = e->host) [[likely]] {
+        host += va & (kGpuPageBytes - 1);
+        if (write) {
+            if (size == 1)
+                *host = static_cast<uint8_t>(val);
+            else
+                std::memcpy(host, &val, 4);
+        } else {
+            if (size == 1)
+                val = *host;
+            else
+                std::memcpy(&val, host, 4);
+        }
+        return true;
+    }
+    // Frame not fully RAM-backed: physical-address slow path with the
+    // per-access bounds check.
+    Addr pa = (static_cast<Addr>(e->ppn) << kGpuPageShift) |
+              (va & (kGpuPageBytes - 1));
+    if (!job_->mem->contains(pa, size)) {
+        job_->raiseFault(JobFaultKind::BadAccess, va,
+                         "physical address outside RAM");
+        return false;
+    }
+    if (write) {
+        if (size == 1)
+            job_->mem->write<uint8_t>(pa, static_cast<uint8_t>(val));
+        else
+            job_->mem->write<uint32_t>(pa, val);
+    } else {
+        val = size == 1 ? job_->mem->read<uint8_t>(pa)
+                        : job_->mem->read<uint32_t>(pa);
+    }
+    return true;
+}
+
+bool
+WorkgroupExecutor::memAccessLegacy(uint32_t va, unsigned size, bool write,
+                                   uint32_t &val)
 {
     if (!isAligned(va, size)) {
         job_->raiseFault(JobFaultKind::BadAccess, va,
@@ -213,6 +340,52 @@ WorkgroupExecutor::memAccess(uint32_t va, unsigned size, bool write,
     return true;
 }
 
+uint32_t *
+WorkgroupExecutor::atomicHostPtr(uint32_t va, bool fast)
+{
+    if (va & 3u) {
+        job_->raiseFault(JobFaultKind::BadAccess, va, "misaligned atomic");
+        return nullptr;
+    }
+    if (fast) {
+        uint32_t vpn = va >> kGpuPageShift;
+        const GpuTlb::Entry *e = tlb_.last;
+        if (e && e->vpn == vpn && e->writable) {
+            tlb_.lastPageHits++;
+        } else {
+            e = job_->mmu->lookup(va, true, tlb_);
+            if (!e) {
+                job_->raiseFault(JobFaultKind::MmuFault, va,
+                                 "atomic translation fault");
+                return nullptr;
+            }
+        }
+        if (job_->collect)
+            notePage(vpn);
+        if (e->host)
+            return reinterpret_cast<uint32_t *>(
+                e->host + (va & (kGpuPageBytes - 1)));
+        Addr pa = (static_cast<Addr>(e->ppn) << kGpuPageShift) |
+                  (va & (kGpuPageBytes - 1));
+        if (!job_->mem->contains(pa, 4)) {
+            job_->raiseFault(JobFaultKind::MmuFault, va,
+                             "atomic translation fault");
+            return nullptr;
+        }
+        return reinterpret_cast<uint32_t *>(job_->mem->hostPtr(pa));
+    }
+    Addr pa = 0;
+    if (!job_->mmu->translate(va, true, tlb_, pa) ||
+        !job_->mem->contains(pa, 4)) {
+        job_->raiseFault(JobFaultKind::MmuFault, va,
+                         "atomic translation fault");
+        return nullptr;
+    }
+    if (job_->collect)
+        coll_.pages.insert(va >> 12);
+    return reinterpret_cast<uint32_t *>(job_->mem->hostPtr(pa));
+}
+
 bool
 WorkgroupExecutor::localAccess(uint32_t offset, bool write, uint32_t &val)
 {
@@ -229,7 +402,244 @@ WorkgroupExecutor::localAccess(uint32_t offset, bool write, uint32_t &val)
 }
 
 bool
+WorkgroupExecutor::commitClause(Warp &warp, uint32_t c, uint32_t mask,
+                                bool has_cf, const uint32_t *next_pc,
+                                const bool *exits)
+{
+    // Commit thread PCs and record divergence (paper §IV-C: PCs are
+    // tracked on clause boundaries).
+    unsigned active = 0;
+    uint32_t first_next = 0;
+    bool divergent = false;
+    bool first = true;
+    for (unsigned t = 0; t < warp.numThreads; ++t) {
+        if (!(mask & (1u << t)))
+            continue;
+        active++;
+        Thread &th = warp.threads[t];
+        uint32_t nxt = exits[t] ? kCfgExitNode : next_pc[t];
+        if (first) {
+            first_next = nxt;
+            first = false;
+        } else if (nxt != first_next) {
+            divergent = true;
+        }
+        if (exits[t])
+            th.done = true;
+        else
+            th.pc = next_pc[t];
+        if (job_->collect && has_cf)
+            coll_.kernel.cfgEdges[cfgEdgeKey(c, nxt)]++;
+    }
+    if (job_->collect) {
+        groupExec_[c] += active;
+        if (divergent)
+            coll_.kernel.divergentBranches++;
+    }
+    return true;
+}
+
+bool
 WorkgroupExecutor::execClause(Warp &warp, uint32_t c, uint32_t mask)
+{
+    const DecodedShader &sh = *job_->shader;
+    const MicroOp *u = sh.uops.data() + sh.uopStart[c];
+    const MicroOp *uend = sh.uops.data() + sh.uopStart[c + 1];
+    const uint32_t *rom = sh.mod.rom.data();
+    const uint32_t *args = job_->args;
+
+    uint32_t next_pc[bif::kWarpWidth];
+    bool exits[bif::kWarpWidth] = {};
+    for (unsigned t = 0; t < warp.numThreads; ++t)
+        next_pc[t] = c + 1;
+
+    for (; u != uend; ++u) {
+        for (unsigned t = 0; t < warp.numThreads; ++t) {
+            if (!(mask & (1u << t)))
+                continue;
+            Thread &th = warp.threads[t];
+            uint32_t a = th.reg[u->src0];
+            uint32_t b = th.reg[u->src1];
+            uint32_t cc = th.reg[u->src2];
+            uint32_t r = 0;
+            switch (u->op) {
+              case Op::FAdd: r = asU(asF(a) + asF(b)); break;
+              case Op::FSub: r = asU(asF(a) - asF(b)); break;
+              case Op::FMul: r = asU(asF(a) * asF(b)); break;
+              case Op::FFma:
+                r = asU(asF(a) * asF(b) + asF(cc));
+                break;
+              case Op::FMin: r = asU(std::fmin(asF(a), asF(b))); break;
+              case Op::FMax: r = asU(std::fmax(asF(a), asF(b))); break;
+              case Op::FAbs: r = asU(std::fabs(asF(a))); break;
+              case Op::FNeg: r = asU(-asF(a)); break;
+              case Op::FFloor: r = asU(std::floor(asF(a))); break;
+              case Op::IAdd: r = a + b; break;
+              case Op::ISub: r = a - b; break;
+              case Op::IMul: r = a * b; break;
+              case Op::IAnd: r = a & b; break;
+              case Op::IOr:  r = a | b; break;
+              case Op::IXor: r = a ^ b; break;
+              case Op::INot: r = ~a; break;
+              case Op::IShl: r = a << (b & 31); break;
+              case Op::IShr: r = a >> (b & 31); break;
+              case Op::IAsr:
+                r = static_cast<uint32_t>(
+                    static_cast<int32_t>(a) >> (b & 31));
+                break;
+              case Op::IMin:
+                r = static_cast<int32_t>(a) < static_cast<int32_t>(b)
+                        ? a : b;
+                break;
+              case Op::IMax:
+                r = static_cast<int32_t>(a) > static_cast<int32_t>(b)
+                        ? a : b;
+                break;
+              case Op::UMin: r = a < b ? a : b; break;
+              case Op::UMax: r = a > b ? a : b; break;
+              case Op::FCmp: {
+                int q = cmp3(asF(a), asF(b));
+                bif::CmpMode m = static_cast<bif::CmpMode>(u->imm & 7);
+                bool res = q == 2 ? m == bif::CmpMode::Ne
+                                  : compare(m, q);
+                r = res ? 1 : 0;
+                break;
+              }
+              case Op::ICmp: {
+                int32_t sa = static_cast<int32_t>(a);
+                int32_t sb = static_cast<int32_t>(b);
+                int q = sa < sb ? -1 : sa > sb ? 1 : 0;
+                r = compare(static_cast<bif::CmpMode>(u->imm & 7), q);
+                break;
+              }
+              case Op::UCmp: {
+                int q = a < b ? -1 : a > b ? 1 : 0;
+                r = compare(static_cast<bif::CmpMode>(u->imm & 7), q);
+                break;
+              }
+              case Op::CSel: r = a != 0 ? b : cc; break;
+              case Op::Mov: r = a; break;
+              case Op::MovImm: r = static_cast<uint32_t>(u->imm); break;
+              case Op::F2I: r = saturatingF2I(asF(a)); break;
+              case Op::F2U: r = saturatingF2U(asF(a)); break;
+              case Op::I2F:
+                r = asU(static_cast<float>(static_cast<int32_t>(a)));
+                break;
+              case Op::U2F: r = asU(static_cast<float>(a)); break;
+              case Op::FRcp: r = asU(1.0f / asF(a)); break;
+              case Op::FRsqrt:
+                r = asU(1.0f / std::sqrt(asF(a)));
+                break;
+              case Op::FSqrt: r = asU(std::sqrt(asF(a))); break;
+              case Op::FExp2: r = asU(std::exp2(asF(a))); break;
+              case Op::FLog2: r = asU(std::log2(asF(a))); break;
+              case Op::FSin: r = asU(std::sin(asF(a))); break;
+              case Op::FCos: r = asU(std::cos(asF(a))); break;
+              case Op::IDiv: {
+                int32_t sa = static_cast<int32_t>(a);
+                int32_t sb = static_cast<int32_t>(b);
+                if (sb == 0)
+                    r = 0;
+                else if (sa == std::numeric_limits<int32_t>::min() &&
+                         sb == -1)
+                    r = a;
+                else
+                    r = static_cast<uint32_t>(sa / sb);
+                break;
+              }
+              case Op::IRem: {
+                int32_t sa = static_cast<int32_t>(a);
+                int32_t sb = static_cast<int32_t>(b);
+                if (sb == 0)
+                    r = 0;
+                else if (sa == std::numeric_limits<int32_t>::min() &&
+                         sb == -1)
+                    r = 0;
+                else
+                    r = static_cast<uint32_t>(sa % sb);
+                break;
+              }
+              case Op::UDiv: r = b ? a / b : 0; break;
+              case Op::URem: r = b ? a % b : 0; break;
+              case Op::LdRom:
+                r = rom[u->imm];   // Pre-range-checked at decode.
+                break;
+              case Op::LdArg:
+                r = args[u->imm];  // Pre-wrapped at decode.
+                break;
+              case Op::LdGlobal:
+                if (!memAccess(a + u->imm, 4, false, r)) [[unlikely]]
+                    return false;
+                break;
+              case Op::LdGlobalU8:
+                if (!memAccess(a + u->imm, 1, false, r)) [[unlikely]]
+                    return false;
+                break;
+              case Op::StGlobal:
+                if (!memAccess(a + u->imm, 4, true, b)) [[unlikely]]
+                    return false;
+                break;
+              case Op::StGlobalU8:
+                if (!memAccess(a + u->imm, 1, true, b)) [[unlikely]]
+                    return false;
+                break;
+              case Op::LdLocal:
+                if (!localAccess(a + u->imm, false, r)) [[unlikely]]
+                    return false;
+                break;
+              case Op::StLocal:
+                if (!localAccess(a + u->imm, true, b)) [[unlikely]]
+                    return false;
+                break;
+              case Op::AtomAddG: {
+                uint32_t *p = atomicHostPtr(a + u->imm, true);
+                if (!p) [[unlikely]]
+                    return false;
+                r = __atomic_fetch_add(p, b, __ATOMIC_SEQ_CST);
+                break;
+              }
+              case Op::AtomAddL: {
+                uint32_t off = a + u->imm;
+                uint32_t old = 0;
+                if (!localAccess(off, false, old))
+                    return false;
+                uint32_t nv = old + b;
+                if (!localAccess(off, true, nv))
+                    return false;
+                r = old;
+                break;
+              }
+              case Op::Branch:
+                next_pc[t] = static_cast<uint32_t>(u->imm);
+                break;
+              case Op::BranchZ:
+                if (a == 0)
+                    next_pc[t] = static_cast<uint32_t>(u->imm);
+                break;
+              case Op::BranchNZ:
+                if (a != 0)
+                    next_pc[t] = static_cast<uint32_t>(u->imm);
+                break;
+              case Op::Ret:
+                exits[t] = true;
+                break;
+              case Op::Barrier:
+                // Handled at warp level (barrier clauses are alone).
+                break;
+              default:
+                break;
+            }
+            // Destinations are pre-resolved: non-writing ops target the
+            // sink slot, so the commit is a branch-free indexed store.
+            th.reg[u->dst] = r;
+        }
+    }
+
+    return commitClause(warp, c, mask, sh.hasCf[c] != 0, next_pc, exits);
+}
+
+bool
+WorkgroupExecutor::execClauseLegacy(Warp &warp, uint32_t c, uint32_t mask)
 {
     const bif::Clause &cl = job_->shader->mod.clauses[c];
     const std::vector<uint32_t> &rom = job_->shader->mod.rom;
@@ -364,19 +774,19 @@ WorkgroupExecutor::execClause(Warp &warp, uint32_t c, uint32_t mask)
                                    kMaxArgWords];
                     break;
                   case Op::LdGlobal:
-                    if (!memAccess(a + in.imm, 4, false, r))
+                    if (!memAccessLegacy(a + in.imm, 4, false, r))
                         return false;
                     break;
                   case Op::LdGlobalU8:
-                    if (!memAccess(a + in.imm, 1, false, r))
+                    if (!memAccessLegacy(a + in.imm, 1, false, r))
                         return false;
                     break;
                   case Op::StGlobal:
-                    if (!memAccess(a + in.imm, 4, true, b))
+                    if (!memAccessLegacy(a + in.imm, 4, true, b))
                         return false;
                     break;
                   case Op::StGlobalU8:
-                    if (!memAccess(a + in.imm, 1, true, b))
+                    if (!memAccessLegacy(a + in.imm, 1, true, b))
                         return false;
                     break;
                   case Op::LdLocal:
@@ -388,23 +798,9 @@ WorkgroupExecutor::execClause(Warp &warp, uint32_t c, uint32_t mask)
                         return false;
                     break;
                   case Op::AtomAddG: {
-                    uint32_t va = a + in.imm;
-                    if (!isAligned(va, 4)) {
-                        job_->raiseFault(JobFaultKind::BadAccess, va,
-                                         "misaligned atomic");
+                    uint32_t *p = atomicHostPtr(a + in.imm, false);
+                    if (!p)
                         return false;
-                    }
-                    Addr pa = 0;
-                    if (!job_->mmu->translate(va, true, tlb_, pa) ||
-                        !job_->mem->contains(pa, 4)) {
-                        job_->raiseFault(JobFaultKind::MmuFault, va,
-                                         "atomic translation fault");
-                        return false;
-                    }
-                    if (job_->collect)
-                        coll_.pages.insert(va >> 12);
-                    auto *p = reinterpret_cast<uint32_t *>(
-                        job_->mem->hostPtr(pa));
                     r = __atomic_fetch_add(p, b, __ATOMIC_SEQ_CST);
                     break;
                   }
@@ -449,45 +845,19 @@ WorkgroupExecutor::execClause(Warp &warp, uint32_t c, uint32_t mask)
         }
     }
 
-    // Commit thread PCs and record divergence (paper §IV-C: PCs are
-    // tracked on clause boundaries).
-    unsigned active = 0;
-    uint32_t first_next = 0;
-    bool divergent = false;
-    bool first = true;
-    for (unsigned t = 0; t < warp.numThreads; ++t) {
-        if (!(mask & (1u << t)))
-            continue;
-        active++;
-        Thread &th = warp.threads[t];
-        uint32_t nxt = exits[t] ? kCfgExitNode : next_pc[t];
-        if (first) {
-            first_next = nxt;
-            first = false;
-        } else if (nxt != first_next) {
-            divergent = true;
-        }
-        if (exits[t])
-            th.done = true;
-        else
-            th.pc = next_pc[t];
-        if (job_->collect && has_cf)
-            coll_.kernel.cfgEdges[cfgEdgeKey(c, nxt)]++;
-    }
-    if (job_->collect) {
-        coll_.clauseExec[c] += active;
-        if (divergent)
-            coll_.kernel.divergentBranches++;
-    }
-    return true;
+    return commitClause(warp, c, mask, has_cf, next_pc, exits);
 }
 
 WorkgroupExecutor::WarpStop
 WorkgroupExecutor::runWarp(Warp &warp)
 {
+    const bool fast = job_->fastPath;
     for (;;) {
-        if (job_->faulted.load(std::memory_order_acquire))
+        if (job_->faulted.load(std::memory_order_acquire)) [[unlikely]]
             return WarpStop::Fault;
+        // Lazy TLB shootdown (epoch compare at clause boundaries).
+        tlb_.syncEpoch(*job_->mmu);
+
         uint32_t minpc = kCfgExitNode;
         unsigned alive = 0;
         for (unsigned t = 0; t < warp.numThreads; ++t) {
@@ -522,7 +892,7 @@ WorkgroupExecutor::runWarp(Warp &warp)
                     warp.threads[t].pc = minpc + 1;
             }
             if (job_->collect) {
-                coll_.clauseExec[minpc] += alive;
+                groupExec_[minpc] += alive;
             }
             warp.atBarrier = true;
             return WarpStop::Barrier;
@@ -534,7 +904,9 @@ WorkgroupExecutor::runWarp(Warp &warp)
             if (!th.done && th.pc == minpc)
                 mask |= 1u << t;
         }
-        if (!execClause(warp, minpc, mask))
+        bool ok = fast ? execClause(warp, minpc, mask)
+                       : execClauseLegacy(warp, minpc, mask);
+        if (!ok)
             return WarpStop::Fault;
     }
 }
@@ -543,12 +915,68 @@ void
 WorkgroupExecutor::beginJob(JobContext *job)
 {
     job_ = job;
-    tlb_.flush();
+    // Epoch-based shootdown: the device bumps the MMU epoch at job
+    // boundaries (and on AS_COMMAND); stale worker TLBs flush here.
+    tlb_.syncEpoch(*job->mmu);
+    tlb_.lastPageHits = 0;
+    tlb_.arrayHits = 0;
+    lastPageIns_ = 0xffffffffu;
     size_t num_clauses = job->shader->mod.clauses.size();
     coll_.reset(num_clauses);
+    groupExec_.assign(num_clauses, 0);
     uint32_t local_bytes =
         std::max(job->desc.localSize, job->shader->mod.localBytes);
     local_.assign(local_bytes, 0);
+}
+
+void
+WorkgroupExecutor::initWarp(Warp &w, uint32_t warp_idx,
+                            uint32_t group_threads)
+{
+    using namespace bif;
+    const JobDescriptor &d = job_->desc;
+    uint32_t base_tid = warp_idx * kWarpWidth;
+    w.numThreads =
+        std::min<uint32_t>(kWarpWidth, group_threads - base_tid);
+    w.atBarrier = false;
+    for (unsigned t = 0; t < w.numThreads; ++t) {
+        Thread &th = w.threads[t];
+        std::memset(th.reg, 0, sizeof(th.reg));
+        uint32_t tid = base_tid + t;
+        // Specials live in the unified register file, preloaded once per
+        // warp so the execute loop reads them like any register.
+        th.reg[kSrLaneId] = tid % kWarpWidth;
+        th.reg[kSrLocalIdX] = tid % d.wg[0];
+        th.reg[kSrLocalIdY] = (tid / d.wg[0]) % d.wg[1];
+        th.reg[kSrLocalIdZ] = tid / (d.wg[0] * d.wg[1]);
+        th.reg[kSrGroupIdX] = groupId_[0];
+        th.reg[kSrGroupIdY] = groupId_[1];
+        th.reg[kSrGroupIdZ] = groupId_[2];
+        th.reg[kSrLocalSizeX] = d.wg[0];
+        th.reg[kSrLocalSizeY] = d.wg[1];
+        th.reg[kSrLocalSizeZ] = d.wg[2];
+        th.reg[kSrGridSizeX] = d.grid[0];
+        th.reg[kSrGridSizeY] = d.grid[1];
+        th.reg[kSrGridSizeZ] = d.grid[2];
+        th.reg[kSrNumGroupsX] = job_->groups[0];
+        th.reg[kSrNumGroupsY] = job_->groups[1];
+        th.reg[kSrNumGroupsZ] = job_->groups[2];
+        th.pc = 0;
+        th.done = false;
+    }
+}
+
+void
+WorkgroupExecutor::foldGroupExec()
+{
+    // Lazy instrumentation fold (paper §IV-A): once per workgroup, not
+    // per clause.
+    for (size_t c = 0; c < groupExec_.size(); ++c) {
+        if (groupExec_[c]) {
+            coll_.clauseExec[c] += groupExec_[c];
+            groupExec_[c] = 0;
+        }
+    }
 }
 
 void
@@ -570,42 +998,23 @@ WorkgroupExecutor::runGroup(uint32_t linear_group)
     coll_.kernel.warpsLaunched += num_warps;
     coll_.kernel.threadsLaunched += group_threads;
 
-    auto init_warp = [&](Warp &w, uint32_t warp_idx) {
-        uint32_t base_tid = warp_idx * bif::kWarpWidth;
-        w.numThreads =
-            std::min<uint32_t>(bif::kWarpWidth, group_threads - base_tid);
-        w.atBarrier = false;
-        for (unsigned t = 0; t < w.numThreads; ++t) {
-            Thread &th = w.threads[t];
-            std::memset(th.grf, 0, sizeof(th.grf));
-            std::memset(th.temp, 0, sizeof(th.temp));
-            uint32_t tid = base_tid + t;
-            th.localId[0] = tid % d.wg[0];
-            th.localId[1] = (tid / d.wg[0]) % d.wg[1];
-            th.localId[2] = tid / (d.wg[0] * d.wg[1]);
-            th.pc = 0;
-            th.done = false;
-        }
-    };
-
-    bool has_barrier = false;
-    for (uint8_t b : job_->shader->isBarrier)
-        has_barrier |= b != 0;
-
-    if (!has_barrier) {
+    if (!job_->shader->anyBarrier) {
         Warp w;
         for (uint32_t wi = 0; wi < num_warps; ++wi) {
-            init_warp(w, wi);
-            if (runWarp(w) == WarpStop::Fault)
+            initWarp(w, wi, group_threads);
+            if (runWarp(w) == WarpStop::Fault) {
+                foldGroupExec();
                 return;
+            }
         }
+        foldGroupExec();
         return;
     }
 
     // Barrier path: all warps of the group live simultaneously.
     std::vector<Warp> warps(num_warps);
     for (uint32_t wi = 0; wi < num_warps; ++wi)
-        init_warp(warps[wi], wi);
+        initWarp(warps[wi], wi, group_threads);
 
     for (;;) {
         bool all_done = true;
@@ -622,8 +1031,10 @@ WorkgroupExecutor::runGroup(uint32_t linear_group)
                 continue;
             }
             WarpStop s = runWarp(w);
-            if (s == WarpStop::Fault)
+            if (s == WarpStop::Fault) {
+                foldGroupExec();
                 return;
+            }
             if (s == WarpStop::Barrier)
                 any_barrier = true;
         }
@@ -635,6 +1046,7 @@ WorkgroupExecutor::runGroup(uint32_t linear_group)
                 w.atBarrier = false;
         }
     }
+    foldGroupExec();
 }
 
 void

@@ -13,6 +13,16 @@
  * claimed by host worker threads via an atomic counter — the "virtual
  * cores" optimisation: more host threads than guest shader cores, with
  * simulator-private local memory per host thread.
+ *
+ * Execute fast path: at decode time each clause's tuples are lowered
+ * into a dense pre-resolved micro-op array (opcode, unified-register
+ * operand indices, immediate), so the per-warp execute loop iterates a
+ * flat array instead of re-walking tuple/slot structures and re-testing
+ * operand kinds.  Because every shader is decoded exactly once
+ * (§III-B2), the lowering cost amortises to zero.  The original
+ * tuple-walking interpreter is retained as the "legacy" dispatch path
+ * (GpuConfig::fastPath = false) for differential testing and for the
+ * before/after hot-path benchmark.
  */
 
 #include <atomic>
@@ -29,12 +39,37 @@
 
 namespace bifsim::gpu {
 
+/**
+ * One pre-resolved instruction of the flattened dispatch stream.
+ *
+ * Operands are unified register-file indices (see bif.h): absent
+ * sources read the always-zero kSrZero slot and non-writing or invalid
+ * destinations target the kUnifiedSink slot, so the execute loop needs
+ * no per-instruction operand-kind or writeback tests.
+ */
+struct MicroOp
+{
+    bif::Op op = bif::Op::Nop;
+    uint8_t dst = bif::kUnifiedSink;
+    uint8_t src0 = bif::kSrZero;
+    uint8_t src1 = bif::kSrZero;
+    uint8_t src2 = bif::kSrZero;
+    int32_t imm = 0;
+};
+
 /** A decoded shader with precomputed static instrumentation. */
 struct DecodedShader
 {
     bif::Module mod;
     std::vector<ClauseStaticInfo> info;
     std::vector<uint8_t> isBarrier;   ///< Per clause: barrier clause?
+
+    // Flattened micro-op dispatch stream (paper §III-B2: built exactly
+    // once per shader at decode time).
+    std::vector<MicroOp> uops;        ///< All clauses, Nop slots elided.
+    std::vector<uint32_t> uopStart;   ///< Per clause, size clauses+1.
+    std::vector<uint8_t> hasCf;       ///< Per clause: any control flow?
+    bool anyBarrier = false;          ///< Any barrier clause at all?
 
     /** Builds the derived tables from @p m. */
     static DecodedShader build(bif::Module m);
@@ -100,6 +135,8 @@ struct JobContext
     uint32_t groups[3] = {1, 1, 1};
     uint32_t totalGroups = 1;
     bool collect = true;                ///< Instrumentation enabled.
+    bool fastPath = true;               ///< Micro-op dispatch + host-ptr
+                                        ///< TLB (false = legacy loop).
 
     std::atomic<uint32_t> nextGroup{0};
     std::atomic<bool> faulted{false};
@@ -123,7 +160,7 @@ class WorkgroupExecutor
   public:
     WorkgroupExecutor() = default;
 
-    /** Prepares for a new job: flushes the TLB, resets collectors. */
+    /** Prepares for a new job: syncs the TLB epoch, resets collectors. */
     void beginJob(JobContext *job);
 
     /** Claims and runs workgroups until the job's counter drains. */
@@ -136,13 +173,16 @@ class WorkgroupExecutor
     /** The worker's merged statistics (valid after finalize()). */
     const WorkerCollector &collector() const { return coll_; }
 
+    /** The worker's TLB (counters folded into the job result). */
+    const GpuTlb &tlb() const { return tlb_; }
+
   private:
-    /** Per-thread state within a warp. */
+    /** Per-thread state within a warp: one unified register file (GRF,
+     *  clause temporaries, warp-init-preloaded specials, write sink)
+     *  plus the clause-granular PC. */
     struct Thread
     {
-        uint32_t grf[bif::kNumGrfRegs];
-        uint32_t temp[bif::kNumTempRegs];
-        uint32_t localId[3];
+        uint32_t reg[bif::kNumUnifiedRegs];
         uint32_t pc;           ///< Clause index.
         bool done;
     };
@@ -163,17 +203,39 @@ class WorkgroupExecutor
     WorkerCollector coll_;
     uint32_t groupId_[3] = {0, 0, 0};
 
+    // Lazy instrumentation (§IV-A): clause execution counts accumulate
+    // into this scratch array while a workgroup runs and fold into the
+    // collector once per group, off the per-clause path.
+    std::vector<uint64_t> groupExec_;
+    uint32_t lastPageIns_ = 0xffffffffu;  ///< Last page-set insert.
+
     void runGroup(uint32_t linear_group);
     WarpStop runWarp(Warp &warp);
-    /** Executes clause @p c for the @p mask threads of @p warp.
-     *  Returns false on fault. */
+    void initWarp(Warp &w, uint32_t warp_idx, uint32_t group_threads);
+    void foldGroupExec();
+
+    /** Executes clause @p c for the @p mask threads of @p warp over the
+     *  flattened micro-op stream.  Returns false on fault. */
     bool execClause(Warp &warp, uint32_t c, uint32_t mask);
+
+    /** The pre-overhaul tuple-walking interpreter, kept verbatim as the
+     *  before/after baseline and differential-test subject. */
+    bool execClauseLegacy(Warp &warp, uint32_t c, uint32_t mask);
+
+    /** Commits per-thread next-PCs and divergence bookkeeping shared by
+     *  both dispatch paths. */
+    bool commitClause(Warp &warp, uint32_t c, uint32_t mask, bool has_cf,
+                      const uint32_t *next_pc, const bool *exits);
 
     uint32_t readOperand(const Thread &t, uint8_t op) const;
     void writeOperand(Thread &t, uint8_t op, uint32_t value);
 
     bool memAccess(uint32_t va, unsigned size, bool write, uint32_t &val);
+    bool memAccessLegacy(uint32_t va, unsigned size, bool write,
+                         uint32_t &val);
     bool localAccess(uint32_t offset, bool write, uint32_t &val);
+    uint32_t *atomicHostPtr(uint32_t va, bool fast);
+    void notePage(uint32_t vpn);
 };
 
 } // namespace bifsim::gpu

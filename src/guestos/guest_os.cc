@@ -66,12 +66,20 @@ do_submit:
         sw   zero, 32(s0)           # IRQFLAG = 0
         lw   t1, 8(s0)              # DESC_VA
         sw   t1, 0x20(t0)           # JS_SUBMIT
+        li   t3, 8                  # mstatus.MIE
+# Canonical race-free wait: mask interrupts, re-check the flag, then
+# wfi.  A completion IRQ landing between the check and the wfi stays
+# pending (masked), so the wfi falls through instead of sleeping on a
+# wakeup the handler already consumed.
 wait_done:
+        csrc mstatus, t3            # mask interrupts
         lw   t1, 32(s0)             # IRQFLAG (JS_STATUS when finished)
         bnez t1, have_flag
-        wfi                         # Sleep until the GPU interrupts.
+        wfi                         # Wakes on pending even while masked.
+        csrs mstatus, t3            # unmask: deliver the interrupt now
         j    wait_done
 have_flag:
+        csrs mstatus, t3            # unmask before proceeding
         li   t2, 2                  # JS_STATUS done
         beq  t1, t2, submit_ok
         li   t1, 1

@@ -101,6 +101,36 @@ cfgEdgeKey(uint32_t from, uint32_t to)
     return (static_cast<uint64_t>(from) << 32) | to;
 }
 
+/** Translation fast-path statistics (host-pointer TLB). */
+struct TlbStats
+{
+    uint64_t lastPageHits = 0;  ///< One-entry last-page cache hits.
+    uint64_t arrayHits = 0;     ///< Set-indexed TLB array hits.
+    uint64_t walks = 0;         ///< Full page-table walks.
+
+    uint64_t
+    lookups() const
+    {
+        return lastPageHits + arrayHits + walks;
+    }
+
+    /** Fraction of translations served without a walk. */
+    double
+    hitRate() const
+    {
+        uint64_t n = lookups();
+        return n ? static_cast<double>(n - walks) / n : 0.0;
+    }
+
+    void
+    merge(const TlbStats &other)
+    {
+        lastPageHits += other.lastPageHits;
+        arrayHits += other.arrayHits;
+        walks += other.walks;
+    }
+};
+
 /** System-level statistics (paper Table III). */
 struct SystemStats
 {

@@ -235,10 +235,14 @@ Session::mailboxCommand(uint32_t cmd, uint32_t desc_va)
     m.write<uint32_t>(mb + guestos::kMbStatus, 0);
     m.write<uint32_t>(mb + guestos::kMbCmd, cmd);
 
-    // Run the guest driver until it reports completion.
+    // Run the guest driver until it reports completion.  The batch is
+    // kept small so driverInstructions() resolves the actual per-command
+    // work instead of rounding everything up to one large batch (the
+    // driver busy-polls the mailbox once it is done, so the tail of the
+    // final batch is attributed to the command that triggered it).
     uint64_t before = sys_.cpu().stats().instret;
     for (int spin = 0; spin < 4'000'000; ++spin) {
-        sys_.runCpu(5'000);
+        sys_.runCpu(50);
         if (m.read<uint32_t>(mb + guestos::kMbStatus) == 2)
             break;
     }

@@ -1,5 +1,6 @@
 #include "runtime/system.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace bifsim::rt {
@@ -42,11 +43,17 @@ System::System(SystemConfig cfg)
 sa32::StopReason
 System::runCpu(uint64_t max_insts)
 {
+    // Execution is sliced so the timer advances while the guest runs;
+    // a single monolithic cpu_->run() would only deliver timer
+    // interrupts after the entire budget was consumed.
+    constexpr uint64_t kTimerSlice = 1'000;
+
     uint64_t executed = 0;
     uint64_t last = cpu_->stats().instret;
     unsigned idle_spins = 0;
     while (executed < max_insts) {
-        sa32::StopReason r = cpu_->run(max_insts - executed);
+        uint64_t batch = std::min(max_insts - executed, kTimerSlice);
+        sa32::StopReason r = cpu_->run(batch);
         uint64_t now = cpu_->stats().instret;
         timer_->tick(now - last);
         executed += now - last;
@@ -54,6 +61,8 @@ System::runCpu(uint64_t max_insts)
             idle_spins = 0;
         last = now;
 
+        if (r == sa32::StopReason::MaxInsts)
+            continue;   // Slice exhausted; overall budget decides.
         if (r != sa32::StopReason::Wfi)
             return r;
 

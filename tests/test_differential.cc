@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 #include "gpu/isa/bif.h"
 #include "gpu/ref/ref_interp.h"
 #include "runtime/session.h"
+#include "workloads/sgemm_variants.h"
 
 namespace bifsim {
 namespace {
@@ -233,6 +235,144 @@ TEST(RefInterp, TraceMode)
     ASSERT_TRUE(r.ok);
     EXPECT_EQ(r.trace.size(), r.executedInstrs);
     EXPECT_FALSE(r.trace.empty());
+}
+
+/** Runs sgemm1 (naive, no barriers) once and returns output bytes plus
+ *  the job's kernel statistics. */
+static gpu::JobResult
+runSgemm1(bool fast_path, uint32_t n, const std::vector<float> &a,
+          const std::vector<float> &b, std::vector<uint8_t> &out_bytes,
+          std::vector<uint32_t> *buffer_vas = nullptr)
+{
+    rt::SystemConfig cfg;
+    cfg.gpu.fastPath = fast_path;
+    rt::Session s(cfg);
+    rt::KernelHandle k =
+        s.compile(workloads::sgemmVariantsSource(), "sgemm1");
+    size_t bytes = static_cast<size_t>(n) * n * 4;
+    rt::Buffer da = s.alloc(bytes), db = s.alloc(bytes),
+               dc = s.alloc(bytes);
+    s.write(da, a.data(), bytes);
+    s.write(db, b.data(), bytes);
+    gpu::JobResult r = s.enqueue(
+        k, rt::NDRange{n, n, 1}, rt::NDRange{16, 16, 1},
+        {rt::Arg::buf(da), rt::Arg::buf(db), rt::Arg::buf(dc),
+         rt::Arg::i32(static_cast<int32_t>(n))});
+    out_bytes.resize(bytes);
+    s.read(dc, out_bytes.data(), bytes);
+    if (buffer_vas)
+        *buffer_vas = {da.gpuVa, db.gpuVa, dc.gpuVa};
+    return r;
+}
+
+/** The micro-op fast path and the legacy tuple-walking interpreter must
+ *  be observationally identical: bit-identical output buffers AND
+ *  identical instrumentation (the fast path folds its counts lazily,
+ *  but the totals may not drift). */
+TEST(SgemmDifferential, FastPathMatchesLegacyBitExact)
+{
+    constexpr uint32_t n = 32;
+    std::vector<float> a(n * n), b(n * n);
+    std::mt19937 rng(42);
+    auto rnd = [&] {
+        return static_cast<float>(rng() % 65536) / 65536.0f - 0.5f;
+    };
+    for (float &v : a)
+        v = rnd();
+    for (float &v : b)
+        v = rnd();
+
+    std::vector<uint8_t> out_fast, out_legacy;
+    gpu::JobResult rf = runSgemm1(true, n, a, b, out_fast);
+    gpu::JobResult rl = runSgemm1(false, n, a, b, out_legacy);
+    ASSERT_FALSE(rf.faulted) << rf.fault.detail;
+    ASSERT_FALSE(rl.faulted) << rl.fault.detail;
+
+    EXPECT_EQ(out_fast, out_legacy);
+
+    const gpu::KernelStats &f = rf.kernel, &l = rl.kernel;
+    EXPECT_EQ(f.arithInstrs, l.arithInstrs);
+    EXPECT_EQ(f.lsInstrs, l.lsInstrs);
+    EXPECT_EQ(f.cfInstrs, l.cfInstrs);
+    EXPECT_EQ(f.nopSlots, l.nopSlots);
+    EXPECT_EQ(f.grfReads, l.grfReads);
+    EXPECT_EQ(f.grfWrites, l.grfWrites);
+    EXPECT_EQ(f.tempAccesses, l.tempAccesses);
+    EXPECT_EQ(f.constReads, l.constReads);
+    EXPECT_EQ(f.romReads, l.romReads);
+    EXPECT_EQ(f.globalLdSt, l.globalLdSt);
+    EXPECT_EQ(f.localLdSt, l.localLdSt);
+    EXPECT_EQ(f.clausesExecuted, l.clausesExecuted);
+    EXPECT_EQ(f.threadsLaunched, l.threadsLaunched);
+    EXPECT_EQ(f.warpsLaunched, l.warpsLaunched);
+    EXPECT_EQ(f.workgroups, l.workgroups);
+    EXPECT_EQ(f.divergentBranches, l.divergentBranches);
+    EXPECT_EQ(f.clauseSizes.total(), l.clauseSizes.total());
+    EXPECT_EQ(f.cfgEdges, l.cfgEdges);
+
+    // The fast path actually used the translation fast path.
+    EXPECT_GT(rf.tlb.lookups(), 0u);
+    EXPECT_GT(rf.tlb.hitRate(), 0.9);
+}
+
+/** The fast path against the independent scalar reference interpreter
+ *  (paper §V-A2), thread by thread over a flat memory image where
+ *  GPU VA == vector index. */
+TEST(SgemmDifferential, FastPathMatchesScalarReference)
+{
+    constexpr uint32_t n = 32;
+    std::vector<float> a(n * n), b(n * n);
+    std::mt19937 rng(7);
+    auto rnd = [&] {
+        return static_cast<float>(rng() % 65536) / 65536.0f - 0.5f;
+    };
+    for (float &v : a)
+        v = rnd();
+    for (float &v : b)
+        v = rnd();
+
+    std::vector<uint8_t> out_fast;
+    std::vector<uint32_t> vas;
+    gpu::JobResult r = runSgemm1(true, n, a, b, out_fast, &vas);
+    ASSERT_FALSE(r.faulted) << r.fault.detail;
+    const uint32_t va_a = vas[0], va_b = vas[1], va_c = vas[2];
+
+    // Build the flat reference image at the same GPU VAs.
+    size_t bytes = static_cast<size_t>(n) * n * 4;
+    std::vector<uint8_t> flat(static_cast<size_t>(va_c) + bytes, 0);
+    std::memcpy(flat.data() + va_a, a.data(), bytes);
+    std::memcpy(flat.data() + va_b, b.data(), bytes);
+
+    kclc::CompiledKernel ck =
+        kclc::compileKernel(workloads::sgemmVariantsSource(), "sgemm1");
+
+    std::vector<uint8_t> local(64 * 1024, 0);
+    for (uint32_t row = 0; row < n; ++row) {
+        for (uint32_t col = 0; col < n; ++col) {
+            gpu::ref::RefContext ctx;
+            ctx.localId[0] = col % 16;
+            ctx.localId[1] = row % 16;
+            ctx.groupId[0] = col / 16;
+            ctx.groupId[1] = row / 16;
+            ctx.localSize[0] = 16;
+            ctx.localSize[1] = 16;
+            ctx.gridSize[0] = n;
+            ctx.gridSize[1] = n;
+            ctx.numGroups[0] = n / 16;
+            ctx.numGroups[1] = n / 16;
+            ctx.laneId =
+                (ctx.localId[1] * 16 + ctx.localId[0]) % bif::kWarpWidth;
+            ctx.args = {va_a, va_b, va_c, n};
+            ctx.globalMem = &flat;
+            ctx.localMem = &local;
+            gpu::ref::RefResult rr = gpu::ref::runThread(ck.mod, ctx);
+            ASSERT_TRUE(rr.ok)
+                << rr.error << " at row " << row << " col " << col;
+        }
+    }
+
+    // Bit-identical C matrix.
+    EXPECT_EQ(std::memcmp(out_fast.data(), flat.data() + va_c, bytes), 0);
 }
 
 TEST(RefInterp, BudgetGuard)

@@ -1,10 +1,15 @@
 /** @file Unit tests for the GPU MMU: driver-format page tables,
- *  write protection, TLB behaviour and fault reporting. */
+ *  write protection, TLB behaviour (host-pointer caching, epoch
+ *  shootdown) and fault reporting. */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "gpu/gmmu.h"
+#include "gpu/gpu.h"
 #include "mem/phys_mem.h"
+#include "runtime/session.h"
 
 namespace bifsim::gpu {
 namespace {
@@ -110,6 +115,115 @@ TEST_F(GpuMmuTest, PageTableOutsideRamFails)
     mmu.setRoot(0x10000000);   // Not RAM.
     Addr pa = 0;
     EXPECT_FALSE(mmu.translate(0x00100000, false, tlb, pa));
+}
+
+TEST_F(GpuMmuTest, LookupCachesHostPointer)
+{
+    map(0x00100000, kBase + 0x8000, true);
+    tlb.syncEpoch(mmu);
+    const GpuTlb::Entry *e = mmu.lookup(0x00100040, false, tlb);
+    ASSERT_NE(e, nullptr);
+    ASSERT_NE(e->host, nullptr);
+    EXPECT_EQ(e->host, mem.hostPtr(kBase + 0x8000));
+    EXPECT_TRUE(e->writable);
+    // Repeat lookups are served from the TLB array without walking
+    // (the one-entry last-page cache sits in the executor, above this
+    // layer, and is exercised by the workload/differential tests).
+    uint64_t walks = mmu.walkCount();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_NE(mmu.lookup(0x00100000 + i * 64, false, tlb), nullptr);
+    EXPECT_EQ(mmu.walkCount(), walks);
+    EXPECT_GE(tlb.arrayHits, 16u);
+    EXPECT_EQ(tlb.last, e);
+}
+
+TEST_F(GpuMmuTest, AsCommandEpochBumpInvalidatesHostPointerEntries)
+{
+    // Prime a host-pointer TLB entry through a GpuDevice's MMU, then
+    // write AS_COMMAND: the broadcast TLB flush must invalidate the
+    // cached translation at the worker's next epoch check.
+    GpuDevice dev(mem, GpuConfig{}, [](bool) {});
+    GpuMmu &dmmu = dev.mmu();
+    dmmu.setRoot(root);
+    map(0x00100000, kBase + 0x8000, true);
+
+    GpuTlb wtlb;
+    wtlb.syncEpoch(dmmu);
+    const GpuTlb::Entry *e = dmmu.lookup(0x00100000, false, wtlb);
+    ASSERT_NE(e, nullptr);
+    ASSERT_NE(e->host, nullptr);
+    uint64_t walks = dmmu.walkCount();
+
+    uint64_t epoch_before = dmmu.epoch();
+    dev.mmioWrite(kRegAsCommand, 1);
+    EXPECT_GT(dmmu.epoch(), epoch_before);
+
+    // The worker's lazy check notices the stale epoch and flushes.
+    EXPECT_TRUE(wtlb.syncEpoch(dmmu));
+    EXPECT_EQ(wtlb.last, nullptr);
+    EXPECT_EQ(wtlb.entries[(0x00100000 >> kGpuPageShift) %
+                           GpuTlb::kEntries].vpn,
+              GpuTlb::kInvalidVpn);
+
+    // The next lookup must re-walk the (possibly rewritten) tables.
+    ASSERT_NE(dmmu.lookup(0x00100000, false, wtlb), nullptr);
+    EXPECT_EQ(dmmu.walkCount(), walks + 1);
+
+    // Unchanged epoch: the lazy check is a no-op.
+    EXPECT_FALSE(wtlb.syncEpoch(dmmu));
+}
+
+TEST_F(GpuMmuTest, WriteThroughReadOnlyCachedEntryFaults)
+{
+    map(0x00100000, kBase + 0x8000, false);
+    tlb.syncEpoch(mmu);
+    // Prime with a read: the entry is cached with a valid host pointer
+    // but writable=false, and becomes the last-page cache.
+    const GpuTlb::Entry *e = mmu.lookup(0x00100000, false, tlb);
+    ASSERT_NE(e, nullptr);
+    ASSERT_NE(e->host, nullptr);
+    EXPECT_FALSE(e->writable);
+    // A write through either fast-path tier must still fault.
+    EXPECT_EQ(mmu.lookup(0x00100000, true, tlb), nullptr);   // last-page
+    tlb.last = nullptr;
+    EXPECT_EQ(mmu.lookup(0x00100004, true, tlb), nullptr);   // array hit
+    // Reads keep working afterwards.
+    EXPECT_NE(mmu.lookup(0x00100008, false, tlb), nullptr);
+}
+
+TEST(GpuDecodeCache, GpuCmdFlushForcesRedecode)
+{
+    const char *src = R"(
+kernel void copy(global const int* in, global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = in[i];
+    }
+}
+)";
+    rt::Session s;
+    rt::KernelHandle k = s.compile(src, "copy");
+    rt::Buffer a = s.alloc(4096), b = s.alloc(4096);
+    std::vector<rt::Arg> args = {rt::Arg::buf(a), rt::Arg::buf(b),
+                                 rt::Arg::i32(64)};
+    rt::NDRange g{64, 1, 1}, l{64, 1, 1};
+
+    s.enqueue(k, g, l, args);
+    ShaderCacheStats cs = s.system().gpu().shaderCacheStats();
+    EXPECT_EQ(cs.decodes, 1u);
+
+    // A second launch hits the decode cache.
+    s.enqueue(k, g, l, args);
+    cs = s.system().gpu().shaderCacheStats();
+    EXPECT_EQ(cs.decodes, 1u);
+    EXPECT_GE(cs.hits, 1u);
+
+    // GPU_CMD = 1 flushes the decode cache: the next launch re-decodes
+    // (the binary may have been rewritten in place).
+    s.system().gpu().mmioWrite(kRegGpuCmd, 1);
+    s.enqueue(k, g, l, args);
+    cs = s.system().gpu().shaderCacheStats();
+    EXPECT_EQ(cs.decodes, 2u);
 }
 
 } // namespace
