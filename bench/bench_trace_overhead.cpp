@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Trace-subsystem overhead A/B: the same kernels with GpuConfig::trace
+ * off (the default; every event site is one predictable branch on a
+ * null pointer) versus on (per-thread ring-buffer recording).
+ *
+ * Reports per kernel: MIPS both ways and the relative overhead.  The
+ * tracing-on column bounds the recording cost; the disabled path is
+ * exercised by bench_interp_hotpath, whose MIPS must stay within 2% of
+ * its recorded baseline.  Results go to BENCH_trace_overhead.json.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "runtime/session.h"
+
+namespace {
+
+using namespace bifsim;
+
+const char *kMadLoop = R"(
+kernel void mad_loop(global float* out, int iters, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float a = i * 0.5f + 1.0f;
+        float b = 1.0009f;
+        float c = 0.0001f;
+        for (int k = 0; k < iters; ++k) {
+            a = a * b + c;
+            a = a * b - c;
+        }
+        out[i] = a;
+    }
+}
+)";
+
+const char *kTriad = R"(
+kernel void triad(global const float* a, global const float* b,
+                  global float* c, float s, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        c[i] = a[i] + s * b[i];
+    }
+}
+)";
+
+struct RunMetrics
+{
+    double secs = 0;
+    double mips = 0;
+    uint64_t instrs = 0;
+    size_t events = 0;
+};
+
+struct KernelCase
+{
+    const char *name;
+    const char *source;
+    int n;
+    int iters;
+    int launches;
+};
+
+RunMetrics
+runCase(const KernelCase &kc, bool trace)
+{
+    rt::SystemConfig cfg;
+    cfg.gpu.trace = trace;
+    rt::Session s(cfg);
+
+    rt::KernelHandle k = s.compile(kc.source, kc.name);
+    size_t bytes = static_cast<size_t>(kc.n) * 4;
+    rt::Buffer a = s.alloc(bytes);
+    rt::Buffer b = s.alloc(bytes);
+    rt::Buffer c = s.alloc(bytes);
+
+    std::vector<float> init(kc.n);
+    for (int i = 0; i < kc.n; ++i)
+        init[i] = 0.25f * static_cast<float>(i % 97);
+    s.write(a, init.data(), bytes);
+    s.write(b, init.data(), bytes);
+
+    std::vector<rt::Arg> args;
+    if (std::string(kc.name) == "mad_loop")
+        args = {rt::Arg::buf(c), rt::Arg::i32(kc.iters),
+                rt::Arg::i32(kc.n)};
+    else
+        args = {rt::Arg::buf(a), rt::Arg::buf(b), rt::Arg::buf(c),
+                rt::Arg::f32(1.5f), rt::Arg::i32(kc.n)};
+
+    rt::NDRange global{static_cast<uint32_t>(kc.n), 1, 1};
+    rt::NDRange local{64, 1, 1};
+
+    s.enqueue(k, global, local, args);   // Warm-up.
+
+    RunMetrics m;
+    gpu::KernelStats total;
+    bench::Timer t;
+    for (int it = 0; it < kc.launches; ++it) {
+        gpu::JobResult r = s.enqueue(k, global, local, args);
+        if (r.faulted) {
+            std::fprintf(stderr, "%s: job faulted\n", kc.name);
+            std::exit(1);
+        }
+        total.merge(r.kernel);
+    }
+    m.secs = t.seconds();
+    m.instrs = total.totalInstrs();
+    m.mips = m.secs > 0 ? m.instrs / m.secs / 1e6 : 0;
+    m.events = s.tracer().eventCount();
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bifsim;
+    bench::Options opt = bench::Options::parse(argc, argv, 0.25);
+    setInformEnabled(false);
+
+    bench::banner("Trace subsystem overhead",
+                  "A/B of GpuConfig::trace off (null-pointer branch per "
+                  "event site) vs on (ring-buffer recording).");
+
+    int n = static_cast<int>(16384 * opt.scale) & ~63;
+    if (n < 256)
+        n = 256;
+    std::vector<KernelCase> cases = {
+        {"mad_loop", kMadLoop, n, 400, 4},
+        {"triad", kTriad, n * 4, 0, 12},
+    };
+
+    std::printf("%-10s %12s %12s %10s %10s\n", "kernel", "off MIPS",
+                "on MIPS", "overhead", "events");
+
+    std::string json = "{\n  \"bench\": \"trace_overhead\",\n"
+                       "  \"scale\": " + std::to_string(opt.scale) +
+                       ",\n  \"kernels\": [\n";
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const KernelCase &kc = cases[i];
+        RunMetrics off = runCase(kc, false);
+        RunMetrics on = runCase(kc, true);
+        double overhead = off.secs > 0 ? on.secs / off.secs - 1.0 : 0;
+        std::printf("%-10s %12.1f %12.1f %9.1f%% %10zu\n", kc.name,
+                    off.mips, on.mips, 100.0 * overhead, on.events);
+        char buf[384];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"instrs\": %llu,\n"
+            "     \"off\": {\"secs\": %.4f, \"mips\": %.1f},\n"
+            "     \"on\": {\"secs\": %.4f, \"mips\": %.1f, "
+            "\"events\": %zu},\n"
+            "     \"overhead\": %.4f}%s\n",
+            kc.name, static_cast<unsigned long long>(off.instrs),
+            off.secs, off.mips, on.secs, on.mips, on.events, overhead,
+            i + 1 < cases.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+
+    std::FILE *f = std::fopen("BENCH_trace_overhead.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_trace_overhead.json\n");
+    }
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "gpu/gmmu.h"
 
 #include "common/bits.h"
+#include "trace/trace.h"
 
 namespace bifsim::gpu {
 
@@ -26,6 +27,8 @@ GpuMmu::walkFill(uint32_t va, bool write, GpuTlb &tlb)
     if (root == 0)
         return nullptr;
     walks_.fetch_add(1, std::memory_order_relaxed);
+    if (tlb.traceBuf) [[unlikely]]
+        tlb.traceBuf->instant("mmu_walk", "mmu", "va", va);
 
     uint32_t vpn1 = bits(va, 31, 22);
     uint32_t vpn0 = bits(va, 21, 12);

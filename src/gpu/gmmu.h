@@ -31,6 +31,10 @@
 
 #include "mem/phys_mem.h"
 
+namespace bifsim::trace {
+class TraceBuffer;
+}
+
 namespace bifsim::gpu {
 
 class GpuMmu;
@@ -78,6 +82,10 @@ struct GpuTlb
     // result at completion).
     uint64_t lastPageHits = 0;
     uint64_t arrayHits = 0;
+
+    /** Owning thread's trace buffer (null = tracing off); walks record
+     *  an mmu_walk instant into it. */
+    trace::TraceBuffer *traceBuf = nullptr;
 
     void
     flush()

@@ -1,6 +1,7 @@
 #include "gpu/gpu.h"
 
 #include <cstring>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -10,13 +11,21 @@ namespace {
 
 constexpr uint32_t kMaxGroupThreads = 1024;
 
+/** Descriptor-chain walk bound: a chain longer than this is treated as
+ *  malformed (one guest store can otherwise link a cycle and park the
+ *  JM thread forever). */
+constexpr size_t kMaxChainDescriptors = 65536;
+
 } // namespace
 
 GpuDevice::GpuDevice(PhysMem &mem, GpuConfig cfg, IrqFn irq)
-    : mem_(mem), cfg_(cfg), irq_(std::move(irq)), mmu_(mem)
+    : mem_(mem), cfg_(cfg), irq_(std::move(irq)), mmu_(mem),
+      tracer_(cfg.trace, cfg.traceBufferEvents)
 {
     if (cfg_.hostThreads == 0)
         cfg_.hostThreads = 1;
+    devBuf_ = tracer_.registerThread("gpu-device");
+    jmBuf_ = tracer_.registerThread("gpu-jm");
     executors_.resize(cfg_.hostThreads);
     workers_.reserve(cfg_.hostThreads);
     for (unsigned i = 0; i < cfg_.hostThreads; ++i)
@@ -56,6 +65,8 @@ GpuDevice::raiseIrqLocked(uint32_t bits)
 {
     irqRaw_ |= bits;
     sys_.irqsAsserted++;
+    if (devBuf_)
+        devBuf_->instant("irq_raise", "irq", "bits", bits);
     updateIrqOutput();
 }
 
@@ -102,17 +113,32 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
       case kRegJsSubmit:
         submitQueue_.push_back(value);
         jsStatus_ = kJsRunning;
+        if (devBuf_)
+            devBuf_->instant("js_submit", "mmio", "chain_va", value);
         cv_.notify_all();
         break;
       case kRegAsTranstab:
+        // The decode cache is keyed by guest VA; a new translation root
+        // can map the same VA to different bytes, so cached shaders are
+        // stale the moment the root changes.  (Re-writing the current
+        // root, as drivers do on every submit, keeps the cache.)
+        if (static_cast<Addr>(value) != mmu_.root()) {
+            shaderCache_.clear();
+            if (devBuf_)
+                devBuf_->instant("as_root_switch", "mmio", "root",
+                                 value);
+        }
         mmu_.setRoot(value);
         break;
       case kRegAsCommand:
         // TLB flush: bump the global epoch; workers notice at their
         // next clause boundary and flush locally (no broadcast, no
         // cross-thread coordination).
-        if (value == 1)
+        if (value == 1) {
             mmu_.bumpEpoch();
+            if (devBuf_)
+                devBuf_->instant("as_tlb_flush", "mmio");
+        }
         break;
       default:
         break;
@@ -190,11 +216,15 @@ GpuDevice::readVaRange(uint32_t va, size_t len, std::vector<uint8_t> &out)
 std::shared_ptr<DecodedShader>
 GpuDevice::getShader(uint32_t binary_va, std::string &error)
 {
+    uint64_t t0 = jmBuf_ ? trace::nowNs() : 0;
     {
         std::lock_guard<std::mutex> g(lock_);
         auto it = shaderCache_.find(binary_va);
         if (it != shaderCache_.end()) {
             cacheStats_.hits++;
+            if (jmBuf_)
+                jmBuf_->span("decode", "shader", t0, "hit", 1, "va",
+                             binary_va);
             return it->second;
         }
     }
@@ -212,11 +242,15 @@ GpuDevice::getShader(uint32_t binary_va, std::string &error)
     std::memcpy(&rom_words, header.data() + 16, 4);
     (void)num_clauses;
     (void)clause_off;
-    size_t total = static_cast<size_t>(rom_off) + rom_words * 4;
-    if (total < 32 || total > (64u << 20)) {
+    // Widen before multiplying: rom_words * 4 in uint32_t wraps for
+    // rom_words >= 0x4000'0000 and would sail under the size guard.
+    uint64_t total64 = static_cast<uint64_t>(rom_off) +
+                       static_cast<uint64_t>(rom_words) * 4;
+    if (total64 < 32 || total64 > (64u << 20)) {
         error = "implausible shader size";
         return nullptr;
     }
+    size_t total = static_cast<size_t>(total64);
     std::vector<uint8_t> bytes;
     if (!readVaRange(binary_va, total, bytes)) {
         error = "shader body unreadable";
@@ -231,6 +265,8 @@ GpuDevice::getShader(uint32_t binary_va, std::string &error)
     std::lock_guard<std::mutex> g(lock_);
     cacheStats_.decodes++;
     shaderCache_[binary_va] = shader;
+    if (jmBuf_)
+        jmBuf_->span("decode", "shader", t0, "hit", 0, "va", binary_va);
     return shader;
 }
 
@@ -333,6 +369,14 @@ GpuDevice::runJob(const JobDescriptor &desc)
     sys_.pagesAccessed += result.pagesAccessed;
     sys_.computeJobs++;
     jobCount_++;
+    if (jmBuf_) {
+        std::vector<NamedCounter> counters;
+        appendCounters(counters, result.kernel);
+        appendCounters(counters, result.tlb);
+        appendCounters(counters, sys_);
+        for (const NamedCounter &c : counters)
+            jmBuf_->counter(c.name, c.value);
+    }
     raiseIrqLocked(kIrqJobDone);
     return true;
 }
@@ -340,9 +384,26 @@ GpuDevice::runJob(const JobDescriptor &desc)
 void
 GpuDevice::runChain(uint32_t desc_va)
 {
+    uint64_t chain_t0 = jmBuf_ ? trace::nowNs() : 0;
     uint32_t va = desc_va;
     bool ok = true;
+    uint64_t jobs_run = 0;
+    // A descriptor chain lives in guest-writable memory, so it can be
+    // self-linked or cyclic; an unbounded walk would park the JM thread
+    // forever and waitIdle() would never return.
+    std::unordered_set<uint32_t> visited;
+    size_t walked = 0;
     while (va != 0) {
+        if (!visited.insert(va).second ||
+            ++walked > kMaxChainDescriptors) {
+            std::lock_guard<std::mutex> g(lock_);
+            faultStatus_ =
+                static_cast<uint32_t>(JobFaultKind::BadDescriptor);
+            faultAddress_ = va;
+            raiseIrqLocked(kIrqJobFault);
+            ok = false;
+            break;
+        }
         std::vector<uint8_t> raw;
         if (!readVaRange(va, JobDescriptor::kSizeBytes, raw)) {
             std::lock_guard<std::mutex> g(lock_);
@@ -353,17 +414,28 @@ GpuDevice::runChain(uint32_t desc_va)
             ok = false;
             break;
         }
+        if (jmBuf_)
+            jmBuf_->instant("desc_fetch", "jm", "va", va);
         JobDescriptor desc = JobDescriptor::readFrom(raw.data());
         if (desc.jobType == JobDescriptor::kTypeNull) {
             va = desc.next;
             continue;
         }
-        if (!runJob(desc)) {
+        uint64_t job_t0 = jmBuf_ ? trace::nowNs() : 0;
+        bool jok = runJob(desc);
+        jobs_run++;
+        if (jmBuf_)
+            jmBuf_->span("job", "jm", job_t0, "ok", jok ? 1 : 0, "va",
+                         va);
+        if (!jok) {
             ok = false;
             break;
         }
         va = desc.next;
     }
+    if (jmBuf_)
+        jmBuf_->span("chain", "jm", chain_t0, "jobs", jobs_run, "ok",
+                     ok ? 1 : 0);
     std::lock_guard<std::mutex> g(lock_);
     jsStatus_ = ok ? kJsDone : kJsFault;
     // Chain-complete interrupt: raised *after* the status update so a
@@ -401,6 +473,10 @@ GpuDevice::jmMain()
 void
 GpuDevice::workerMain(unsigned idx)
 {
+    if (tracer_.enabled()) {
+        executors_[idx].setTrace(
+            tracer_.registerThread(strfmt("gpu-worker-%u", idx)));
+    }
     uint64_t my_seq = 0;
     std::unique_lock<std::mutex> l(poolLock_);
     for (;;) {

@@ -49,6 +49,7 @@
 #include "instrument/stats.h"
 #include "mem/device.h"
 #include "mem/phys_mem.h"
+#include "trace/trace.h"
 
 namespace bifsim::gpu {
 
@@ -62,6 +63,9 @@ struct GpuConfig
     bool fastPath = true;      ///< Micro-op dispatch + host-pointer TLB;
                                ///< false selects the legacy interpreter
                                ///< (A/B baseline, differential tests).
+    bool trace = false;        ///< Job-lifecycle tracing (src/trace/);
+                               ///< off costs one branch per event site.
+    size_t traceBufferEvents = 1u << 14;   ///< Ring capacity per thread.
 };
 
 /** Merged results for the most recent job. */
@@ -170,11 +174,18 @@ class GpuDevice : public Device
     /** The model configuration. */
     const GpuConfig &config() const { return cfg_; }
 
+    /** The job-lifecycle tracer (no-op unless GpuConfig::trace). */
+    trace::Tracer &tracer() { return tracer_; }
+
   private:
     PhysMem &mem_;
     GpuConfig cfg_;
     IrqFn irq_;
     GpuMmu mmu_;
+    trace::Tracer tracer_;
+    trace::TraceBuffer *devBuf_ = nullptr;   ///< MMIO/IRQ events; all
+                                             ///< writes under lock_.
+    trace::TraceBuffer *jmBuf_ = nullptr;    ///< Job Manager thread.
 
     mutable std::mutex lock_;
     std::condition_variable cv_;        ///< JM wakeup / waitIdle.

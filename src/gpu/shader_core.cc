@@ -7,6 +7,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace bifsim::gpu {
 
@@ -261,6 +262,9 @@ WorkgroupExecutor::memAccess(uint32_t va, unsigned size, bool write,
     } else {
         e = job_->mmu->lookup(va, write, tlb_);
         if (!e) [[unlikely]] {
+            if (traceBuf_)
+                traceBuf_->instant("mmu_fault", "fault", "va", va,
+                                   "write", write ? 1 : 0);
             job_->raiseFault(JobFaultKind::MmuFault, va,
                              write ? "store translation fault"
                                    : "load translation fault");
@@ -389,7 +393,13 @@ WorkgroupExecutor::atomicHostPtr(uint32_t va, bool fast)
 bool
 WorkgroupExecutor::localAccess(uint32_t offset, bool write, uint32_t &val)
 {
-    if (!isAligned(offset, 4) || offset + 4 > local_.size()) {
+    // Overflow-safe bound: `offset + 4 > size` wraps for offsets near
+    // UINT32_MAX and would pass a hostile offset straight into the
+    // buffer arithmetic below.
+    if (!isAligned(offset, 4) || local_.size() < 4 ||
+        offset > local_.size() - 4) {
+        if (traceBuf_)
+            traceBuf_->instant("bad_access", "fault", "offset", offset);
         job_->raiseFault(JobFaultKind::BadAccess, offset,
                          "local access out of range");
         return false;
@@ -912,9 +922,20 @@ WorkgroupExecutor::runWarp(Warp &warp)
 }
 
 void
+WorkgroupExecutor::setTrace(trace::TraceBuffer *buf)
+{
+    traceBuf_ = buf;
+    tlb_.traceBuf = buf;
+}
+
+void
 WorkgroupExecutor::beginJob(JobContext *job)
 {
     job_ = job;
+    if (traceBuf_) {
+        jobStartTs_ = trace::nowNs();
+        groupsRun_ = 0;
+    }
     // Epoch-based shootdown: the device bumps the MMU epoch at job
     // boundaries (and on AS_COMMAND); stale worker TLBs flush here.
     tlb_.syncEpoch(*job->mmu);
@@ -1058,13 +1079,23 @@ WorkgroupExecutor::runUntilDone()
         uint32_t g = job_->nextGroup.fetch_add(1);
         if (g >= job_->totalGroups)
             return;
-        runGroup(g);
+        if (traceBuf_) [[unlikely]] {
+            uint64_t t0 = trace::nowNs();
+            runGroup(g);
+            groupsRun_++;
+            traceBuf_->span("workgroup", "exec", t0, "group", g);
+        } else {
+            runGroup(g);
+        }
     }
 }
 
 void
 WorkgroupExecutor::finalize()
 {
+    if (traceBuf_ && job_)
+        traceBuf_->span("worker_exec", "exec", jobStartTs_, "groups",
+                        groupsRun_);
     if (!job_ || !job_->collect)
         return;
     const std::vector<ClauseStaticInfo> &info = job_->shader->info;

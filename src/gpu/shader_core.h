@@ -176,6 +176,10 @@ class WorkgroupExecutor
     /** The worker's TLB (counters folded into the job result). */
     const GpuTlb &tlb() const { return tlb_; }
 
+    /** Attaches the owning worker thread's trace buffer (null = off).
+     *  Called once from the worker thread before any job runs. */
+    void setTrace(trace::TraceBuffer *buf);
+
   private:
     /** Per-thread state within a warp: one unified register file (GRF,
      *  clause temporaries, warp-init-preloaded specials, write sink)
@@ -202,6 +206,10 @@ class WorkgroupExecutor
     std::vector<uint8_t> local_;
     WorkerCollector coll_;
     uint32_t groupId_[3] = {0, 0, 0};
+
+    trace::TraceBuffer *traceBuf_ = nullptr;   ///< Null = tracing off.
+    uint64_t jobStartTs_ = 0;      ///< beginJob timestamp (trace only).
+    uint64_t groupsRun_ = 0;       ///< Groups claimed this job (trace).
 
     // Lazy instrumentation (§IV-A): clause execution counts accumulate
     // into this scratch array while a workgroup runs and fold into the

@@ -80,6 +80,9 @@ wait_done:
         j    wait_done
 have_flag:
         csrs mstatus, t3            # unmask before proceeding
+        lw   t2, 40(s0)             # WAKES++ (driver wake diagnostics)
+        addi t2, t2, 1
+        sw   t2, 40(s0)
         li   t2, 2                  # JS_STATUS done
         beq  t1, t2, submit_ok
         li   t1, 1

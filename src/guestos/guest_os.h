@@ -27,6 +27,8 @@
  *   +28 RESULT    0 = ok, 1 = GPU fault
  *   +32 IRQFLAG   set by the IRQ handler with the final JS_STATUS
  *   +36 IRQCOUNT  number of GPU interrupts handled (diagnostics)
+ *   +40 WAKES     number of times the driver's WFI wait loop observed
+ *                 the completion flag (trace: guest driver wake-ups)
  *
  * A mapping request is 16 bytes: {gpu_va, pa, npages, flags(bit0=W)}.
  */
@@ -61,6 +63,7 @@ enum MailboxOffset : uint32_t
     kMbResult = 28,
     kMbIrqFlag = 32,
     kMbIrqCount = 36,
+    kMbWakes = 40,
 };
 
 /** Mailbox command values. */

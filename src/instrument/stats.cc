@@ -89,4 +89,43 @@ KernelStats::merge(const KernelStats &other)
         cfgEdges[k] += v;
 }
 
+void
+appendCounters(std::vector<NamedCounter> &out, const KernelStats &k)
+{
+    out.push_back({"kernel.arith_instrs", k.arithInstrs});
+    out.push_back({"kernel.ls_instrs", k.lsInstrs});
+    out.push_back({"kernel.cf_instrs", k.cfInstrs});
+    out.push_back({"kernel.nop_slots", k.nopSlots});
+    out.push_back({"kernel.grf_reads", k.grfReads});
+    out.push_back({"kernel.grf_writes", k.grfWrites});
+    out.push_back({"kernel.temp_accesses", k.tempAccesses});
+    out.push_back({"kernel.const_reads", k.constReads});
+    out.push_back({"kernel.rom_reads", k.romReads});
+    out.push_back({"kernel.global_ldst", k.globalLdSt});
+    out.push_back({"kernel.local_ldst", k.localLdSt});
+    out.push_back({"kernel.clauses_executed", k.clausesExecuted});
+    out.push_back({"kernel.threads_launched", k.threadsLaunched});
+    out.push_back({"kernel.warps_launched", k.warpsLaunched});
+    out.push_back({"kernel.workgroups", k.workgroups});
+    out.push_back({"kernel.divergent_branches", k.divergentBranches});
+}
+
+void
+appendCounters(std::vector<NamedCounter> &out, const TlbStats &t)
+{
+    out.push_back({"tlb.last_page_hits", t.lastPageHits});
+    out.push_back({"tlb.array_hits", t.arrayHits});
+    out.push_back({"tlb.walks", t.walks});
+}
+
+void
+appendCounters(std::vector<NamedCounter> &out, const SystemStats &s)
+{
+    out.push_back({"sys.pages_accessed", s.pagesAccessed});
+    out.push_back({"sys.ctrl_reg_reads", s.ctrlRegReads});
+    out.push_back({"sys.ctrl_reg_writes", s.ctrlRegWrites});
+    out.push_back({"sys.irqs_asserted", s.irqsAsserted});
+    out.push_back({"sys.compute_jobs", s.computeJobs});
+}
+
 } // namespace bifsim::gpu

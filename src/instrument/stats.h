@@ -141,6 +141,28 @@ struct SystemStats
     uint64_t computeJobs = 0;      ///< Compute jobs executed.
 };
 
+/**
+ * A named counter value: the unified view over the KernelStats /
+ * TlbStats / SystemStats structs used by the trace subsystem's counter
+ * events and the human-readable job summaries.  Names are static
+ * strings ("kernel.arith_instrs", "tlb.walks", "sys.irqs_asserted"...)
+ * so consumers can store the pointers without copying.
+ */
+struct NamedCounter
+{
+    const char *name;
+    uint64_t value;
+};
+
+/** Appends every scalar counter of @p k under the "kernel." prefix. */
+void appendCounters(std::vector<NamedCounter> &out, const KernelStats &k);
+
+/** Appends every counter of @p t under the "tlb." prefix. */
+void appendCounters(std::vector<NamedCounter> &out, const TlbStats &t);
+
+/** Appends every counter of @p s under the "sys." prefix. */
+void appendCounters(std::vector<NamedCounter> &out, const SystemStats &s);
+
 /** Per-worker collector, merged into the job totals at completion. */
 struct WorkerCollector
 {

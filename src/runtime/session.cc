@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace bifsim::rt {
 
@@ -48,6 +49,8 @@ Session::Session(SystemConfig cfg, Mode mode)
     : mode_(mode), sys_(cfg),
       layout_(guestos::defaultLayout(System::kRamBase))
 {
+    // Null when tracing is disabled; every event site below gates on it.
+    trcBuf_ = sys_.gpu().tracer().registerThread("cpu-driver");
     // Guest layout: OS image + mailbox in the first 128 KiB, then the
     // GPU page-table arena, then the general heap.
     heap_ = System::kRamBase + 0x20000;
@@ -241,11 +244,23 @@ Session::mailboxCommand(uint32_t cmd, uint32_t desc_va)
     // driver busy-polls the mailbox once it is done, so the tail of the
     // final batch is attributed to the command that triggered it).
     uint64_t before = sys_.cpu().stats().instret;
+    uint64_t cmd_t0 = trcBuf_ ? trace::nowNs() : 0;
+    bool woke = false;
     for (int spin = 0; spin < 4'000'000; ++spin) {
         sys_.runCpu(50);
+        if (trcBuf_ && !woke &&
+            m.read<uint32_t>(mb + guestos::kMbIrqFlag) != 0) {
+            // First host observation of the guest driver's wake-up from
+            // its WFI loop (the IRQ handler set IRQFLAG).
+            woke = true;
+            trcBuf_->instant("driver_wake", "driver", "guest_wakes",
+                             m.read<uint32_t>(mb + guestos::kMbWakes));
+        }
         if (m.read<uint32_t>(mb + guestos::kMbStatus) == 2)
             break;
     }
+    if (trcBuf_)
+        trcBuf_->span("driver_cmd", "driver", cmd_t0, "cmd", cmd);
     driverInstrs_ += sys_.cpu().stats().instret - before;
 
     if (m.read<uint32_t>(mb + guestos::kMbStatus) != 2)
@@ -270,6 +285,10 @@ Session::submitDirect(uint32_t desc_va)
     bus.write(base + gpu::kRegJsSubmit, 4, desc_va);
 
     sys_.gpu().waitIdle();
+    // Direct mode has no guest driver; the host waking from waitIdle
+    // plays its role in the lifecycle.
+    if (trcBuf_)
+        trcBuf_->instant("driver_wake", "driver");
 
     // Acknowledge the interrupt like the driver's handler.
     uint64_t status = 0;
@@ -293,6 +312,7 @@ gpu::JobResult
 Session::enqueue(const KernelHandle &kernel, NDRange global,
                  NDRange local, const std::vector<Arg> &args)
 {
+    uint64_t t0 = trcBuf_ ? trace::nowNs() : 0;
     PhysMem &m = sys_.mem();
 
     // Argument table.
@@ -335,6 +355,9 @@ Session::enqueue(const KernelHandle &kernel, NDRange global,
 
     lastResult_ = mode_ == Mode::Direct ? submitDirect(descVa_)
                                         : submitFullSystem(descVa_);
+    if (trcBuf_)
+        trcBuf_->span("enqueue", "driver", t0, "faulted",
+                      lastResult_.faulted ? 1 : 0);
     return lastResult_;
 }
 

@@ -87,6 +87,11 @@ class Session
     /** The submission mode. */
     Mode mode() const { return mode_; }
 
+    /** The job-lifecycle tracer (GpuConfig::trace gates recording).
+     *  Export after the last enqueue returns for a consistent snapshot:
+     *  s.tracer().exportChromeJsonFile("trace.json"). */
+    trace::Tracer &tracer() { return sys_.gpu().tracer(); }
+
     /** Allocates a device buffer (page-aligned, zero-initialised). */
     Buffer alloc(size_t bytes);
 
@@ -163,6 +168,8 @@ class Session
     uint64_t driverInstrs_ = 0;
     uint64_t mappedPages_ = 0;
     bool osBooted_ = false;
+    trace::TraceBuffer *trcBuf_ = nullptr;   ///< "cpu-driver" buffer
+                                             ///< (null = tracing off).
 
     Addr allocPhys(size_t bytes, size_t align = 4096);
     uint32_t mapRange(Addr pa, size_t bytes, bool writable);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cstring>
 
 #include "gpu/gpu.h"
 #include "gpu/isa/bif.h"
@@ -357,6 +358,165 @@ TEST_F(GpuExecTest, ShaderDecodeCacheDecodesOnce)
     gpu::ShaderCacheStats cs = session.system().gpu().shaderCacheStats();
     EXPECT_EQ(cs.decodes, 1u);
     EXPECT_EQ(cs.hits, 4u);
+}
+
+TEST_F(GpuExecTest, LocalAccessHostileOffsetFaults)
+{
+    // Regression: offsets near UINT32_MAX made the bounds check
+    // `offset + 4 > size` wrap and pass, reading host heap memory.
+    bif::Module m = buildModule({{
+        mk(Op::MovImm, 1, kNone, kNone, kNone, -4),   // 0xfffffffc
+        mk(Op::LdLocal, 2, 1, kNone, kNone, 0),
+        mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+    }}, {}, 16);
+    rt::KernelHandle k = loadModule(session, m);
+    gpu::JobResult r = session.enqueue(
+        k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1}, {});
+    ASSERT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault.kind, gpu::JobFaultKind::BadAccess);
+    EXPECT_EQ(r.fault.va, 0xfffffffcu);
+}
+
+TEST_F(GpuExecTest, ShaderRomSizeOverflowRejected)
+{
+    // Regression: `rom_off + rom_words * 4` computed in 32 bits wrapped
+    // for rom_words >= 0x40000000 and sailed under the size guard.
+    // rom_words = 0x40000008 -> wrapped total 32 (plausible); the
+    // widened computation must reject it as implausible.
+    uint32_t header[8] = {};
+    header[0] = 0x31464942;      // 'BIF1'
+    header[1] = 1;               // num_clauses
+    header[2] = 32;              // clause_offset
+    header[3] = 0;               // rom_offset
+    header[4] = 0x40000008;      // rom_words
+    header[5] = 4;               // reg_count
+    kclc::CompiledKernel ck;
+    ck.name = "overflow";
+    ck.binary.resize(sizeof(header));
+    std::memcpy(ck.binary.data(), header, sizeof(header));
+    rt::KernelHandle k = session.load(ck);
+    gpu::JobResult r = session.enqueue(
+        k, rt::NDRange{1, 1, 1}, rt::NDRange{1, 1, 1}, {});
+    ASSERT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault.kind, gpu::JobFaultKind::BadBinary);
+    EXPECT_EQ(r.fault.detail, "implausible shader size");
+}
+
+/** Raw-device fixture: hand-built page tables, no Session. */
+class GpuRawDeviceTest : public ::testing::Test
+{
+  protected:
+    static constexpr Addr kBase = 0x80000000;
+
+    GpuRawDeviceTest() : mem(kBase, 1 << 20) {}
+
+    /** Maps one page in the table rooted at @p root using the L0 table
+     *  page at @p l0 (VAs here share vpn1 = 0). */
+    void
+    map(Addr root, Addr l0, uint32_t va, Addr pa, bool writable)
+    {
+        uint32_t vpn1 = va >> 22, vpn0 = (va >> 12) & 0x3ff;
+        mem.write<uint32_t>(root + vpn1 * 4,
+                            static_cast<uint32_t>((l0 >> 12) << 10) |
+                                gpu::kGpuPteValid);
+        mem.write<uint32_t>(l0 + vpn0 * 4,
+                            static_cast<uint32_t>((pa >> 12) << 10) |
+                                gpu::kGpuPteValid |
+                                (writable ? gpu::kGpuPteWrite : 0));
+    }
+
+    PhysMem mem;
+};
+
+TEST_F(GpuRawDeviceTest, CyclicChainFaultsInsteadOfHanging)
+{
+    // Regression: a self-linked descriptor chain spun the Job Manager
+    // thread forever and waitIdle() never returned (the test harness
+    // timeout was the only way out).
+    Addr root = kBase + 0x4000, l0 = kBase + 0x5000;
+    Addr desc_pa = kBase + 0x8000;
+    mem.fill(root, 0, 8192);
+
+    constexpr uint32_t kDescVa = 0x00100000;
+    map(root, l0, kDescVa, desc_pa, false);
+
+    gpu::JobDescriptor d;
+    d.jobType = gpu::JobDescriptor::kTypeNull;
+    d.next = kDescVa;   // Points at itself.
+    uint8_t raw[gpu::JobDescriptor::kSizeBytes];
+    d.writeTo(raw);
+    mem.writeBlock(desc_pa, raw, sizeof(raw));
+
+    gpu::GpuDevice dev(mem, gpu::GpuConfig{}, [](bool) {});
+    dev.mmioWrite(gpu::kRegAsTranstab, static_cast<uint32_t>(root));
+    dev.mmioWrite(gpu::kRegJsSubmit, kDescVa);
+    dev.waitIdle();   // Pre-fix: hangs here.
+
+    EXPECT_EQ(dev.mmioRead(gpu::kRegJsStatus), gpu::kJsFault);
+    EXPECT_EQ(dev.mmioRead(gpu::kRegAsFaultStatus),
+              static_cast<uint32_t>(gpu::JobFaultKind::BadDescriptor));
+    EXPECT_EQ(dev.mmioRead(gpu::kRegAsFaultAddress), kDescVa);
+}
+
+TEST_F(GpuRawDeviceTest, DecodeCacheInvalidatedOnRootSwitch)
+{
+    // Regression: the decode cache is keyed by guest VA and survived an
+    // AS_TRANSTAB root switch, so a VA remapped to different bytes kept
+    // executing the old shader.
+    Addr root_a = kBase + 0x4000, l0_a = kBase + 0x5000;
+    Addr root_b = kBase + 0x6000, l0_b = kBase + 0x7000;
+    Addr shader_a = kBase + 0x8000, shader_b = kBase + 0x9000;
+    Addr desc_pa = kBase + 0xa000, out_pa = kBase + 0xb000;
+    mem.fill(root_a, 0, 0x4000);
+
+    constexpr uint32_t kBinVa = 0x00100000;
+    constexpr uint32_t kDescVa = 0x00101000;
+    constexpr uint32_t kOutVa = 0x00200000;
+
+    auto store_const = [&](uint32_t value) {
+        return buildModule({{
+            mk(Op::MovImm, 1, kNone, kNone, kNone,
+               static_cast<int32_t>(value)),
+            mk(Op::MovImm, 2, kNone, kNone, kNone, kOutVa),
+            mk(Op::StGlobal, kNone, 2, 1, kNone, 0),
+            mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+        }});
+    };
+    std::vector<uint8_t> bin_a = bif::encode(store_const(111));
+    std::vector<uint8_t> bin_b = bif::encode(store_const(222));
+    mem.writeBlock(shader_a, bin_a.data(), bin_a.size());
+    mem.writeBlock(shader_b, bin_b.data(), bin_b.size());
+
+    // Same VAs in both address spaces; only the shader page differs.
+    map(root_a, l0_a, kBinVa, shader_a, false);
+    map(root_a, l0_a, kDescVa, desc_pa, false);
+    map(root_a, l0_a, kOutVa, out_pa, true);
+    map(root_b, l0_b, kBinVa, shader_b, false);
+    map(root_b, l0_b, kDescVa, desc_pa, false);
+    map(root_b, l0_b, kOutVa, out_pa, true);
+
+    gpu::JobDescriptor d;
+    d.jobType = gpu::JobDescriptor::kTypeCompute;
+    d.binaryVa = kBinVa;
+    uint8_t raw[gpu::JobDescriptor::kSizeBytes];
+    d.writeTo(raw);
+    mem.writeBlock(desc_pa, raw, sizeof(raw));
+
+    gpu::GpuDevice dev(mem, gpu::GpuConfig{}, [](bool) {});
+    dev.mmioWrite(gpu::kRegAsTranstab, static_cast<uint32_t>(root_a));
+    dev.mmioWrite(gpu::kRegJsSubmit, kDescVa);
+    dev.waitIdle();
+    ASSERT_EQ(dev.mmioRead(gpu::kRegJsStatus), gpu::kJsDone);
+    EXPECT_EQ(mem.read<uint32_t>(out_pa), 111u);
+
+    // Root switch remaps kBinVa to the other shader's bytes; the stale
+    // cache entry must not serve the old decode.
+    dev.mmioWrite(gpu::kRegAsTranstab, static_cast<uint32_t>(root_b));
+    dev.mmioWrite(gpu::kRegAsCommand, 1);
+    dev.mmioWrite(gpu::kRegJsSubmit, kDescVa);
+    dev.waitIdle();
+    ASSERT_EQ(dev.mmioRead(gpu::kRegJsStatus), gpu::kJsDone);
+    EXPECT_EQ(mem.read<uint32_t>(out_pa), 222u);
 }
 
 TEST_F(GpuExecTest, InstrumentationCountsExact)
