@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Throughput of the static shader analyzer (src/analysis/), using
+ * google-benchmark.  The analyzer sits on the GPU's shader decode path
+ * (GpuConfig::verify) and in kclc's output gate, so its cost per
+ * module bounds how much decode-time verification adds to a job's
+ * cold-start latency — compare against the decode span in
+ * bench ablation_caches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "common/logging.h"
+#include "kclc/compiler.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace bifsim;
+
+/** All workload kernels compiled at the given optimisation level. */
+std::vector<bif::Module>
+workloadModules(int level)
+{
+    std::vector<bif::Module> mods;
+    kclc::CompilerOptions opts = kclc::CompilerOptions::forLevel(level);
+    for (const std::string &name : workloads::allWorkloadNames()) {
+        std::unique_ptr<workloads::Workload> w =
+            workloads::makeWorkload(name);
+        for (kclc::CompiledKernel &k :
+             kclc::compileAll(w->source(), opts))
+            mods.push_back(std::move(k.mod));
+    }
+    return mods;
+}
+
+void
+BM_AnalyzeWorkloadKernels(benchmark::State &state)
+{
+    setInformEnabled(false);
+    std::vector<bif::Module> mods =
+        workloadModules(static_cast<int>(state.range(0)));
+    size_t clauses = 0;
+    for (const bif::Module &m : mods)
+        clauses += m.clauses.size();
+
+    size_t diags = 0;
+    for (auto _ : state) {
+        for (const bif::Module &m : mods) {
+            analysis::Result r = analysis::analyze(m);
+            diags += r.diags.size();
+            benchmark::DoNotOptimize(r);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(clauses));
+    state.counters["kernels"] = static_cast<double>(mods.size());
+    state.counters["diags_per_pass"] = static_cast<double>(
+        state.iterations() ? diags / state.iterations() : 0);
+}
+BENCHMARK(BM_AnalyzeWorkloadKernels)
+    ->Arg(0)
+    ->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ClauseCfgBuild(benchmark::State &state)
+{
+    setInformEnabled(false);
+    std::vector<bif::Module> mods = workloadModules(3);
+    for (auto _ : state) {
+        for (const bif::Module &m : mods) {
+            analysis::ClauseCfg cfg = analysis::ClauseCfg::build(m);
+            benchmark::DoNotOptimize(cfg);
+        }
+    }
+}
+BENCHMARK(BM_ClauseCfgBuild)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Standalone BIF static-analysis driver ("biflint").  Runs the
+ * src/analysis/ passes over shader modules and prints diagnostics —
+ * the same checks GpuDevice runs at shader decode time and kclc runs
+ * on its own output.
+ *
+ * Usage:
+ *   biflint <file.kcl | -> [--version 5.6..6.2] [--strict] [--dot]
+ *   biflint --check-workloads        (CI mode: compile every Table II
+ *                                     workload at O0..O3 and require
+ *                                     zero error-severity findings)
+ *
+ * Exit status: 0 clean, 1 error-severity findings (or, with --strict,
+ * any finding), 2 usage/compile failure.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analysis.h"
+#include "common/logging.h"
+#include "instrument/cfg.h"
+#include "kclc/compiler.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace bifsim;
+
+/** Analyzes every kernel of @p source; returns the worst exit code. */
+int
+lintSource(const std::string &label, const std::string &source,
+           const std::string &version, bool strict, bool dot,
+           bool quiet_clean)
+{
+    kclc::CompilerOptions opts = kclc::CompilerOptions::forVersion(version);
+    std::vector<kclc::CompiledKernel> kernels;
+    try {
+        kernels = kclc::compileAll(source, opts);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "%s [%s]: compile failed: %s\n",
+                     label.c_str(), version.c_str(), e.what());
+        return 2;
+    }
+
+    int rc = 0;
+    for (const kclc::CompiledKernel &k : kernels) {
+        analysis::Result res = analysis::analyze(k.mod);
+        bool bad = strict ? !res.diags.empty() : res.hasErrors();
+        if (bad)
+            rc = rc < 1 ? 1 : rc;
+        if (!res.diags.empty() || !quiet_clean) {
+            std::printf("%s:%s [%s]: %zu clauses, %zu diagnostics "
+                        "(%zu errors, %zu warnings)\n",
+                        label.c_str(), k.name.c_str(), version.c_str(),
+                        k.mod.clauses.size(), res.diags.size(),
+                        res.count(analysis::Severity::Error),
+                        res.count(analysis::Severity::Warning));
+            for (const analysis::Diag &d : res.diags)
+                std::printf("  %s\n", analysis::renderDiag(d).c_str());
+        }
+        if (dot) {
+            instrument::Cfg cfg = res.cfg.toInstrumentCfg();
+            std::fputs(instrument::toDot(cfg).c_str(), stdout);
+        }
+    }
+    return rc;
+}
+
+int
+checkWorkloads()
+{
+    static const char *kVersions[] = {"5.6", "5.7", "6.0", "6.1"};
+    int rc = 0;
+    size_t kernels = 0;
+    for (const std::string &name : workloads::allWorkloadNames()) {
+        std::unique_ptr<workloads::Workload> w =
+            workloads::makeWorkload(name);
+        for (const char *v : kVersions) {
+            int r = lintSource(name, w->source(), v, false, false, true);
+            rc = std::max(rc, r);
+            ++kernels;
+        }
+    }
+    std::printf("biflint: checked %zu workload/version combinations: "
+                "%s\n", kernels, rc == 0 ? "clean" : "FINDINGS");
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path, version = "6.0";
+    bool strict = false, dot = false, check_workloads = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check-workloads") == 0)
+            check_workloads = true;
+        else if (std::strcmp(argv[i], "--strict") == 0)
+            strict = true;
+        else if (std::strcmp(argv[i], "--dot") == 0)
+            dot = true;
+        else if (std::strcmp(argv[i], "--version") == 0 && i + 1 < argc)
+            version = argv[++i];
+        else
+            path = argv[i];
+    }
+
+    if (check_workloads)
+        return checkWorkloads();
+
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: biflint <file.kcl | -> [--version V] "
+                     "[--strict] [--dot] | --check-workloads\n");
+        return 2;
+    }
+
+    std::string source;
+    if (path == "-") {
+        std::stringstream ss;
+        ss << std::cin.rdbuf();
+        source = ss.str();
+    } else {
+        std::ifstream f(path);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 2;
+        }
+        std::stringstream ss;
+        ss << f.rdbuf();
+        source = ss.str();
+    }
+    return lintSource(path, source, version, strict, dot, false);
+}

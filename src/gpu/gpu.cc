@@ -214,8 +214,10 @@ GpuDevice::readVaRange(uint32_t va, size_t len, std::vector<uint8_t> &out)
 }
 
 std::shared_ptr<DecodedShader>
-GpuDevice::getShader(uint32_t binary_va, std::string &error)
+GpuDevice::getShader(uint32_t binary_va, std::string &error,
+                     JobFaultKind &kind)
 {
+    kind = JobFaultKind::BadBinary;
     uint64_t t0 = jmBuf_ ? trace::nowNs() : 0;
     {
         std::lock_guard<std::mutex> g(lock_);
@@ -260,6 +262,29 @@ GpuDevice::getShader(uint32_t binary_va, std::string &error)
     if (!bif::decode(bytes.data(), bytes.size(), mod, error))
         return nullptr;
 
+    // Static verification (decode-time gate; see GpuConfig::verify).
+    if (cfg_.verify != analysis::Strictness::kOff) {
+        uint64_t v0 = jmBuf_ ? trace::nowNs() : 0;
+        analysis::Options opts;
+        opts.maxArgWords = kMaxArgWords;
+        opts.deadWrites = false;   // Lint-only class; skip the pass.
+        analysis::Result res = analysis::analyze(mod, opts);
+        if (jmBuf_) {
+            for (const analysis::Diag &d : res.diags) {
+                jmBuf_->instant(analysis::checkName(d.check), "verify",
+                                "clause", d.clause, "tuple", d.tuple);
+            }
+            jmBuf_->span("verify", "shader", v0, "diags",
+                         res.diags.size(), "va", binary_va);
+        }
+        if (const analysis::Diag *d =
+                analysis::firstRejected(res, cfg_.verify)) {
+            error = "shader verify: " + analysis::renderDiag(*d);
+            kind = JobFaultKind::ShaderVerify;
+            return nullptr;
+        }
+    }
+
     auto shader =
         std::make_shared<DecodedShader>(DecodedShader::build(std::move(mod)));
     std::lock_guard<std::mutex> g(lock_);
@@ -303,9 +328,11 @@ GpuDevice::runJob(const JobDescriptor &desc)
     }
 
     std::string err;
-    std::shared_ptr<DecodedShader> shader = getShader(desc.binaryVa, err);
+    JobFaultKind binKind = JobFaultKind::BadBinary;
+    std::shared_ptr<DecodedShader> shader =
+        getShader(desc.binaryVa, err, binKind);
     if (!shader)
-        return fail(JobFaultKind::BadBinary, desc.binaryVa, err);
+        return fail(binKind, desc.binaryVa, err);
 
     JobContext ctx;
     ctx.shader = shader.get();

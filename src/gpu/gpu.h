@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "gpu/gmmu.h"
 #include "gpu/shader_core.h"
 #include "instrument/stats.h"
@@ -66,6 +67,25 @@ struct GpuConfig
     bool trace = false;        ///< Job-lifecycle tracing (src/trace/);
                                ///< off costs one branch per event site.
     size_t traceBufferEvents = 1u << 14;   ///< Ring capacity per thread.
+
+    /**
+     * Decode-time shader verifier strictness.  The Job Manager runs the
+     * static analyzer (src/analysis/) on every freshly decoded image:
+     *
+     *  - kOff:    execute anything that structurally decodes (the
+     *             pre-verifier behaviour).
+     *  - kUnsafe: reject images whose execution is architecturally
+     *             undefined — out-of-bounds ROM/argument indices, GRF
+     *             references past regCount, temp-scope violations, bad
+     *             branch targets.  The default.
+     *  - kStrict: additionally reject any error-severity lint finding
+     *             (e.g. a definitely-uninitialised GRF read).
+     *
+     * A rejected shader fails the job with JobFaultKind::ShaderVerify
+     * and raises kIrqJobFault; the diagnostics land in the trace stream
+     * as instants when tracing is on.
+     */
+    analysis::Strictness verify = analysis::Strictness::kUnsafe;
 };
 
 /** Merged results for the most recent job. */
@@ -232,8 +252,12 @@ class GpuDevice : public Device
     /** Reads @p len bytes at GPU VA @p va through the MMU. */
     bool readVaRange(uint32_t va, size_t len, std::vector<uint8_t> &out);
 
+    /** Decodes (or fetches from cache) and statically verifies the
+     *  shader at @p binary_va.  On failure returns nullptr with @p kind
+     *  set to the fault class to report. */
     std::shared_ptr<DecodedShader> getShader(uint32_t binary_va,
-                                             std::string &error);
+                                             std::string &error,
+                                             JobFaultKind &kind);
 
     /** Updates the IRQ output level; must be called with lock_ held,
      *  fires the callback after dropping it via the returned action. */

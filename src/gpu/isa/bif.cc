@@ -47,6 +47,45 @@ isMemoryOp(Op op)
     return category(op) == Category::LoadStore;
 }
 
+unsigned
+srcUseMask(Op op)
+{
+    switch (op) {
+      // No sources: constants, control transfers, synchronisation.
+      case Op::Nop: case Op::MovImm: case Op::LdRom: case Op::LdArg:
+      case Op::Branch: case Op::Barrier: case Op::Ret:
+        return 0;
+      // Unary: src0 only.
+      case Op::FAbs: case Op::FNeg: case Op::FFloor: case Op::INot:
+      case Op::Mov: case Op::F2I: case Op::F2U: case Op::I2F:
+      case Op::U2F: case Op::FRcp: case Op::FRsqrt: case Op::FSqrt:
+      case Op::FExp2: case Op::FLog2: case Op::FSin: case Op::FCos:
+      case Op::LdGlobal: case Op::LdGlobalU8: case Op::LdLocal:
+      case Op::BranchZ: case Op::BranchNZ:
+        return 0b001;
+      // Three sources.
+      case Op::FFma: case Op::CSel:
+        return 0b111;
+      // Everything else is binary over src0/src1 (stores read the
+      // address from src0 and the value from src1).
+      default:
+        return 0b011;
+    }
+}
+
+bool
+writesDest(Op op)
+{
+    switch (op) {
+      case Op::Nop: case Op::StGlobal: case Op::StGlobalU8:
+      case Op::StLocal: case Op::Branch: case Op::BranchZ:
+      case Op::BranchNZ: case Op::Barrier: case Op::Ret:
+        return false;
+      default:
+        return true;
+    }
+}
+
 const char *
 opName(Op op)
 {
@@ -108,7 +147,8 @@ isControlFlow(Op op)
 
 /** Checks structural rules; returns "" when OK. */
 std::string
-validateClause(const Clause &cl, size_t clause_idx, size_t num_clauses)
+validateClause(const Clause &cl, size_t clause_idx, size_t num_clauses,
+               uint32_t reg_count)
 {
     if (cl.tuples.empty() || cl.tuples.size() > kMaxTuplesPerClause) {
         return strfmt("clause %zu: %zu tuples (must be 1..%u)",
@@ -151,15 +191,35 @@ validateClause(const Clause &cl, size_t clause_idx, size_t num_clauses)
             }
             // Temp-register scoping: reads must follow a write in this
             // clause; this is what confines temp values to a clause.
-            for (uint8_t src : {in.src0, in.src1, in.src2}) {
+            // GRF references must stay below the module's declared
+            // register count (semantically-used operands only — dead
+            // encoding space carries arbitrary bytes).
+            unsigned use = srcUseMask(in.op);
+            const uint8_t srcs[3] = {in.src0, in.src1, in.src2};
+            for (int k = 0; k < 3; ++k) {
+                if (!(use & (1u << k)))
+                    continue;
+                uint8_t src = srcs[k];
                 if (isTemp(src) && !temp_written[src - kOperandTemp0]) {
                     return strfmt(
                         "clause %zu tuple %zu: t%u read before write",
                         clause_idx, t, src - kOperandTemp0);
                 }
+                if (isGrf(src) && src >= reg_count) {
+                    return strfmt(
+                        "clause %zu tuple %zu: r%u read but regCount is "
+                        "%u", clause_idx, t, src, reg_count);
+                }
             }
-            if (isTemp(in.dst))
-                temp_written[in.dst - kOperandTemp0] = true;
+            if (writesDest(in.op)) {
+                if (isGrf(in.dst) && in.dst >= reg_count) {
+                    return strfmt(
+                        "clause %zu tuple %zu: r%u written but regCount "
+                        "is %u", clause_idx, t, in.dst, reg_count);
+                }
+                if (isTemp(in.dst))
+                    temp_written[in.dst - kOperandTemp0] = true;
+            }
         }
     }
     return "";
@@ -174,7 +234,7 @@ validate(const Module &mod)
         return "module has no clauses";
     for (size_t c = 0; c < mod.clauses.size(); ++c) {
         std::string e = validateClause(mod.clauses[c], c,
-                                       mod.clauses.size());
+                                       mod.clauses.size(), mod.regCount);
         if (!e.empty())
             return e;
     }
@@ -278,6 +338,7 @@ decode(const uint8_t *data, size_t size, Module &out, std::string &error)
         off += 4;
         unsigned tuples = (hdr & 7) + 1;
         Clause cl;
+        bool has_cf = false;
         for (unsigned t = 0; t < tuples; ++t) {
             if (off + 16 > size)
                 return fail("truncated clause body");
@@ -285,7 +346,19 @@ decode(const uint8_t *data, size_t size, Module &out, std::string &error)
             tu.slot[0] = Instr::decode(get64(off));
             tu.slot[1] = Instr::decode(get64(off + 8));
             off += 16;
+            has_cf |= isControlFlow(tu.slot[0].op) ||
+                      isControlFlow(tu.slot[1].op);
             cl.tuples.push_back(tu);
+        }
+        // The has_branch header bit must agree with the clause body: a
+        // mismatched bit means the image was not produced by encode()
+        // (or was corrupted), and trusting either side would let the
+        // clause take a control transfer the header hides (or vice
+        // versa).
+        if (((hdr >> 3) & 1) != (has_cf ? 1u : 0u)) {
+            return fail(strfmt("clause %u: has_branch header bit %u "
+                               "disagrees with clause body", c,
+                               (hdr >> 3) & 1));
         }
         out.clauses.push_back(std::move(cl));
     }

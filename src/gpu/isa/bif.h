@@ -150,6 +150,17 @@ bool legalInSlot1(Op op);
 /** Returns true if @p op reads a memory address from src0. */
 bool isMemoryOp(Op op);
 
+/**
+ * Which source operands @p op semantically reads, as a bitmask
+ * (bit0 = src0, bit1 = src1, bit2 = src2).  Operand fields outside the
+ * mask are dead encoding space: the interpreters never read them, so
+ * validation and static analysis ignore their contents.
+ */
+unsigned srcUseMask(Op op);
+
+/** Returns true if @p op commits a result to its dst operand. */
+bool writesDest(Op op);
+
 /** Returns the canonical mnemonic. */
 const char *opName(Op op);
 
@@ -176,12 +187,16 @@ struct Instr
 struct Tuple
 {
     Instr slot[2];
+
+    bool operator==(const Tuple &) const = default;
 };
 
 /** One clause: up to kMaxTuplesPerClause tuples. */
 struct Clause
 {
     std::vector<Tuple> tuples;
+
+    bool operator==(const Clause &) const = default;
 };
 
 /** An un-encoded shader module (the compiler's output form). */
@@ -192,6 +207,8 @@ struct Module
     uint32_t regCount = 0;          ///< GRF registers used.
     uint32_t localBytes = 0;        ///< Static local memory per group.
     bool usesBarrier = false;
+
+    bool operator==(const Module &) const = default;
 };
 
 /**
@@ -215,7 +232,8 @@ bool decode(const uint8_t *data, size_t size, Module &out,
  *  - slot legality (LS ops in slot 0, CF ops in slot 1);
  *  - CF ops only in the final tuple of a clause, with Barrier alone;
  *  - branch targets within the module;
- *  - temps read only after being written in the same clause.
+ *  - temps read only after being written in the same clause;
+ *  - semantically-used GRF operands below the module's regCount.
  */
 std::string validate(const Module &mod);
 

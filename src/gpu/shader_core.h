@@ -109,6 +109,8 @@ enum class JobFaultKind : uint8_t
     MmuFault,          ///< Translation fault on a data access.
     BadAccess,         ///< Misaligned or out-of-range (local) access.
     DivergentBarrier,  ///< Barrier reached with divergent threads.
+    ShaderVerify,      ///< Decode-time static verifier rejected the
+                       ///< image (see GpuConfig::verify).
 };
 
 /** Fault details (reflected into AS_FAULTSTATUS/AS_FAULTADDRESS). */

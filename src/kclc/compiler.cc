@@ -1,5 +1,6 @@
 #include "kclc/compiler.h"
 
+#include "analysis/analysis.h"
 #include "common/logging.h"
 #include "kclc/lower.h"
 #include "kclc/parser.h"
@@ -87,6 +88,19 @@ compileOne(const Kernel &k, const CompilerOptions &opts)
     std::string verr = bif::validate(mod);
     if (!verr.empty())
         panic("kclc produced an invalid module: %s", verr.c_str());
+
+    // Self-check: the static analyzer must find no error-severity
+    // defect in our own output, at every optimisation level.
+    analysis::Result ares = analysis::analyze(mod);
+    if (ares.hasErrors()) {
+        std::string msg;
+        for (const analysis::Diag &d : ares.diags) {
+            if (d.sev == analysis::Severity::Error)
+                msg += "\n  " + analysis::renderDiag(d);
+        }
+        simError("kclc miscompiled '%s' (analyzer findings):%s",
+                 k.name.c_str(), msg.c_str());
+    }
 
     CompiledKernel out;
     out.name = k.name;

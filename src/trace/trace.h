@@ -16,9 +16,12 @@
  * The event vocabulary follows the full job lifecycle:
  *
  *   js_submit (MMIO write) -> chain / desc_fetch / job (Job Manager)
- *   -> decode (shader decode cache hit/miss) -> worker_exec / workgroup
- *   (per worker) -> mmu_walk / mmu_fault (translations) -> irq_raise
- *   -> driver_wake (host runtime or guest driver observed completion)
+ *   -> decode (shader decode cache hit/miss) -> verify (static shader
+ *   analysis, cat "shader"; each finding is an instant named after its
+ *   check class — e.g. "rom-bounds", "uninit-read" — in cat "verify")
+ *   -> worker_exec / workgroup (per worker) -> mmu_walk / mmu_fault
+ *   (translations) -> irq_raise -> driver_wake (host runtime or guest
+ *   driver observed completion)
  *
  * Export is Chrome `trace_event` JSON (loadable in chrome://tracing or
  * ui.perfetto.dev) plus a human-readable per-job summary.  Export reads

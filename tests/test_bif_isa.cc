@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 #include "common/logging.h"
@@ -195,7 +196,85 @@ TEST(BifModule, TempWriteThenReadIsValid)
     cl.tuples.push_back(t1);
     cl.tuples.push_back(t2);
     m.clauses.push_back(cl);
+    m.regCount = 1;   // r0 is written by the IAdd.
     EXPECT_EQ(validate(m), "");
+}
+
+TEST(BifModule, ValidateRejectsGrfReadBeyondRegCount)
+{
+    // Regression: validate() used to accept modules whose instructions
+    // reference GRF indices at or above the declared regCount.
+    Module m = singleClauseModule({
+        mk(Op::IAdd, 1, 5, kSrZero, kOperandNone, 0),   // Reads r5.
+    });
+    m.regCount = 2;
+    std::string err = validate(m);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("r5"), std::string::npos) << err;
+}
+
+TEST(BifModule, ValidateRejectsGrfWriteBeyondRegCount)
+{
+    Module m = singleClauseModule({
+        mk(Op::MovImm, 9, kOperandNone, kOperandNone, kOperandNone, 1),
+    });
+    m.regCount = 4;
+    std::string err = validate(m);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("r9"), std::string::npos) << err;
+}
+
+TEST(BifModule, ValidateIgnoresDeadOperandFields)
+{
+    // MovImm reads no sources: garbage in the unused operand fields
+    // (as produced by hand-built tests and fuzzing) must not trip the
+    // regCount check.
+    Module m = singleClauseModule({
+        mk(Op::MovImm, 0, 63, 62, 61, 1),
+    });
+    m.regCount = 1;
+    EXPECT_EQ(validate(m), "");
+}
+
+TEST(BifModule, DecodeRejectsHasBranchBitMismatch)
+{
+    // Regression: decode() trusted the clause header's has_branch bit;
+    // a flipped bit silently disagreed with the clause body.
+    Module m;
+    Clause cl;
+    Tuple t;
+    t.slot[1] = mk(Op::Branch, kOperandNone, kOperandNone, kOperandNone,
+                   kOperandNone, 1);
+    cl.tuples.push_back(t);
+    m.clauses.push_back(cl);
+    // Tail clause must be free of *all* control flow (Ret counts), so
+    // its header bit starts clear; falling off the end is legal.
+    Clause tail;
+    Tuple tr;
+    tr.slot[0] = mk(Op::IAdd, 0, 0, 0, kOperandNone, 0);
+    tail.tuples.push_back(tr);
+    m.clauses.push_back(tail);
+    m.regCount = 1;
+    std::vector<uint8_t> bytes = encode(m);
+
+    Module out;
+    std::string err;
+    ASSERT_TRUE(decode(bytes.data(), bytes.size(), out, err)) << err;
+
+    // Header words start at clause_offset; clause 0's header is first.
+    uint32_t clause_off;
+    std::memcpy(&clause_off, bytes.data() + 8, 4);
+    std::vector<uint8_t> bad = bytes;
+    bad[clause_off] ^= 1u << 3;   // Clear has_branch on the branch clause.
+    EXPECT_FALSE(decode(bad.data(), bad.size(), out, err));
+    EXPECT_NE(err.find("has_branch"), std::string::npos) << err;
+
+    // Set has_branch on the branch-free clause: also rejected.
+    uint32_t c1_off = clause_off + 4 + 16;   // hdr + 1 tuple (2 x u64).
+    bad = bytes;
+    bad[c1_off] |= 1u << 3;
+    EXPECT_FALSE(decode(bad.data(), bad.size(), out, err));
+    EXPECT_NE(err.find("has_branch"), std::string::npos) << err;
 }
 
 TEST(BifModule, ValidateRejectsBarrierNotAlone)
@@ -226,6 +305,7 @@ TEST(BifModule, DecodeRejectsTruncated)
 {
     Module m = singleClauseModule(
         {mk(Op::MovImm, 1, kOperandNone, kOperandNone, kOperandNone, 1)});
+    m.regCount = 2;
     std::vector<uint8_t> bytes = encode(m);
     Module out;
     std::string err;

@@ -172,6 +172,7 @@ TEST_P(DifferentialFuzz, CoreMatchesReference)
     rt.slot[1].op = Op::Ret;
     fin.tuples.push_back(rt);
     dumper.clauses.push_back(fin);
+    dumper.regCount = 20;   // The dump stage scratches r16..r19.
 
     // Strip the original Ret (it would end threads before the dump).
     for (bif::Clause &cl : dumper.clauses) {
@@ -224,6 +225,190 @@ TEST_P(DifferentialFuzz, CoreMatchesReference)
 
 INSTANTIATE_TEST_SUITE_P(FuzzSeeds, DifferentialFuzz,
                          ::testing::Range(1u, 33u));
+
+/** Random forward-branching program: every clause may end in a
+ *  Branch/BranchZ/BranchNZ to a later clause, conditions derived from
+ *  lane-varying state so warps actually diverge.  No Ret — threads
+ *  fall off the end (so a dump stage can be appended unchanged). */
+bif::Module
+randomBranchProgram(uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    bif::Module m;
+    unsigned num_clauses = 4 + rng() % 5;   // 4..8
+    static const Op kOps[] = {Op::IAdd, Op::ISub, Op::IXor, Op::IAnd,
+                              Op::MovImm, Op::IMul, Op::ICmp};
+    for (unsigned c = 0; c < num_clauses; ++c) {
+        bif::Clause cl;
+        if (c == 0) {
+            // Seed lane-varying state into r0 so conditions diverge.
+            Instr in;
+            in.op = Op::IAdd;
+            in.dst = 0;
+            in.src0 = bif::kSrLaneId;
+            in.src1 = bif::kSrLocalIdX;
+            bif::Tuple t;
+            t.slot[0] = in;
+            cl.tuples.push_back(t);
+        }
+        unsigned tuples = 1 + rng() % 3;
+        for (unsigned t = 0; t < tuples; ++t) {
+            Instr in;
+            in.op = kOps[rng() % std::size(kOps)];
+            in.dst = static_cast<uint8_t>(rng() % 8);
+            in.src0 = static_cast<uint8_t>(rng() % 8);
+            in.src1 = static_cast<uint8_t>(rng() % 8);
+            in.imm = static_cast<int32_t>(rng() % 7) - 3;
+            if (in.op == Op::ICmp)
+                in.imm = static_cast<int32_t>(rng() % 6);
+            bif::Tuple tu;
+            tu.slot[0] = in;
+            cl.tuples.push_back(tu);
+        }
+        if (c + 1 < num_clauses && rng() % 4 != 0) {
+            Instr br;
+            unsigned kind = rng() % 3;
+            br.op = kind == 0   ? Op::Branch
+                    : kind == 1 ? Op::BranchZ
+                                : Op::BranchNZ;
+            if (br.op != Op::Branch)
+                br.src0 = static_cast<uint8_t>(rng() % 8);
+            br.imm = static_cast<int32_t>(c + 1 +
+                                          rng() % (num_clauses - c - 1));
+            bif::Tuple bt;
+            bt.slot[1] = br;
+            cl.tuples.push_back(bt);
+        }
+        m.clauses.push_back(cl);
+    }
+    m.regCount = 8;
+    return m;
+}
+
+/** Branch/BranchZ/BranchNZ clauses: the fast path, the legacy
+ *  interpreter, and the scalar reference must agree bit-exactly on the
+ *  final GRF state (the analyzer's CFG is built from the same successor
+ *  rules, so all three define the executed paths). */
+class BranchDifferential : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(BranchDifferential, AllInterpretersAgree)
+{
+    uint32_t seed = GetParam();
+    bif::Module prog = randomBranchProgram(seed);
+    ASSERT_EQ(bif::validate(prog), "");
+
+    // Append the dump stage: out[gid*32 + i*4] = r_i for r0..r7.
+    bif::Module dumper = prog;
+    bif::Clause dump;
+    auto add = [&](Instr in) {
+        bif::Tuple t;
+        t.slot[0] = in;
+        dump.tuples.push_back(t);
+        if (dump.tuples.size() == bif::kMaxTuplesPerClause) {
+            dumper.clauses.push_back(dump);
+            dump.tuples.clear();
+        }
+    };
+    Instr in;
+    in = Instr();
+    in.op = Op::IMul;
+    in.dst = 16;
+    in.src0 = bif::kSrGroupIdX;
+    in.src1 = bif::kSrLocalSizeX;
+    add(in);
+    in = Instr();
+    in.op = Op::IAdd;
+    in.dst = 16;
+    in.src0 = 16;
+    in.src1 = bif::kSrLocalIdX;
+    add(in);
+    in = Instr();
+    in.op = Op::MovImm;
+    in.dst = 18;
+    in.imm = 5;
+    add(in);
+    in = Instr();
+    in.op = Op::IShl;
+    in.dst = 17;
+    in.src0 = 16;
+    in.src1 = 18;
+    add(in);
+    in = Instr();
+    in.op = Op::LdArg;
+    in.dst = 19;
+    in.imm = 0;
+    add(in);
+    in = Instr();
+    in.op = Op::IAdd;
+    in.dst = 17;
+    in.src0 = 17;
+    in.src1 = 19;
+    add(in);
+    for (int r = 0; r < 8; ++r) {
+        in = Instr();
+        in.op = Op::StGlobal;
+        in.dst = kNone;
+        in.src0 = 17;
+        in.src1 = static_cast<uint8_t>(r);
+        in.imm = r * 4;
+        add(in);
+    }
+    if (!dump.tuples.empty())
+        dumper.clauses.push_back(dump);
+    bif::Clause fin;
+    bif::Tuple rt;
+    rt.slot[1].op = Op::Ret;
+    fin.tuples.push_back(rt);
+    dumper.clauses.push_back(fin);
+    dumper.regCount = 20;
+    ASSERT_EQ(bif::validate(dumper), "");
+
+    constexpr uint32_t kThreads = 8;
+    auto run = [&](bool fast) {
+        rt::SystemConfig cfg;
+        cfg.gpu.hostThreads = 2;
+        cfg.gpu.fastPath = fast;
+        rt::Session s(cfg);
+        kclc::CompiledKernel ck;
+        ck.name = "branchfuzz";
+        ck.mod = dumper;
+        ck.binary = bif::encode(dumper);
+        ck.regCount = dumper.regCount;
+        rt::KernelHandle k = s.load(ck);
+        rt::Buffer out = s.alloc(kThreads * 32);
+        gpu::JobResult r = s.enqueue(
+            k, rt::NDRange{kThreads, 1, 1}, rt::NDRange{4, 1, 1},
+            {rt::Arg::buf(out)});
+        EXPECT_FALSE(r.faulted) << r.fault.detail;
+        std::vector<uint32_t> got(kThreads * 8);
+        s.read(out, got.data(), got.size() * 4);
+        return got;
+    };
+    std::vector<uint32_t> fast = run(true);
+    std::vector<uint32_t> legacy = run(false);
+    EXPECT_EQ(fast, legacy) << "seed " << seed;
+
+    for (uint32_t t = 0; t < kThreads; ++t) {
+        gpu::ref::RefContext ctx;
+        ctx.localId[0] = t % 4;
+        ctx.groupId[0] = t / 4;
+        ctx.localSize[0] = 4;
+        ctx.gridSize[0] = kThreads;
+        ctx.numGroups[0] = kThreads / 4;
+        ctx.laneId = t % 4;
+        gpu::ref::RefResult rr = gpu::ref::runThread(prog, ctx);
+        ASSERT_TRUE(rr.ok) << rr.error;
+        for (int reg = 0; reg < 8; ++reg) {
+            EXPECT_EQ(fast[t * 8 + reg], rr.grf[reg])
+                << "seed " << seed << " thread " << t << " r" << reg;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BranchSeeds, BranchDifferential,
+                         ::testing::Range(1u, 25u));
 
 /** The reference interpreter's tracing mode (paper's instruction
  *  tracing validation). */

@@ -11,6 +11,7 @@
 #include <functional>
 #include <random>
 
+#include "analysis/analysis.h"
 #include "gpu/ref/ref_interp.h"
 #include "kclc/compiler.h"
 
@@ -148,6 +149,64 @@ TEST_P(KclcFuzz, AllOptLevelsAgree)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KclcFuzz, ::testing::Range(100u, 140u));
+
+/**
+ * Byte-mutation corpus over encoded modules: bif::decode must never
+ * crash or corrupt memory on hostile images, any accepted image must
+ * survive the full static analyzer, and accepted images must
+ * round-trip (decode(encode(decode(x))) == decode(x)).
+ */
+class DecodeMutationFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(DecodeMutationFuzz, DecodeAnalyzeNeverCrashesAndRoundTrips)
+{
+    uint32_t seed = GetParam();
+    std::string src = randomKernel(seed);
+    CompiledKernel k =
+        compileKernel(src, "fuzz",
+                      CompilerOptions::forLevel(static_cast<int>(seed % 4)));
+    std::mt19937 rng(seed * 2654435761u + 1);
+
+    std::vector<uint8_t> corpus = k.binary;
+    for (int round = 0; round < 200; ++round) {
+        std::vector<uint8_t> img = corpus;
+        // 1..8 random byte mutations: flips, substitutions, truncation.
+        unsigned edits = 1 + rng() % 8;
+        for (unsigned e = 0; e < edits && !img.empty(); ++e) {
+            size_t pos = rng() % img.size();
+            switch (rng() % 4) {
+              case 0: img[pos] ^= 1u << (rng() % 8); break;
+              case 1: img[pos] = static_cast<uint8_t>(rng()); break;
+              case 2: img[pos] = 0xff; break;
+              default:
+                img.resize(std::max<size_t>(1, pos));
+                break;
+            }
+        }
+
+        bif::Module mod;
+        std::string err;
+        if (!bif::decode(img.data(), img.size(), mod, err)) {
+            EXPECT_FALSE(err.empty());
+            continue;
+        }
+        // Accepted images satisfy the structural rules...
+        EXPECT_EQ(bif::validate(mod), "");
+        // ...never crash the analyzer...
+        analysis::Result res = analysis::analyze(mod);
+        (void)res;
+        // ...and round-trip through encode/decode at module level.
+        std::vector<uint8_t> re = bif::encode(mod);
+        bif::Module mod2;
+        ASSERT_TRUE(bif::decode(re.data(), re.size(), mod2, err)) << err;
+        EXPECT_EQ(mod2, mod);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(MutationSeeds, DecodeMutationFuzz,
+                         ::testing::Range(200u, 216u));
 
 } // namespace
 } // namespace bifsim::kclc
