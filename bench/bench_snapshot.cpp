@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Warm-boot benchmark (DESIGN.md §5e): cold FullSystem bring-up
+ * (session construction, guest bring-up, buffer setup and JIT of the
+ * kernel library) versus restoring a snapshot image of that same
+ * ready-to-submit machine.  Both paths then run the same first job --
+ * untimed, purely to prove the machine really is ready -- so the
+ * speedup compares boot work, not kernel execution time.  Reports
+ * save/load/restore latency and image size, and enforces the >=10x
+ * warm-boot speedup target.
+ *
+ * Writes BENCH_snapshot.json.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/session.h"
+#include "snapshot/snapshot.h"
+#include "workloads/sgemm_variants.h"
+
+using namespace bifsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv, 1.0);
+    bench::banner("snapshot",
+                  "warm-boot images: cold boot-to-job-ready vs "
+                  "restore-to-job-ready");
+
+    int n = opt.full ? 128 : 32;   // sgemm dimension (multiple of 16).
+
+    rt::SystemConfig cfg;
+    cfg.ramBytes = 64u << 20;
+
+    std::vector<float> ha(n * n), hb(n * n);
+    for (int i = 0; i < n * n; ++i) {
+        ha[i] = static_cast<float>((i % 19) - 9) * 0.25f;
+        hb[i] = static_cast<float>((i % 13) - 6) * 0.5f;
+    }
+    const std::string lib = workloads::sgemmVariantsSource();
+    const std::vector<std::string> names = workloads::sgemmVariantNames();
+
+    auto firstJob = [&](rt::Session &s, const rt::KernelHandle &k,
+                        const std::vector<rt::Buffer> &bufs) {
+        gpu::JobResult r = s.enqueue(
+            k, rt::NDRange{static_cast<uint32_t>(n),
+                           static_cast<uint32_t>(n), 1},
+            rt::NDRange{8, 8, 1},
+            {rt::Arg::buf(bufs[0]), rt::Arg::buf(bufs[1]),
+             rt::Arg::buf(bufs[2]), rt::Arg::i32(n)});
+        if (r.faulted) {
+            std::fprintf(stderr, "job faulted: %s\n",
+                         r.fault.detail.c_str());
+            std::exit(1);
+        }
+    };
+
+    // ---- Cold boot: construct the machine, bring up the guest,
+    // stage the buffers and JIT the whole kernel library.  Timing
+    // stops when the machine is ready to accept a job. ----
+    bench::Timer t;
+    rt::Session cold(cfg, rt::Mode::FullSystem);
+    rt::Buffer a = cold.alloc(n * n * 4);
+    rt::Buffer b = cold.alloc(n * n * 4);
+    rt::Buffer c = cold.alloc(n * n * 4);
+    cold.write(a, ha.data(), ha.size() * 4);
+    cold.write(b, hb.data(), hb.size() * 4);
+    for (const std::string &name : names) {
+        // "1:Naive" -> kernel name "sgemm1" etc.
+        cold.compile(lib, "sgemm" + name.substr(0, 1));
+    }
+    double cold_s = t.seconds();
+
+    // Prove the cold machine is actually job-ready (untimed).
+    t.reset();
+    firstJob(cold, cold.kernels()[0], {a, b, c});
+    double job_cold_s = t.seconds();
+
+    // ---- Save ----
+    t.reset();
+    snapshot::Writer w;
+    cold.saveSnapshot(w);
+    std::vector<uint8_t> bytes = w.finish();
+    double save_s = t.seconds();
+    size_t image_bytes = bytes.size();
+
+    // ---- Load + validate (full structural + CRC pass) ----
+    t.reset();
+    snapshot::Image img = snapshot::Image::fromBytes(std::move(bytes));
+    double load_s = t.seconds();
+
+    // ---- Warm boot: restore the ready-to-submit machine from the
+    // image.  The kernel library, buffer registry and booted guest all
+    // come from the image; no JIT, no guest bring-up. ----
+    t.reset();
+    auto warm = rt::Session::fromSnapshot(img, cfg);
+    double warm_s = t.seconds();
+
+    // Prove the restored machine is job-ready too (untimed).
+    t.reset();
+    firstJob(*warm, warm->kernels()[0], warm->buffers());
+    double job_warm_s = t.seconds();
+
+    double speedup = warm_s > 0 ? cold_s / warm_s : 0;
+
+    std::printf("%-34s %10.2f ms\n", "cold boot to job-ready:",
+                cold_s * 1e3);
+    std::printf("%-34s %10.2f ms\n", "snapshot save:", save_s * 1e3);
+    std::printf("%-34s %10.2f ms\n", "image load+validate:",
+                load_s * 1e3);
+    std::printf("%-34s %10.2f ms\n", "warm boot to job-ready:",
+                warm_s * 1e3);
+    std::printf("%-34s %10.2f / %.2f ms\n",
+                "first job (cold / warm):", job_cold_s * 1e3,
+                job_warm_s * 1e3);
+    std::printf("%-34s %10.1f KiB (%zu dirty-page-sparse)\n",
+                "image size:", image_bytes / 1024.0, image_bytes);
+    std::printf("%-34s %10.1fx (target >= 10x)\n", "warm-boot speedup:",
+                speedup);
+
+    char json[1024];
+    std::snprintf(
+        json, sizeof json,
+        "{\n  \"bench\": \"snapshot\",\n  \"scale\": %.3f,\n"
+        "  \"sgemm_n\": %d,\n  \"kernels_in_image\": %zu,\n"
+        "  \"cold_boot_secs\": %.6f,\n  \"save_secs\": %.6f,\n"
+        "  \"load_validate_secs\": %.6f,\n  \"warm_boot_secs\": %.6f,\n"
+        "  \"first_job_cold_secs\": %.6f,\n"
+        "  \"first_job_warm_secs\": %.6f,\n"
+        "  \"image_bytes\": %zu,\n  \"ram_bytes\": %zu,\n"
+        "  \"warm_speedup\": %.3f\n}\n",
+        opt.scale, n, names.size(), cold_s, save_s, load_s, warm_s,
+        job_cold_s, job_warm_s, image_bytes, cfg.ramBytes, speedup);
+    std::FILE *f = std::fopen("BENCH_snapshot.json", "w");
+    if (f) {
+        std::fputs(json, f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_snapshot.json\n");
+    }
+
+    if (speedup < 10.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm-boot speedup below 10x target\n");
+        return 1;
+    }
+    return 0;
+}

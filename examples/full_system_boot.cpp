@@ -5,9 +5,17 @@
  * prints through a syscall, then drives a GPU job through the guest
  * kernel driver (page-table setup, Job Manager MMIO, WFI and the
  * completion interrupt all executed by simulated guest code).
+ *
+ * Snapshot support (DESIGN.md §5e):
+ *   --save-snapshot=<file>  capture a warm-boot image at the post-boot
+ *                           quiescent point, before the GPU job
+ *   --restore=<file>        skip boot entirely: restore the image and
+ *                           go straight to the GPU job
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
@@ -47,14 +55,94 @@ kernel void scale(global const float* in, global float* out, int n,
 }
 )";
 
-} // namespace
-
+/** Part 2: a GPU job through the guest driver. */
 int
-main()
+runGpuJob(bifsim::rt::Session &session)
 {
     using namespace bifsim;
 
+    constexpr int kN = 1024;
+    std::vector<float> in(kN), out(kN);
+    for (int i = 0; i < kN; ++i)
+        in[i] = static_cast<float>(i);
+
+    rt::Buffer din = session.alloc(kN * 4);
+    rt::Buffer dout = session.alloc(kN * 4);
+    session.write(din, in.data(), kN * 4);
+    rt::KernelHandle k = session.compile(kKernel, "scale");
+    gpu::JobResult r =
+        session.enqueue(k, rt::NDRange{kN, 1, 1}, rt::NDRange{64, 1, 1},
+                        {rt::Arg::buf(din), rt::Arg::buf(dout),
+                         rt::Arg::i32(kN), rt::Arg::f32(3.0f)});
+    if (r.faulted) {
+        std::fprintf(stderr, "GPU fault: %s\n", r.fault.detail.c_str());
+        return 1;
+    }
+    session.read(dout, out.data(), kN * 4);
+    int errors = 0;
+    for (int i = 0; i < kN; ++i) {
+        if (out[i] != in[i] * 3.0f)
+            errors++;
+    }
+
+    rt::System &sys = session.system();
+    gpu::SystemStats gs = sys.gpu().systemStats();
+    std::printf("GPU job through guest driver: %s\n",
+                errors == 0 ? "PASS" : "FAIL");
+    std::printf("driver instructions executed: %llu\n",
+                static_cast<unsigned long long>(
+                    session.driverInstructions()));
+    std::printf("GPU pages mapped by driver:   %llu\n",
+                static_cast<unsigned long long>(session.mappedPages()));
+    std::printf("ctrl regs: %llu reads / %llu writes, interrupts: "
+                "%llu, jobs: %llu\n",
+                static_cast<unsigned long long>(gs.ctrlRegReads),
+                static_cast<unsigned long long>(gs.ctrlRegWrites),
+                static_cast<unsigned long long>(gs.irqsAsserted),
+                static_cast<unsigned long long>(gs.computeJobs));
+    return errors == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bifsim;
+
+    std::string save_path, restore_path;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--save-snapshot=", 16) == 0) {
+            save_path = a + 16;
+        } else if (std::strncmp(a, "--restore=", 10) == 0) {
+            restore_path = a + 10;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--save-snapshot=<file>] "
+                         "[--restore=<file>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     rt::SystemConfig cfg;
+
+    // ---- Warm boot: restore the machine instead of booting it ----
+    if (!restore_path.empty()) {
+        try {
+            auto session = rt::Session::fromSnapshot(restore_path, cfg);
+            std::printf("restored warm-boot image %s\n",
+                        restore_path.c_str());
+            std::printf("guest console output: %s",
+                        session->system().uart().output().c_str());
+            return runGpuJob(*session);
+        } catch (const snapshot::SnapshotError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
+
     rt::Session session(cfg, rt::Mode::FullSystem);
     rt::System &sys = session.system();
 
@@ -97,44 +185,12 @@ main()
     session.system().cpu().setPc(rt::System::kRamBase);
     session.system().runCpu(10000);
 
+    // ---- Post-boot quiescent point: capture the warm-boot image ----
+    if (!save_path.empty()) {
+        session.saveSnapshot(save_path);
+        std::printf("saved warm-boot image to %s\n", save_path.c_str());
+    }
+
     // ---- Part 2: a GPU job through the guest driver ----
-    constexpr int kN = 1024;
-    std::vector<float> in(kN), out(kN);
-    for (int i = 0; i < kN; ++i)
-        in[i] = static_cast<float>(i);
-
-    rt::Buffer din = session.alloc(kN * 4);
-    rt::Buffer dout = session.alloc(kN * 4);
-    session.write(din, in.data(), kN * 4);
-    rt::KernelHandle k = session.compile(kKernel, "scale");
-    gpu::JobResult r =
-        session.enqueue(k, rt::NDRange{kN, 1, 1}, rt::NDRange{64, 1, 1},
-                        {rt::Arg::buf(din), rt::Arg::buf(dout),
-                         rt::Arg::i32(kN), rt::Arg::f32(3.0f)});
-    if (r.faulted) {
-        std::fprintf(stderr, "GPU fault: %s\n", r.fault.detail.c_str());
-        return 1;
-    }
-    session.read(dout, out.data(), kN * 4);
-    int errors = 0;
-    for (int i = 0; i < kN; ++i) {
-        if (out[i] != in[i] * 3.0f)
-            errors++;
-    }
-
-    gpu::SystemStats gs = sys.gpu().systemStats();
-    std::printf("GPU job through guest driver: %s\n",
-                errors == 0 ? "PASS" : "FAIL");
-    std::printf("driver instructions executed: %llu\n",
-                static_cast<unsigned long long>(
-                    session.driverInstructions()));
-    std::printf("GPU pages mapped by driver:   %llu\n",
-                static_cast<unsigned long long>(session.mappedPages()));
-    std::printf("ctrl regs: %llu reads / %llu writes, interrupts: "
-                "%llu, jobs: %llu\n",
-                static_cast<unsigned long long>(gs.ctrlRegReads),
-                static_cast<unsigned long long>(gs.ctrlRegWrites),
-                static_cast<unsigned long long>(gs.irqsAsserted),
-                static_cast<unsigned long long>(gs.computeJobs));
-    return errors == 0 ? 0 : 1;
+    return runGpuJob(session);
 }

@@ -34,6 +34,83 @@ Core::reset()
 }
 
 void
+Core::saveState(snapshot::ChunkWriter &w) const
+{
+    for (uint32_t r : regs_)
+        w.u32(r);
+    w.u64(pc_);
+    w.u8(static_cast<uint8_t>(priv_));
+    w.u8(waiting_ ? 1 : 0);
+    w.u32(mstatus_);
+    w.u32(mie_);
+    w.u32(mip_.load(std::memory_order_relaxed));
+    w.u32(mtvec_);
+    w.u32(mscratch_);
+    w.u32(mepc_);
+    w.u32(mcause_);
+    w.u32(mtval_);
+    w.u32(satp_);
+    w.u64(stats_.instret);
+    w.u64(stats_.blocksDecoded);
+    w.u64(stats_.blockHits);
+    w.u64(stats_.traps);
+    w.u64(stats_.interrupts);
+    w.u64(stats_.cacheFlushes);
+}
+
+void
+Core::restoreState(snapshot::ChunkReader &r)
+{
+    // Parse everything into locals first so a truncated chunk cannot
+    // leave the core half-restored.
+    uint32_t regs[kNumRegs];
+    for (uint32_t &reg : regs)
+        reg = r.u32();
+    Addr pc = r.u64();
+    uint8_t priv_raw = r.u8();
+    if (priv_raw != static_cast<uint8_t>(Priv::User) &&
+        priv_raw != static_cast<uint8_t>(Priv::Machine))
+        r.fail(strfmt("invalid privilege level %u", priv_raw));
+    bool waiting = r.u8() != 0;
+    uint32_t mstatus = r.u32();
+    uint32_t mie = r.u32();
+    uint32_t mip = r.u32();
+    uint32_t mtvec = r.u32();
+    uint32_t mscratch = r.u32();
+    uint32_t mepc = r.u32();
+    uint32_t mcause = r.u32();
+    uint32_t mtval = r.u32();
+    uint32_t satp = r.u32();
+    CoreStats stats;
+    stats.instret = r.u64();
+    stats.blocksDecoded = r.u64();
+    stats.blockHits = r.u64();
+    stats.traps = r.u64();
+    stats.interrupts = r.u64();
+    stats.cacheFlushes = r.u64();
+    r.expectEnd();
+
+    for (unsigned i = 0; i < kNumRegs; ++i)
+        regs_[i] = regs[i];
+    regs_[0] = 0;
+    pc_ = pc;
+    priv_ = static_cast<Priv>(priv_raw);
+    waiting_ = waiting;
+    mstatus_ = mstatus;
+    mie_ = mie;
+    mip_.store(mip, std::memory_order_relaxed);
+    mtvec_ = mtvec;
+    mscratch_ = mscratch;
+    mepc_ = mepc;
+    mcause_ = mcause;
+    mtval_ = mtval;
+    satp_ = satp;
+    flushCodeCache();
+    mmu_.flushTlb();
+    stats_ = stats;   // After the flush so its counter bump is discarded.
+}
+
+void
 Core::flushCodeCache()
 {
     if (!blocks_.empty())

@@ -23,6 +23,7 @@
 #include "cpu/mmu.h"
 #include "cpu/sa32.h"
 #include "mem/bus.h"
+#include "snapshot/snapshot.h"
 
 namespace bifsim::sa32 {
 
@@ -98,6 +99,20 @@ class Core
 
     /** The data/instruction MMU. */
     CpuMmu &mmu() { return mmu_; }
+
+    /**
+     * Serialises all architectural state — registers, PC, privilege,
+     * WFI latch, CSRs (including pending IRQ lines in mip) and the
+     * retired-instruction counters backing mcycle/minstret — into @p w.
+     */
+    void saveState(snapshot::ChunkWriter &w) const;
+
+    /**
+     * Restores architectural state from @p r.  Parses the whole chunk
+     * before committing, then flushes the decode cache and TLB so no
+     * stale translation or decoded block survives the restore.
+     */
+    void restoreState(snapshot::ChunkReader &r);
 
   private:
     enum class ExecResult { Next, Redirect, Trap, Wfi, Halt, EBreak };

@@ -95,7 +95,7 @@ GpuDevice::mmioRead(Addr offset)
 void
 GpuDevice::mmioWrite(Addr offset, uint32_t value)
 {
-    std::lock_guard<std::mutex> g(lock_);
+    std::unique_lock<std::mutex> g(lock_);
     sys_.ctrlRegWrites++;
     switch (offset) {
       case kRegIrqClear:
@@ -111,11 +111,23 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
             shaderCache_.clear();
         break;
       case kRegJsSubmit:
-        submitQueue_.push_back(value);
         jsStatus_ = kJsRunning;
         if (devBuf_)
             devBuf_->instant("js_submit", "mmio", "chain_va", value);
-        cv_.notify_all();
+        if (cfg_.syncSubmit) {
+            // Deterministic co-simulation: execute the chain inline on
+            // the submitting thread.  The completion IRQ is pending by
+            // the time this MMIO write retires.
+            chainActive_ = true;
+            g.unlock();
+            runChain(value);
+            g.lock();
+            chainActive_ = false;
+            cv_.notify_all();
+        } else {
+            submitQueue_.push_back(value);
+            cv_.notify_all();
+        }
         break;
       case kRegAsTranstab:
         // The decode cache is keyed by guest VA; a new translation root
@@ -152,6 +164,150 @@ GpuDevice::waitIdle()
     cv_.wait(l, [&] {
         return submitQueue_.empty() && !chainActive_;
     });
+}
+
+bool
+GpuDevice::idle() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return submitQueue_.empty() && !chainActive_;
+}
+
+void
+GpuDevice::reset()
+{
+    waitIdle();
+    std::lock_guard<std::mutex> g(lock_);
+    irqRaw_ = 0;
+    irqMask_ = 0;
+    jsStatus_ = kJsIdle;
+    jobCount_ = 0;
+    faultStatus_ = 0;
+    faultAddress_ = 0;
+    sys_ = SystemStats{};
+    total_ = KernelStats{};
+    lastJob_ = JobResult{};
+    cacheStats_ = ShaderCacheStats{};
+    shaderCache_.clear();
+    mmu_.setRoot(0);
+    updateIrqOutput();
+}
+
+namespace {
+
+void
+saveJobFault(snapshot::ChunkWriter &w, const JobFault &f)
+{
+    w.u8(static_cast<uint8_t>(f.kind));
+    w.u32(f.va);
+    w.str(f.detail);
+}
+
+void
+restoreJobFault(snapshot::ChunkReader &r, JobFault &f)
+{
+    uint8_t kind = r.u8();
+    if (kind > static_cast<uint8_t>(JobFaultKind::ShaderVerify))
+        r.fail(strfmt("invalid job-fault kind %u", kind));
+    f.kind = static_cast<JobFaultKind>(kind);
+    f.va = r.u32();
+    f.detail = r.str();
+}
+
+} // namespace
+
+void
+saveJobResult(snapshot::ChunkWriter &w, const JobResult &r)
+{
+    saveStats(w, r.kernel);
+    saveStats(w, r.tlb);
+    w.u64(r.pagesAccessed);
+    w.u8(r.faulted ? 1 : 0);
+    saveJobFault(w, r.fault);
+}
+
+void
+restoreJobResult(snapshot::ChunkReader &r, JobResult &out)
+{
+    JobResult v;
+    restoreStats(r, v.kernel);
+    restoreStats(r, v.tlb);
+    v.pagesAccessed = r.u64();
+    v.faulted = r.u8() != 0;
+    restoreJobFault(r, v.fault);
+    out = std::move(v);
+}
+
+void
+GpuDevice::saveState(snapshot::ChunkWriter &w) const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    // Quiescence rule: job-slot state mid-chain lives on the JM thread
+    // stack and in worker executors; it is not capturable.  Callers
+    // must waitIdle() first.
+    if (!submitQueue_.empty() || chainActive_)
+        snapshot::snapshotError("GPU is not quiescent (chain %s); "
+                                "snapshot only at waitIdle()",
+                                chainActive_ ? "active" : "queued");
+    w.u32(irqRaw_);
+    w.u32(irqMask_);
+    w.u32(jsStatus_);
+    w.u32(jobCount_);
+    w.u32(faultStatus_);
+    w.u32(faultAddress_);
+    w.u64(mmu_.root());
+    saveStats(w, sys_);
+    saveStats(w, total_);
+    saveJobResult(w, lastJob_);
+    w.u64(cacheStats_.decodes);
+    w.u64(cacheStats_.hits);
+}
+
+void
+GpuDevice::restoreState(snapshot::ChunkReader &r)
+{
+    // Parse-then-commit: decode the full chunk before touching any
+    // device state.
+    uint32_t irq_raw = r.u32();
+    uint32_t irq_mask = r.u32();
+    uint32_t js_status = r.u32();
+    if (js_status == kJsRunning || js_status > kJsFault)
+        r.fail(strfmt("JS_STATUS %u is not a quiescent state",
+                      js_status));
+    uint32_t job_count = r.u32();
+    uint32_t fault_status = r.u32();
+    uint32_t fault_address = r.u32();
+    uint64_t root = r.u64();
+    SystemStats sys;
+    restoreStats(r, sys);
+    KernelStats total;
+    restoreStats(r, total);
+    JobResult last;
+    restoreJobResult(r, last);
+    ShaderCacheStats cache_stats;
+    cache_stats.decodes = r.u64();
+    cache_stats.hits = r.u64();
+    r.expectEnd();
+
+    std::lock_guard<std::mutex> g(lock_);
+    if (!submitQueue_.empty() || chainActive_)
+        snapshot::snapshotError("cannot restore into a non-quiescent GPU");
+    irqRaw_ = irq_raw;
+    irqMask_ = irq_mask;
+    jsStatus_ = js_status;
+    jobCount_ = job_count;
+    faultStatus_ = fault_status;
+    faultAddress_ = fault_address;
+    sys_ = sys;
+    total_ = std::move(total);
+    lastJob_ = std::move(last);
+    cacheStats_ = cache_stats;
+    // Decoded shaders were compiled against the old address space;
+    // setRoot()'s epoch bump makes every worker drop its host-pointer
+    // TLB at the next clause boundary.
+    shaderCache_.clear();
+    mmu_.setRoot(root);
+    updateIrqOutput();
 }
 
 JobResult

@@ -69,6 +69,18 @@ struct GpuConfig
     size_t traceBufferEvents = 1u << 14;   ///< Ring capacity per thread.
 
     /**
+     * Deterministic co-simulation: a JS_SUBMIT write runs the whole
+     * chain inline on the submitting (CPU) thread instead of waking the
+     * Job Manager thread.  The completion IRQ is then pending before
+     * the guest driver reaches its wait loop, so the interleaving of
+     * CPU instructions and GPU completions — and with it every
+     * guest-visible artefact (mailbox IRQ counters, trap save areas,
+     * idle timer ticks) — is a pure function of the guest state.
+     * Required for bit-identical snapshot/resume in FullSystem mode.
+     */
+    bool syncSubmit = false;
+
+    /**
      * Decode-time shader verifier strictness.  The Job Manager runs the
      * static analyzer (src/analysis/) on every freshly decoded image:
      *
@@ -104,6 +116,12 @@ struct ShaderCacheStats
     uint64_t decodes = 0;
     uint64_t hits = 0;
 };
+
+/** Serialises a JobResult (stats + fault details) into @p w. */
+void saveJobResult(snapshot::ChunkWriter &w, const JobResult &r);
+
+/** Restores a JobResult from @p r (parse-then-commit). */
+void restoreJobResult(snapshot::ChunkReader &r, JobResult &out);
 
 /** GPU register offsets. */
 enum GpuReg : Addr
@@ -172,6 +190,28 @@ class GpuDevice : public Device
     /** Blocks the calling host thread until all submitted chains have
      *  completed (host-side convenience for the direct runtime mode). */
     void waitIdle();
+
+    /** True if no chain is queued or running (snapshot quiescence). */
+    bool idle() const;
+
+    /** Returns the device to its power-on state (must be idle). */
+    void reset() override;
+
+    /**
+     * Serialises JM registers, AS/TRANSTAB configuration, job-slot
+     * state and statistics into @p w.  The GPU must be quiescent
+     * (idle()); throws snapshot::SnapshotError otherwise — job-slot
+     * state mid-chain is not capturable.
+     */
+    void saveState(snapshot::ChunkWriter &w) const;
+
+    /**
+     * Restores from @p r.  Clears the shader decode cache and installs
+     * the saved translation root through GpuMmu::setRoot(), whose epoch
+     * bump invalidates every worker's host-pointer TLB, so no stale
+     * translation or decoded shader can be served after a restore.
+     */
+    void restoreState(snapshot::ChunkReader &r);
 
     /** Results of the most recently completed job. */
     JobResult lastJob() const;

@@ -90,6 +90,116 @@ KernelStats::merge(const KernelStats &other)
 }
 
 void
+saveStats(snapshot::ChunkWriter &w, const KernelStats &k)
+{
+    w.u64(k.arithInstrs);
+    w.u64(k.lsInstrs);
+    w.u64(k.cfInstrs);
+    w.u64(k.nopSlots);
+    w.u64(k.grfReads);
+    w.u64(k.grfWrites);
+    w.u64(k.tempAccesses);
+    w.u64(k.constReads);
+    w.u64(k.romReads);
+    w.u64(k.globalLdSt);
+    w.u64(k.localLdSt);
+    w.u64(k.clausesExecuted);
+    w.u64(k.threadsLaunched);
+    w.u64(k.warpsLaunched);
+    w.u64(k.workgroups);
+    w.u64(k.divergentBranches);
+    w.u32(static_cast<uint32_t>(k.clauseSizes.size()));
+    for (size_t i = 0; i < k.clauseSizes.size(); ++i)
+        w.u64(k.clauseSizes.count(i));
+    w.u32(static_cast<uint32_t>(k.cfgEdges.size()));
+    for (const auto &[key, count] : k.cfgEdges) {
+        w.u64(key);
+        w.u64(count);
+    }
+}
+
+void
+restoreStats(snapshot::ChunkReader &r, KernelStats &k)
+{
+    KernelStats s;
+    s.arithInstrs = r.u64();
+    s.lsInstrs = r.u64();
+    s.cfInstrs = r.u64();
+    s.nopSlots = r.u64();
+    s.grfReads = r.u64();
+    s.grfWrites = r.u64();
+    s.tempAccesses = r.u64();
+    s.constReads = r.u64();
+    s.romReads = r.u64();
+    s.globalLdSt = r.u64();
+    s.localLdSt = r.u64();
+    s.clausesExecuted = r.u64();
+    s.threadsLaunched = r.u64();
+    s.warpsLaunched = r.u64();
+    s.workgroups = r.u64();
+    s.divergentBranches = r.u64();
+    uint32_t n_buckets = r.u32();
+    if (static_cast<uint64_t>(n_buckets) * 8 > r.remaining())
+        r.fail(strfmt("histogram bucket count %u exceeds chunk size",
+                      n_buckets));
+    s.clauseSizes = Histogram(n_buckets);
+    for (uint32_t i = 0; i < n_buckets; ++i)
+        s.clauseSizes.sample(static_cast<int64_t>(i), r.u64());
+    uint32_t n_edges = r.u32();
+    if (static_cast<uint64_t>(n_edges) * 16 > r.remaining())
+        r.fail(strfmt("CFG edge count %u exceeds chunk size", n_edges));
+    uint64_t prev_key = 0;
+    for (uint32_t i = 0; i < n_edges; ++i) {
+        uint64_t key = r.u64();
+        if (i > 0 && key <= prev_key)
+            r.fail(strfmt("CFG edge keys unordered at entry %u", i));
+        prev_key = key;
+        s.cfgEdges[key] = r.u64();
+    }
+    k = std::move(s);
+}
+
+void
+saveStats(snapshot::ChunkWriter &w, const TlbStats &t)
+{
+    w.u64(t.lastPageHits);
+    w.u64(t.arrayHits);
+    w.u64(t.walks);
+}
+
+void
+restoreStats(snapshot::ChunkReader &r, TlbStats &t)
+{
+    TlbStats s;
+    s.lastPageHits = r.u64();
+    s.arrayHits = r.u64();
+    s.walks = r.u64();
+    t = s;
+}
+
+void
+saveStats(snapshot::ChunkWriter &w, const SystemStats &s)
+{
+    w.u64(s.pagesAccessed);
+    w.u64(s.ctrlRegReads);
+    w.u64(s.ctrlRegWrites);
+    w.u64(s.irqsAsserted);
+    w.u64(s.computeJobs);
+}
+
+void
+restoreStats(snapshot::ChunkReader &r, SystemStats &s)
+{
+    SystemStats v;
+    v.pagesAccessed = r.u64();
+    v.ctrlRegReads = r.u64();
+    v.ctrlRegWrites = r.u64();
+    v.irqsAsserted = r.u64();
+    v.computeJobs = r.u64();
+    s = v;
+}
+
+void
 appendCounters(std::vector<NamedCounter> &out, const KernelStats &k)
 {
     out.push_back({"kernel.arith_instrs", k.arithInstrs});

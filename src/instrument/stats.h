@@ -18,6 +18,7 @@
 
 #include "common/histogram.h"
 #include "gpu/isa/bif.h"
+#include "snapshot/snapshot.h"
 
 namespace bifsim::gpu {
 
@@ -153,6 +154,16 @@ struct NamedCounter
     const char *name;
     uint64_t value;
 };
+
+/** @name Snapshot serialisation of the stats structs.
+ *  @{ */
+void saveStats(snapshot::ChunkWriter &w, const KernelStats &k);
+void restoreStats(snapshot::ChunkReader &r, KernelStats &k);
+void saveStats(snapshot::ChunkWriter &w, const TlbStats &t);
+void restoreStats(snapshot::ChunkReader &r, TlbStats &t);
+void saveStats(snapshot::ChunkWriter &w, const SystemStats &s);
+void restoreStats(snapshot::ChunkReader &r, SystemStats &s);
+/** @} */
 
 /** Appends every scalar counter of @p k under the "kernel." prefix. */
 void appendCounters(std::vector<NamedCounter> &out, const KernelStats &k);

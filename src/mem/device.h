@@ -32,6 +32,14 @@ class Device
     /** Writes the register at byte @p offset from the device base. */
     virtual void mmioWrite(Addr offset, uint32_t value) = 0;
 
+    /**
+     * Returns the device to its power-on state, dropping any latched
+     * output, pending interrupt lines and captured data.  Used by cold
+     * boot and by snapshot restore so restoring over a dirty system
+     * cannot leak prior state.
+     */
+    virtual void reset() {}
+
     /** Human-readable device name for diagnostics. */
     virtual std::string name() const = 0;
 };

@@ -1,0 +1,177 @@
+#include "mem/phys_mem.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace bifsim {
+
+namespace {
+
+/** Reference zero page: memcmp against it beats any hand loop. */
+alignas(64) const uint8_t kZeroPage[PhysMem::kPageBytes] = {};
+
+bool
+pageIsZero(const uint8_t *p, size_t len)
+{
+    if (len == PhysMem::kPageBytes)
+        return std::memcmp(p, kZeroPage, PhysMem::kPageBytes) == 0;
+    return std::memcmp(p, kZeroPage, std::min(len, sizeof kZeroPage)) ==
+           0;
+}
+
+} // namespace
+
+PhysMem::PhysMem(Addr base, size_t size) : base_(base), size_(size)
+{
+    const size_t alloc = size_ ? size_ : 1;
+#if defined(__linux__)
+    void *p = ::mmap(nullptr, alloc, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+        data_ = static_cast<uint8_t *>(p);
+        mmapped_ = true;
+        return;
+    }
+#endif
+    data_ = static_cast<uint8_t *>(std::calloc(alloc, 1));
+    if (!data_)
+        throw std::bad_alloc();
+}
+
+PhysMem::~PhysMem()
+{
+#if defined(__linux__)
+    if (mmapped_) {
+        ::munmap(data_, size_ ? size_ : 1);
+        return;
+    }
+#endif
+    std::free(data_);
+}
+
+void
+PhysMem::clear()
+{
+#if defined(__linux__)
+    // Drop the materialised pages instead of writing zeroes: untouched
+    // pages stay unmapped and re-fault as zero on next access, so the
+    // cost tracks the guest's working set, not the RAM size.
+    if (mmapped_ && size_ &&
+        ::madvise(data_, size_, MADV_DONTNEED) == 0)
+        return;
+#endif
+    std::memset(data_, 0, size_);
+}
+
+void
+PhysMem::saveState(snapshot::ChunkWriter &w) const
+{
+    const size_t n_pages =
+        (size_ + kPageBytes - 1) / kPageBytes;
+
+    w.u64(base_);
+    w.u64(size_);
+    w.u32(static_cast<uint32_t>(kPageBytes));
+
+    // First pass: build the run table (start page + page count of each
+    // maximal stretch of non-zero pages).
+    struct Run
+    {
+        uint32_t start;
+        uint32_t count;
+    };
+    std::vector<Run> runs;
+    for (size_t p = 0; p < n_pages; ++p) {
+        size_t off = p * kPageBytes;
+        size_t len = std::min(kPageBytes, size_ - off);
+        if (pageIsZero(data_ + off, len))
+            continue;
+        if (!runs.empty() &&
+            runs.back().start + runs.back().count == p) {
+            ++runs.back().count;
+        } else {
+            runs.push_back(Run{static_cast<uint32_t>(p), 1});
+        }
+    }
+
+    w.u32(static_cast<uint32_t>(runs.size()));
+    for (const Run &r : runs) {
+        size_t off = static_cast<size_t>(r.start) * kPageBytes;
+        size_t end = std::min(off + static_cast<size_t>(r.count) *
+                                        kPageBytes,
+                              size_);
+        w.u32(r.start);
+        w.u32(r.count);
+        w.bytes(data_ + off, end - off);
+    }
+}
+
+void
+PhysMem::restoreState(snapshot::ChunkReader &r)
+{
+    uint64_t base = r.u64();
+    uint64_t size = r.u64();
+    uint32_t page = r.u32();
+    if (base != base_ || size != size_)
+        r.fail(strfmt("RAM geometry mismatch: image has base 0x%llx "
+                      "size %llu, system has base 0x%llx size %zu",
+                      static_cast<unsigned long long>(base),
+                      static_cast<unsigned long long>(size),
+                      static_cast<unsigned long long>(base_),
+                      size_));
+    if (page != kPageBytes)
+        r.fail(strfmt("unsupported page size %u", page));
+
+    const size_t n_pages =
+        (size_ + kPageBytes - 1) / kPageBytes;
+    uint32_t n_runs = r.u32();
+    // Every run carries an 8-byte header, so a count the payload could
+    // not possibly back is hostile; reject before allocating anything.
+    if (static_cast<uint64_t>(n_runs) * 8 > r.remaining())
+        r.fail(strfmt("run count %u exceeds chunk size", n_runs));
+
+    // Parse-then-commit: validate every run header and claim its
+    // payload bytes (bounds-checked by raw()) before touching RAM.
+    struct Run
+    {
+        size_t off;
+        size_t len;
+        const uint8_t *payload;
+    };
+    std::vector<Run> runs;
+    runs.reserve(n_runs);
+    uint64_t next_page = 0;
+    for (uint32_t i = 0; i < n_runs; ++i) {
+        uint32_t start = r.u32();
+        uint32_t count = r.u32();
+        if (count == 0)
+            r.fail(strfmt("run %u is empty", i));
+        if (start < next_page)
+            r.fail(strfmt("run %u (page %u) overlaps or is unordered",
+                          i, start));
+        uint64_t end_page = static_cast<uint64_t>(start) + count;
+        if (end_page > n_pages)
+            r.fail(strfmt("run %u spans pages [%u, %llu) past RAM end "
+                          "(%zu pages)",
+                          i, start,
+                          static_cast<unsigned long long>(end_page),
+                          n_pages));
+        size_t off = static_cast<size_t>(start) * kPageBytes;
+        size_t end = std::min(static_cast<size_t>(end_page) * kPageBytes,
+                              size_);
+        runs.push_back(Run{off, end - off, r.raw(end - off)});
+        next_page = end_page;
+    }
+    r.expectEnd();
+
+    clear();
+    for (const Run &run : runs)
+        std::memcpy(data_ + run.off, run.payload, run.len);
+}
+
+} // namespace bifsim

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <cstring>
-#include <vector>
 
 #include "mem/device.h"
+#include "snapshot/snapshot.h"
 
 namespace bifsim {
 
@@ -21,36 +21,46 @@ namespace bifsim {
  * Backed by host memory; both the CPU model and the GPU model read and
  * write through this object, giving the fully shared CPU/GPU memory
  * system of the Bifrost platform.
+ *
+ * On Linux the backing store is an anonymous mmap: untouched guest
+ * pages are never materialised, and clear() drops the mapped pages
+ * with madvise(MADV_DONTNEED) instead of writing zeroes, so
+ * constructing, cold-booting and snapshot-restoring a machine cost
+ * O(pages actually used), not O(configured RAM).
  */
 class PhysMem
 {
   public:
     /** Creates @p size bytes of RAM based at physical address @p base. */
-    PhysMem(Addr base, size_t size) : base_(base), data_(size, 0) {}
+    PhysMem(Addr base, size_t size);
+    ~PhysMem();
+
+    PhysMem(const PhysMem &) = delete;
+    PhysMem &operator=(const PhysMem &) = delete;
 
     /** Base physical address. */
     Addr base() const { return base_; }
 
     /** Size in bytes. */
-    size_t size() const { return data_.size(); }
+    size_t size() const { return size_; }
 
     /** Returns true if [addr, addr+len) lies entirely inside this RAM. */
     bool
     contains(Addr addr, size_t len) const
     {
-        return addr >= base_ && len <= data_.size() &&
-               addr - base_ <= data_.size() - len;
+        return addr >= base_ && len <= size_ &&
+               addr - base_ <= size_ - len;
     }
 
     /** Raw host pointer to guest physical address @p addr (must be
      *  in range). */
-    uint8_t *hostPtr(Addr addr) { return data_.data() + (addr - base_); }
+    uint8_t *hostPtr(Addr addr) { return data_ + (addr - base_); }
 
     /** Raw const host pointer to guest physical address @p addr. */
     const uint8_t *
     hostPtr(Addr addr) const
     {
-        return data_.data() + (addr - base_);
+        return data_ + (addr - base_);
     }
 
     /** Loads a little-endian scalar of type T at @p addr. */
@@ -92,9 +102,31 @@ class PhysMem
         std::memset(hostPtr(addr), byte, len);
     }
 
+    /** Zeroes all of RAM (cold boot / restore baseline). */
+    void clear();
+
+    /** Snapshot page granule. */
+    static constexpr size_t kPageBytes = 4096;
+
+    /**
+     * Serialises RAM into @p w using a sparse run-length encoding:
+     * all-zero pages are elided and consecutive non-zero pages coalesce
+     * into runs, so a mostly-empty guest image stays small.
+     */
+    void saveState(snapshot::ChunkWriter &w) const;
+
+    /**
+     * Restores RAM from @p r.  Validates the complete run table
+     * (geometry match, ordering, bounds) before writing any byte, then
+     * zero-fills and applies the runs.
+     */
+    void restoreState(snapshot::ChunkReader &r);
+
   private:
     Addr base_;
-    std::vector<uint8_t> data_;
+    size_t size_;
+    uint8_t *data_ = nullptr;
+    bool mmapped_ = false;
 };
 
 } // namespace bifsim

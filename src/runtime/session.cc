@@ -1,5 +1,6 @@
 #include "runtime/session.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -106,7 +107,9 @@ Session::installMapHost(const MapEntry &e)
         }
         uint32_t pte0 = static_cast<uint32_t>((pa >> 12) << 10) |
                         gpu::kGpuPteValid |
-                        ((e.flags & 1) ? gpu::kGpuPteWrite : 0);
+                        ((e.flags & 1)
+                             ? static_cast<uint32_t>(gpu::kGpuPteWrite)
+                             : 0u);
         m.write<uint32_t>(l0 + vpn0 * 4, pte0);
         va += 4096;
         pa += 4096;
@@ -145,6 +148,7 @@ Session::alloc(size_t bytes)
     b.bytes = bytes;
     b.pa = allocPhys(roundUp(bytes, 4096));
     b.gpuVa = mapRange(b.pa, bytes, true);
+    buffers_.push_back(b);
     return b;
 }
 
@@ -182,6 +186,7 @@ Session::load(const kclc::CompiledKernel &kernel)
     sys_.mem().writeBlock(h.binaryPa, kernel.binary.data(),
                           kernel.binary.size());
     h.binaryVa = mapRange(h.binaryPa, kernel.binary.size(), false);
+    kernels_.push_back(h);
     return h;
 }
 
@@ -359,6 +364,237 @@ Session::enqueue(const KernelHandle &kernel, NDRange global,
         trcBuf_->span("enqueue", "driver", t0, "faulted",
                       lastResult_.faulted ? 1 : 0);
     return lastResult_;
+}
+
+// ----------------------------------------------------------- Snapshots
+
+namespace snap = snapshot;
+
+void
+Session::saveSnapshot(snap::Writer &w)
+{
+    sys_.gpu().waitIdle();
+    sys_.saveSnapshot(w);
+
+    snap::ChunkWriter &c = w.chunk(snap::kTagSession);
+    c.u8(mode_ == Mode::FullSystem ? 1 : 0);
+    c.u64(heap_);
+    c.u32(gpuVaNext_);
+    c.u64(ptRoot_);
+    c.u64(ptArena_);
+    c.u64(ptArenaEnd_);
+    c.u64(descPa_);
+    c.u32(descVa_);
+    c.u64(argsPa_);
+    c.u32(argsVa_);
+    c.u32(localArena_.gpuVa);
+    c.u64(localArena_.pa);
+    c.u64(localArena_.bytes);
+    c.u32(localArenaSize_);
+    c.u64(driverInstrs_);
+    c.u64(mappedPages_);
+    c.u8(osBooted_ ? 1 : 0);
+
+    c.u32(static_cast<uint32_t>(pendingMaps_.size()));
+    for (const MapEntry &e : pendingMaps_) {
+        c.u32(e.va);
+        c.u32(e.pa);
+        c.u32(e.npages);
+        c.u32(e.flags);
+    }
+
+    gpu::saveJobResult(c, lastResult_);
+
+    // Kernel registry: the encoded BIF image round-trips the module, so
+    // a warm boot re-decodes instead of recompiling.
+    c.u32(static_cast<uint32_t>(kernels_.size()));
+    for (const KernelHandle &h : kernels_) {
+        c.str(h.info.name);
+        c.u32(static_cast<uint32_t>(h.info.binary.size()));
+        c.bytes(h.info.binary.data(), h.info.binary.size());
+        c.u32(static_cast<uint32_t>(h.info.args.size()));
+        for (const kclc::ArgInfo &a : h.info.args) {
+            c.str(a.name);
+            c.u8(a.isBuffer ? 1 : 0);
+        }
+        c.u32(h.info.regCount);
+        c.u32(h.info.localBytes);
+        c.u32(h.info.spills);
+        c.u32(h.binaryVa);
+        c.u64(h.binaryPa);
+    }
+
+    c.u32(static_cast<uint32_t>(buffers_.size()));
+    for (const Buffer &b : buffers_) {
+        c.u32(b.gpuVa);
+        c.u64(b.pa);
+        c.u64(b.bytes);
+    }
+}
+
+void
+Session::saveSnapshot(const std::string &path)
+{
+    snap::Writer w;
+    saveSnapshot(w);
+    w.writeFile(path);
+}
+
+Session::Session(const snap::Image &image, SystemConfig cfg)
+    : mode_(Mode::Direct), sys_(cfg),
+      layout_(guestos::defaultLayout(System::kRamBase)), heap_(0),
+      gpuVaNext_(0)
+{
+    trcBuf_ = sys_.gpu().tracer().registerThread("cpu-driver");
+    restoreFrom(image);
+}
+
+void
+Session::restoreFrom(const snap::Image &image)
+{
+    // Parse the whole SESS chunk into locals before the machine restore
+    // so a malformed session chunk cannot leave a half-built Session
+    // wrapped around a restored System.
+    snap::ChunkReader c = image.chunk(snap::kTagSession);
+    uint8_t mode_raw = c.u8();
+    if (mode_raw > 1)
+        c.fail(strfmt("invalid session mode %u", mode_raw));
+    uint64_t heap = c.u64();
+    uint32_t gpu_va_next = c.u32();
+    uint64_t pt_root = c.u64();
+    uint64_t pt_arena = c.u64();
+    uint64_t pt_arena_end = c.u64();
+    uint64_t desc_pa = c.u64();
+    uint32_t desc_va = c.u32();
+    uint64_t args_pa = c.u64();
+    uint32_t args_va = c.u32();
+    Buffer local_arena;
+    local_arena.gpuVa = c.u32();
+    local_arena.pa = c.u64();
+    local_arena.bytes = c.u64();
+    uint32_t local_arena_size = c.u32();
+    uint64_t driver_instrs = c.u64();
+    uint64_t mapped_pages = c.u64();
+    bool os_booted = c.u8() != 0;
+
+    uint32_t n_maps = c.u32();
+    if (static_cast<uint64_t>(n_maps) * 16 > c.remaining())
+        c.fail(strfmt("pending-map count %u exceeds chunk size", n_maps));
+    std::vector<MapEntry> maps;
+    maps.reserve(n_maps);
+    for (uint32_t i = 0; i < n_maps; ++i) {
+        MapEntry e;
+        e.va = c.u32();
+        e.pa = c.u32();
+        e.npages = c.u32();
+        e.flags = c.u32();
+        maps.push_back(e);
+    }
+
+    gpu::JobResult last_result;
+    gpu::restoreJobResult(c, last_result);
+
+    uint32_t n_kernels = c.u32();
+    std::vector<KernelHandle> kernels;
+    kernels.reserve(std::min<uint32_t>(n_kernels, 1024));
+    for (uint32_t i = 0; i < n_kernels; ++i) {
+        KernelHandle h;
+        h.info.name = c.str();
+        uint32_t bin_len = c.u32();
+        if (bin_len > c.remaining())
+            c.fail(strfmt("kernel %u binary length %u exceeds chunk "
+                          "size",
+                          i, bin_len));
+        const uint8_t *bin = c.raw(bin_len);
+        h.info.binary.assign(bin, bin + bin_len);
+        uint32_t n_args = c.u32();
+        if (static_cast<uint64_t>(n_args) * 5 > c.remaining())
+            c.fail(strfmt("kernel %u arg count %u exceeds chunk size",
+                          i, n_args));
+        h.info.args.resize(n_args);
+        for (kclc::ArgInfo &a : h.info.args) {
+            a.name = c.str();
+            a.isBuffer = c.u8() != 0;
+        }
+        h.info.regCount = c.u32();
+        h.info.localBytes = c.u32();
+        h.info.spills = c.u32();
+        h.binaryVa = c.u32();
+        h.binaryPa = c.u64();
+        std::string err;
+        if (!bif::decode(h.info.binary.data(), h.info.binary.size(),
+                         h.info.mod, err))
+            c.fail(strfmt("kernel %u ('%s') binary does not decode: %s",
+                          i, h.info.name.c_str(), err.c_str()));
+        kernels.push_back(std::move(h));
+    }
+
+    uint32_t n_buffers = c.u32();
+    if (static_cast<uint64_t>(n_buffers) * 20 > c.remaining())
+        c.fail(strfmt("buffer count %u exceeds chunk size", n_buffers));
+    std::vector<Buffer> buffers;
+    buffers.reserve(n_buffers);
+    for (uint32_t i = 0; i < n_buffers; ++i) {
+        Buffer b;
+        b.gpuVa = c.u32();
+        b.pa = c.u64();
+        b.bytes = c.u64();
+        buffers.push_back(b);
+    }
+    c.expectEnd();
+
+    // Machine restore (validates its own chunks; resets on failure).
+    sys_.restoreSnapshot(image);
+
+    // Commit the session layer.
+    mode_ = mode_raw ? Mode::FullSystem : Mode::Direct;
+    heap_ = heap;
+    gpuVaNext_ = gpu_va_next;
+    ptRoot_ = pt_root;
+    ptArena_ = pt_arena;
+    ptArenaEnd_ = pt_arena_end;
+    descPa_ = desc_pa;
+    descVa_ = desc_va;
+    argsPa_ = args_pa;
+    argsVa_ = args_va;
+    localArena_ = local_arena;
+    localArenaSize_ = local_arena_size;
+    driverInstrs_ = driver_instrs;
+    mappedPages_ = mapped_pages;
+    osBooted_ = os_booted;
+    pendingMaps_ = std::move(maps);
+    lastResult_ = std::move(last_result);
+    kernels_ = std::move(kernels);
+    buffers_ = std::move(buffers);
+}
+
+std::unique_ptr<Session>
+Session::fromSnapshot(const snap::Image &image, SystemConfig base)
+{
+    // RAM geometry and guest-visible core count must match the image;
+    // take them from it so the caller only chooses host-side knobs.
+    // Both values size host allocations, so a hostile (well-formed)
+    // image must not be able to demand absurd amounts before the
+    // restore proper even starts.
+    snap::ChunkReader conf = image.chunk(snap::kTagConfig);
+    uint64_t ram_bytes = conf.u64();
+    uint32_t num_cores = conf.u32();
+    constexpr uint64_t kMaxRam = 1ull << 31;   // 32-bit CPU, RAM at 2G.
+    if (ram_bytes == 0 || ram_bytes > kMaxRam ||
+        ram_bytes % PhysMem::kPageBytes != 0)
+        conf.fail(strfmt("implausible RAM size %llu",
+                         static_cast<unsigned long long>(ram_bytes)));
+    if (num_cores == 0 || num_cores > 1024)
+        conf.fail(strfmt("implausible shader-core count %u", num_cores));
+    base.ramBytes = static_cast<size_t>(ram_bytes);
+    base.gpu.numCores = num_cores;
+    return std::unique_ptr<Session>(new Session(image, base));
+}
+
+std::unique_ptr<Session>
+Session::fromSnapshot(const std::string &path, SystemConfig base)
+{
+    return fromSnapshot(snap::Image::load(path), base);
 }
 
 bool

@@ -23,6 +23,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "guestos/guest_os.h"
 #include "kclc/compiler.h"
 #include "runtime/system.h"
+#include "snapshot/snapshot.h"
 
 namespace bifsim::rt {
 
@@ -80,6 +82,41 @@ class Session
   public:
     explicit Session(SystemConfig cfg = SystemConfig(),
                      Mode mode = Mode::Direct);
+
+    /**
+     * Warm boot: builds a Session from a snapshot image previously
+     * written by saveSnapshot().  RAM geometry and shader-core count
+     * come from the image; the remaining knobs (fast path, tracing,
+     * host threads...) come from @p base.  Loaded kernels and buffers
+     * are rebuilt from the image, so the session can enqueue
+     * immediately without recompiling or re-booting the guest OS.
+     * @throws snapshot::SnapshotError on any malformed image.
+     */
+    static std::unique_ptr<Session>
+    fromSnapshot(const snapshot::Image &image,
+                 SystemConfig base = SystemConfig());
+
+    /** Warm boot from the image file at @p path. */
+    static std::unique_ptr<Session>
+    fromSnapshot(const std::string &path,
+                 SystemConfig base = SystemConfig());
+
+    /**
+     * Saves the whole session — machine state plus the runtime's
+     * allocator, mapping, kernel and buffer registries — into @p w.
+     * Waits for GPU quiescence first (between enqueues any point is
+     * quiescent; mid-enqueue saving is not supported).
+     */
+    void saveSnapshot(snapshot::Writer &w);
+
+    /** Saves a snapshot image to @p path. */
+    void saveSnapshot(const std::string &path);
+
+    /** Kernels loaded so far, in load order (survive snapshots). */
+    const std::vector<KernelHandle> &kernels() const { return kernels_; }
+
+    /** Buffers allocated so far, in alloc order (survive snapshots). */
+    const std::vector<Buffer> &buffers() const { return buffers_; }
 
     /** The underlying platform. */
     System &system() { return sys_; }
@@ -170,6 +207,15 @@ class Session
     bool osBooted_ = false;
     trace::TraceBuffer *trcBuf_ = nullptr;   ///< "cpu-driver" buffer
                                              ///< (null = tracing off).
+
+    std::vector<KernelHandle> kernels_;   ///< Load-order registry.
+    std::vector<Buffer> buffers_;         ///< Alloc-order registry.
+
+    /** Warm-boot constructor backing fromSnapshot(). */
+    Session(const snapshot::Image &image, SystemConfig cfg);
+
+    /** Applies the SESS chunk + machine chunks of @p image. */
+    void restoreFrom(const snapshot::Image &image);
 
     Addr allocPhys(size_t bytes, size_t align = 4096);
     uint32_t mapRange(Addr pa, size_t bytes, bool writable);

@@ -81,6 +81,117 @@ System::runCpu(uint64_t max_insts)
     return sa32::StopReason::MaxInsts;
 }
 
+void
+System::reset()
+{
+    // GPU first: waits for quiescence and drops its INTC line; then the
+    // interrupt fabric, so no device callback re-raises a line into a
+    // freshly reset CPU.
+    gpu_->reset();
+    intc_->reset();
+    timer_->reset();
+    uart_->reset();
+    mem_.clear();
+    cpu_->reset();
+}
+
+void
+System::saveSnapshot(snapshot::Writer &w) const
+{
+    if (!gpu_->idle())
+        snapshot::snapshotError(
+            "GPU is not quiescent; call gpu().waitIdle() before saving");
+    snapshot::ChunkWriter &conf = w.chunk(snapshot::kTagConfig);
+    conf.u64(mem_.size());
+    conf.u32(cfg_.gpu.numCores);
+    conf.u32(0);   // reserved
+    cpu_->saveState(w.chunk(snapshot::kTagCpu));
+    mem_.saveState(w.chunk(snapshot::kTagMem));
+    uart_->saveState(w.chunk(snapshot::kTagUart));
+    timer_->saveState(w.chunk(snapshot::kTagTimer));
+    intc_->saveState(w.chunk(snapshot::kTagIntc));
+    gpu_->saveState(w.chunk(snapshot::kTagGpu));
+}
+
+void
+System::saveSnapshotFile(const std::string &path) const
+{
+    snapshot::Writer w;
+    saveSnapshot(w);
+    w.writeFile(path);
+}
+
+void
+System::restoreSnapshot(const snapshot::Image &image)
+{
+    namespace snap = snapshot;
+    if (!gpu_->idle())
+        snap::snapshotError("cannot restore while the GPU is busy");
+
+    // Validate everything that can be validated without mutating state:
+    // configuration compatibility and the presence of every chunk.
+    {
+        snap::ChunkReader conf = image.chunk(snap::kTagConfig);
+        uint64_t ram = conf.u64();
+        uint32_t cores = conf.u32();
+        conf.u32();   // reserved
+        conf.expectEnd();
+        if (ram != mem_.size())
+            snap::snapshotError("image RAM size %llu does not match "
+                                "system RAM size %zu",
+                                static_cast<unsigned long long>(ram),
+                                mem_.size());
+        if (cores != cfg_.gpu.numCores)
+            snap::snapshotError("image has %u shader cores, system has "
+                                "%u",
+                                cores, cfg_.gpu.numCores);
+    }
+    for (uint32_t tag : {snap::kTagCpu, snap::kTagMem, snap::kTagUart,
+                         snap::kTagTimer, snap::kTagIntc,
+                         snap::kTagGpu}) {
+        if (!image.has(tag))
+            snap::snapshotError("missing chunk %s",
+                                snap::tagName(tag).c_str());
+    }
+
+    // Commit phase.  Each component parses its chunk fully before
+    // touching live state; if one still fails, reset to the power-on
+    // state so the machine is never left half-restored.
+    try {
+        reset();
+        {
+            snap::ChunkReader r = image.chunk(snap::kTagCpu);
+            cpu_->restoreState(r);
+        }
+        {
+            snap::ChunkReader r = image.chunk(snap::kTagMem);
+            mem_.restoreState(r);
+        }
+        {
+            snap::ChunkReader r = image.chunk(snap::kTagUart);
+            uart_->restoreState(r);
+            r.expectEnd();
+        }
+        {
+            snap::ChunkReader r = image.chunk(snap::kTagTimer);
+            timer_->restoreState(r);
+            r.expectEnd();
+        }
+        {
+            snap::ChunkReader r = image.chunk(snap::kTagIntc);
+            intc_->restoreState(r);
+            r.expectEnd();
+        }
+        {
+            snap::ChunkReader r = image.chunk(snap::kTagGpu);
+            gpu_->restoreState(r);
+        }
+    } catch (...) {
+        reset();
+        throw;
+    }
+}
+
 bool
 System::runUntilHalt(uint64_t max_insts)
 {

@@ -27,6 +27,7 @@
 #include "gpu/gpu.h"
 #include "mem/bus.h"
 #include "mem/phys_mem.h"
+#include "snapshot/snapshot.h"
 #include "soc/devices.h"
 
 namespace bifsim::rt {
@@ -82,6 +83,33 @@ class System
      * @return true if HALT was reached.
      */
     bool runUntilHalt(uint64_t max_insts);
+
+    /**
+     * Cold-boots the platform: zeroes RAM and resets the CPU and every
+     * device (GPU waits for quiescence first), dropping all pending
+     * interrupt lines, captured UART output and cached translations.
+     */
+    void reset();
+
+    /**
+     * Serialises the whole machine — CPU, RAM, UART, timer, INTC, GPU —
+     * into @p w.  The GPU must be quiescent (gpu().waitIdle() first);
+     * throws snapshot::SnapshotError otherwise.
+     */
+    void saveSnapshot(snapshot::Writer &w) const;
+
+    /** Saves a complete snapshot image to @p path. */
+    void saveSnapshotFile(const std::string &path) const;
+
+    /**
+     * Restores the whole machine from a validated @p image.
+     *
+     * Configuration compatibility (RAM geometry, shader-core count) and
+     * chunk presence are checked before any state is touched; if any
+     * component restore fails after that, the machine is reset() so a
+     * System is never left half-restored.
+     */
+    void restoreSnapshot(const snapshot::Image &image);
 
   private:
     SystemConfig cfg_;

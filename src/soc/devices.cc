@@ -68,6 +68,34 @@ Intc::mmioWrite(Addr offset, uint32_t value)
     }
 }
 
+void
+Intc::reset()
+{
+    std::lock_guard<std::mutex> g(lock_);
+    pending_ = 0;
+    enable_ = 0;
+    updateOutput();
+}
+
+void
+Intc::saveState(snapshot::ChunkWriter &w) const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    w.u32(pending_);
+    w.u32(enable_);
+}
+
+void
+Intc::restoreState(snapshot::ChunkReader &r)
+{
+    uint32_t pending = r.u32();
+    uint32_t enable = r.u32();
+    std::lock_guard<std::mutex> g(lock_);
+    pending_ = pending;
+    enable_ = enable;
+    updateOutput();
+}
+
 // --------------------------------------------------------------- Timer
 
 void
@@ -88,11 +116,31 @@ uint32_t
 Timer::mmioRead(Addr offset)
 {
     switch (offset) {
-      case kRegTimeLo: return static_cast<uint32_t>(mtime_);
-      case kRegTimeHi: return static_cast<uint32_t>(mtime_ >> 32);
-      case kRegCmpLo:  return static_cast<uint32_t>(mtimecmp_);
-      case kRegCmpHi:  return static_cast<uint32_t>(mtimecmp_ >> 32);
-      default:         return 0;
+      case kRegTimeLo:
+        // Latch the high word so a subsequent HI read pairs with this
+        // LO read even if time advances in between (no torn 64-bit
+        // reads).
+        timeHiLatch_ = static_cast<uint32_t>(mtime_ >> 32);
+        timeHiValid_ = true;
+        return static_cast<uint32_t>(mtime_);
+      case kRegTimeHi:
+        if (timeHiValid_) {
+            timeHiValid_ = false;
+            return timeHiLatch_;
+        }
+        return static_cast<uint32_t>(mtime_ >> 32);
+      case kRegCmpLo:
+        cmpHiLatch_ = static_cast<uint32_t>(mtimecmp_ >> 32);
+        cmpHiValid_ = true;
+        return static_cast<uint32_t>(mtimecmp_);
+      case kRegCmpHi:
+        if (cmpHiValid_) {
+            cmpHiValid_ = false;
+            return cmpHiLatch_;
+        }
+        return static_cast<uint32_t>(mtimecmp_ >> 32);
+      default:
+        return 0;
     }
 }
 
@@ -110,6 +158,45 @@ Timer::mmioWrite(Addr offset, uint32_t value)
       default:
         break;
     }
+    update();
+}
+
+void
+Timer::reset()
+{
+    mtime_ = 0;
+    mtimecmp_ = ~uint64_t{0};
+    timeHiValid_ = false;
+    cmpHiValid_ = false;
+    update();
+}
+
+void
+Timer::saveState(snapshot::ChunkWriter &w) const
+{
+    w.u64(mtime_);
+    w.u64(mtimecmp_);
+    w.u8(timeHiValid_ ? 1 : 0);
+    w.u32(timeHiLatch_);
+    w.u8(cmpHiValid_ ? 1 : 0);
+    w.u32(cmpHiLatch_);
+}
+
+void
+Timer::restoreState(snapshot::ChunkReader &r)
+{
+    uint64_t mtime = r.u64();
+    uint64_t mtimecmp = r.u64();
+    bool time_valid = r.u8() != 0;
+    uint32_t time_latch = r.u32();
+    bool cmp_valid = r.u8() != 0;
+    uint32_t cmp_latch = r.u32();
+    mtime_ = mtime;
+    mtimecmp_ = mtimecmp;
+    timeHiValid_ = time_valid;
+    timeHiLatch_ = time_latch;
+    cmpHiValid_ = cmp_valid;
+    cmpHiLatch_ = cmp_latch;
     update();
 }
 
@@ -147,6 +234,28 @@ Uart::mmioWrite(Addr offset, uint32_t value)
     output_ += c;
     if (echo_)
         std::fputc(c, stderr);
+}
+
+void
+Uart::reset()
+{
+    // echo_ is host-side configuration, not guest-visible state.
+    clearOutput();
+}
+
+void
+Uart::saveState(snapshot::ChunkWriter &w) const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    w.str(output_);
+}
+
+void
+Uart::restoreState(snapshot::ChunkReader &r)
+{
+    std::string out = r.str();
+    std::lock_guard<std::mutex> g(lock_);
+    output_ = std::move(out);
 }
 
 } // namespace bifsim::soc

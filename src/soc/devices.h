@@ -14,6 +14,7 @@
 #include <string>
 
 #include "mem/device.h"
+#include "snapshot/snapshot.h"
 
 namespace bifsim::soc {
 
@@ -44,7 +45,14 @@ class Intc : public Device
 
     uint32_t mmioRead(Addr offset) override;
     void mmioWrite(Addr offset, uint32_t value) override;
+    void reset() override;
     std::string name() const override { return "intc"; }
+
+    /** Serialises pending/enable state into @p w. */
+    void saveState(snapshot::ChunkWriter &w) const;
+
+    /** Restores from @p r and re-drives the output callback. */
+    void restoreState(snapshot::ChunkReader &r);
 
     static constexpr Addr kRegPending = 0x00;
     static constexpr Addr kRegEnable = 0x04;
@@ -69,6 +77,12 @@ class Intc : public Device
  *
  * Time is advanced explicitly by the platform (1 tick = 1 retired guest
  * instruction).  Raises the CPU timer interrupt while mtime >= mtimecmp.
+ *
+ * 64-bit reads are tear-free: reading a LO register latches the
+ * matching HI word, and the next HI read returns the latched value, so
+ * a guest reading LO then HI across a tick() never observes a
+ * mismatched pair.  A HI read with no prior LO read returns the live
+ * value.
  */
 class Timer : public Device
 {
@@ -85,7 +99,14 @@ class Timer : public Device
 
     uint32_t mmioRead(Addr offset) override;
     void mmioWrite(Addr offset, uint32_t value) override;
+    void reset() override;
     std::string name() const override { return "timer"; }
+
+    /** Serialises time/compare state (including latches) into @p w. */
+    void saveState(snapshot::ChunkWriter &w) const;
+
+    /** Restores from @p r and re-evaluates the IRQ level. */
+    void restoreState(snapshot::ChunkReader &r);
 
     static constexpr Addr kRegTimeLo = 0x00;
     static constexpr Addr kRegTimeHi = 0x04;
@@ -96,6 +117,10 @@ class Timer : public Device
     IrqFn irq_;
     uint64_t mtime_ = 0;
     uint64_t mtimecmp_ = ~uint64_t{0};
+    uint32_t timeHiLatch_ = 0;    ///< HI word captured by a LO read.
+    bool timeHiValid_ = false;
+    uint32_t cmpHiLatch_ = 0;
+    bool cmpHiValid_ = false;
 
     void update();
 };
@@ -124,7 +149,14 @@ class Uart : public Device
 
     uint32_t mmioRead(Addr offset) override;
     void mmioWrite(Addr offset, uint32_t value) override;
+    void reset() override;
     std::string name() const override { return "uart"; }
+
+    /** Serialises the captured output into @p w. */
+    void saveState(snapshot::ChunkWriter &w) const;
+
+    /** Restores the captured output from @p r. */
+    void restoreState(snapshot::ChunkReader &r);
 
     static constexpr Addr kRegThr = 0x00;
     static constexpr Addr kRegLsr = 0x04;

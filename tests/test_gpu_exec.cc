@@ -422,7 +422,9 @@ class GpuRawDeviceTest : public ::testing::Test
         mem.write<uint32_t>(l0 + vpn0 * 4,
                             static_cast<uint32_t>((pa >> 12) << 10) |
                                 gpu::kGpuPteValid |
-                                (writable ? gpu::kGpuPteWrite : 0));
+                                (writable ? static_cast<uint32_t>(
+                                                gpu::kGpuPteWrite)
+                                          : 0u));
     }
 
     PhysMem mem;

@@ -37,7 +37,9 @@ class GpuMmuTest : public ::testing::Test
         mem.write<uint32_t>(l0 + vpn0 * 4,
                             static_cast<uint32_t>((pa >> 12) << 10) |
                                 kGpuPteValid |
-                                (writable ? kGpuPteWrite : 0));
+                                (writable ? static_cast<uint32_t>(
+                                                kGpuPteWrite)
+                                          : 0u));
     }
 
     PhysMem mem;

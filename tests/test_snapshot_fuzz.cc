@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Adversarial snapshot-loader testing (mirrors the bif::decode
+ * mutation fuzz): byte-truncation and byte-mutation corpora over a
+ * real snapshot image.  Every hostile image must either restore
+ * cleanly or fail with a located SnapshotError — never crash, never
+ * leave a System half-restored (a failed restore resets the machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "runtime/session.h"
+#include "snapshot/snapshot.h"
+#include "soc/devices.h"
+
+namespace bifsim {
+namespace {
+
+using snapshot::ChunkReader;
+using snapshot::ChunkWriter;
+using snapshot::Image;
+using snapshot::SnapshotError;
+using snapshot::Writer;
+
+rt::SystemConfig
+fuzzCfg()
+{
+    rt::SystemConfig cfg;
+    cfg.ramBytes = 32u << 20;
+    cfg.gpu.hostThreads = 2;
+    return cfg;
+}
+
+/** A marker the corpus image plants in guest RAM; a failed restore
+ *  must wipe it (reset), a clean one must leave RAM plausible. */
+constexpr Addr kMarkerPa = rt::System::kRamBase + 0x00500000;
+
+/** Builds one real snapshot image: a Direct-mode session with a
+ *  compiled kernel, a completed job and live device state, so every
+ *  chunk type is present and non-trivial. */
+const std::vector<uint8_t> &
+corpusImage()
+{
+    static const std::vector<uint8_t> bytes = [] {
+        rt::Session s(fuzzCfg(), rt::Mode::Direct);
+        rt::Buffer out = s.alloc(256 * 4);
+        rt::KernelHandle k = s.compile(
+            R"(
+kernel void store(global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = i * 3;
+    }
+}
+)",
+            "store");
+        gpu::JobResult r =
+            s.enqueue(k, rt::NDRange{256, 1, 1}, rt::NDRange{64, 1, 1},
+                      {rt::Arg::buf(out), rt::Arg::i32(256)});
+        EXPECT_FALSE(r.faulted);
+        s.system().mem().write<uint32_t>(kMarkerPa, 0xfeedfaceu);
+        s.system().uart().mmioWrite(soc::Uart::kRegThr, 'c');
+        Writer w;
+        s.saveSnapshot(w);
+        return w.finish();
+    }();
+    return bytes;
+}
+
+/** After a *failed* restore the machine must be at power-on state. */
+void
+expectResetState(rt::System &sys)
+{
+    EXPECT_EQ(sys.uart().output(), "");
+    EXPECT_EQ(sys.timer().now(), 0u);
+    EXPECT_EQ(sys.mem().read<uint32_t>(kMarkerPa), 0u);
+    EXPECT_EQ(sys.intc().mmioRead(soc::Intc::kRegPending), 0u);
+}
+
+TEST(SnapshotFuzz, EveryTruncationRejectedCleanly)
+{
+    const std::vector<uint8_t> &full = corpusImage();
+    rt::System scratch(fuzzCfg());
+    std::vector<size_t> lengths;
+    for (size_t n = 0; n <= std::min<size_t>(full.size(), 96); ++n)
+        lengths.push_back(n);
+    for (size_t n = 97; n < full.size(); n += 997)
+        lengths.push_back(n);
+    lengths.push_back(full.size() - 1);
+
+    for (size_t n : lengths) {
+        std::vector<uint8_t> cut(full.begin(), full.begin() + n);
+        try {
+            Image img = Image::fromBytes(std::move(cut));
+            // A strict prefix can never validate: the chunk directory
+            // or a CRC must be broken.
+            ADD_FAILURE() << "truncation to " << n << " was accepted";
+        } catch (const SnapshotError &e) {
+            EXPECT_STRNE(e.what(), "");
+        }
+    }
+    // The scratch machine was never touched; a good restore works.
+    EXPECT_NO_THROW(scratch.restoreSnapshot(Image::fromBytes(full)));
+    EXPECT_EQ(scratch.mem().read<uint32_t>(kMarkerPa), 0xfeedfaceu);
+}
+
+/** Sealed-image mutations: random byte edits on the serialised bytes.
+ *  Almost all die on the CRC/structure checks in Image::fromBytes;
+ *  whatever survives must restore-or-throw cleanly. */
+class SnapshotImageMutationFuzz
+    : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(SnapshotImageMutationFuzz, LoaderNeverCrashesOrHalfApplies)
+{
+    const std::vector<uint8_t> &good = corpusImage();
+    rt::SystemConfig cfg = fuzzCfg();
+    rt::System scratch(cfg);
+    std::mt19937 rng(GetParam() * 2654435761u + 7);
+
+    for (int round = 0; round < 150; ++round) {
+        std::vector<uint8_t> img = good;
+        unsigned edits = 1 + rng() % 8;
+        for (unsigned e = 0; e < edits && !img.empty(); ++e) {
+            size_t pos = rng() % img.size();
+            switch (rng() % 4) {
+              case 0: img[pos] ^= 1u << (rng() % 8); break;
+              case 1: img[pos] = static_cast<uint8_t>(rng()); break;
+              case 2: img[pos] = 0xff; break;
+              default:
+                img.resize(std::max<size_t>(1, pos));
+                break;
+            }
+        }
+
+        bool failed = true;
+        try {
+            Image parsed = Image::fromBytes(std::move(img));
+            scratch.restoreSnapshot(parsed);
+            failed = false;
+        } catch (const SnapshotError &e) {
+            EXPECT_STRNE(e.what(), "");
+        }
+        if (failed && scratch.uart().output().empty()) {
+            // Failure either rejected the image up front (scratch
+            // untouched since its last reset) or reset mid-restore;
+            // both leave no residue.
+            expectResetState(scratch);
+        }
+    }
+    // The survivor is still a fully usable machine.
+    EXPECT_NO_THROW(scratch.restoreSnapshot(Image::fromBytes(good)));
+    EXPECT_EQ(scratch.mem().read<uint32_t>(kMarkerPa), 0xfeedfaceu);
+    EXPECT_EQ(scratch.uart().output(), "c");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotImageMutationFuzz,
+                         ::testing::Range(300u, 308u));
+
+/** Re-serialises one validated chunk of @p img as raw bytes. */
+std::vector<uint8_t>
+chunkBytes(const Image &img, uint32_t tag)
+{
+    ChunkReader r = img.chunk(tag);
+    size_t n = r.remaining();
+    const uint8_t *p = r.raw(n);
+    return std::vector<uint8_t>(p, p + n);
+}
+
+/**
+ * Payload mutations *behind* the CRC: chunk payloads are mutated and
+ * the image re-sealed with fresh CRCs, so Image::fromBytes accepts it
+ * and the component parsers themselves face the hostile bytes.  This
+ * is the path a malicious-but-well-formed image would take.
+ */
+class SnapshotPayloadMutationFuzz
+    : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(SnapshotPayloadMutationFuzz, ParsersRejectOrRestoreCleanly)
+{
+    const Image good = Image::fromBytes(corpusImage());
+    const uint32_t tags[] = {
+        snapshot::kTagConfig, snapshot::kTagCpu,   snapshot::kTagMem,
+        snapshot::kTagUart,   snapshot::kTagTimer, snapshot::kTagIntc,
+        snapshot::kTagGpu,    snapshot::kTagSession};
+    rt::SystemConfig cfg = fuzzCfg();
+    rt::System scratch(cfg);
+    std::mt19937 rng(GetParam() * 40503u + 11);
+
+    for (int round = 0; round < 80; ++round) {
+        // A known-good baseline so the post-failure state is decidable:
+        // either exactly this (rejected up front) or power-on reset.
+        scratch.restoreSnapshot(good);
+        uint32_t victim = tags[rng() % 8];
+        Writer w;
+        for (uint32_t tag : tags) {
+            std::vector<uint8_t> payload = chunkBytes(good, tag);
+            if (tag == victim) {
+                unsigned edits = 1 + rng() % 4;
+                for (unsigned e = 0; e < edits && !payload.empty();
+                     ++e) {
+                    size_t pos = rng() % payload.size();
+                    switch (rng() % 4) {
+                      case 0:
+                        payload[pos] ^= 1u << (rng() % 8);
+                        break;
+                      case 1:
+                        payload[pos] = static_cast<uint8_t>(rng());
+                        break;
+                      case 2:
+                        payload[pos] = 0xff;
+                        break;
+                      default:
+                        payload.resize(std::max<size_t>(1, pos));
+                        break;
+                    }
+                }
+            }
+            w.chunk(tag).bytes(payload.data(), payload.size());
+        }
+        Image hostile = Image::fromBytes(w.finish());
+
+        try {
+            scratch.restoreSnapshot(hostile);
+        } catch (const std::bad_alloc &) {
+            ADD_FAILURE() << "bad_alloc restoring, victim chunk "
+                          << snapshot::tagName(victim) << " round "
+                          << round;
+            continue;
+        } catch (const SnapshotError &e) {
+            EXPECT_STRNE(e.what(), "");
+            if (scratch.uart().output() == "c") {
+                // Rejected before mutation: baseline fully intact.
+                EXPECT_EQ(scratch.mem().read<uint32_t>(kMarkerPa),
+                          0xfeedfaceu);
+            } else {
+                // Failed mid-restore: the machine must have been
+                // reset, any mix of old and new state is a bug.
+                expectResetState(scratch);
+            }
+        }
+        if (round % 4 == 0) {
+            // The full warm-boot path (Session registries included).
+            try {
+                auto sess = rt::Session::fromSnapshot(hostile, cfg);
+            } catch (const SnapshotError &e) {
+                EXPECT_STRNE(e.what(), "");
+            }
+        }
+    }
+    EXPECT_NO_THROW(scratch.restoreSnapshot(good));
+    EXPECT_EQ(scratch.mem().read<uint32_t>(kMarkerPa), 0xfeedfaceu);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotPayloadMutationFuzz,
+                         ::testing::Range(400u, 408u));
+
+} // namespace
+} // namespace bifsim

@@ -62,6 +62,56 @@ TEST(Timer, SixtyFourBitTime)
     EXPECT_EQ(t.mmioRead(Timer::kRegTimeHi), 1u);
 }
 
+/**
+ * Regression: a guest reading MTIME_LO then MTIME_HI across a tick()
+ * must observe a consistent 64-bit pair.  Before the high-word latch, a
+ * tick carrying mtime over a 2^32 boundary between the two reads
+ * produced LO=0xffffffff paired with the *new* HI (a time 2^32 in the
+ * future); the LO read now latches the matching HI.
+ */
+TEST(Timer, NoTornSixtyFourBitRead)
+{
+    Timer t(nullptr);
+    t.tick(0xffffffffull);                 // mtime = 0x0'ffff'ffff
+    uint32_t lo = t.mmioRead(Timer::kRegTimeLo);
+    t.tick(1);                             // mtime = 0x1'0000'0000
+    uint32_t hi = t.mmioRead(Timer::kRegTimeHi);
+    EXPECT_EQ(lo, 0xffffffffu);
+    EXPECT_EQ(hi, 0u);   // Old code returned 1: a torn pair.
+
+    // The latch is consumed: the next HI read is live again.
+    EXPECT_EQ(t.mmioRead(Timer::kRegTimeHi), 1u);
+}
+
+TEST(Timer, NoTornCompareRead)
+{
+    Timer t(nullptr);
+    t.mmioWrite(Timer::kRegCmpLo, 0xffffffffu);
+    t.mmioWrite(Timer::kRegCmpHi, 0);
+    uint32_t lo = t.mmioRead(Timer::kRegCmpLo);
+    // The compare register changes between the two halves of the read
+    // (e.g. another context reprogramming it).
+    t.mmioWrite(Timer::kRegCmpHi, 5);
+    uint32_t hi = t.mmioRead(Timer::kRegCmpHi);
+    EXPECT_EQ(lo, 0xffffffffu);
+    EXPECT_EQ(hi, 0u);   // Paired with the LO read, not the new value.
+    EXPECT_EQ(t.mmioRead(Timer::kRegCmpHi), 5u);
+}
+
+TEST(Timer, ResetReturnsToPowerOn)
+{
+    bool level = false;
+    Timer t([&](bool l) { level = l; });
+    t.mmioWrite(Timer::kRegCmpLo, 10);
+    t.mmioWrite(Timer::kRegCmpHi, 0);
+    t.tick(100);
+    EXPECT_TRUE(level);
+    t.reset();
+    EXPECT_FALSE(level);   // cmp back at ~0: IRQ dropped.
+    EXPECT_EQ(t.now(), 0u);
+    EXPECT_EQ(t.mmioRead(Timer::kRegTimeLo), 0u);
+}
+
 TEST(Intc, PendingAndEnable)
 {
     bool level = false;
@@ -106,6 +156,28 @@ TEST(Intc, DisableMasksOutput)
     EXPECT_TRUE(level);
     ic.mmioWrite(Intc::kRegEnable, 0);
     EXPECT_FALSE(level);
+}
+
+TEST(Intc, ResetDropsPendingLinesAndOutput)
+{
+    bool level = false;
+    Intc ic([&](bool l) { level = l; });
+    ic.mmioWrite(Intc::kRegEnable, 2);
+    ic.setLine(1, true);
+    EXPECT_TRUE(level);
+    ic.reset();
+    EXPECT_FALSE(level);
+    EXPECT_EQ(ic.mmioRead(Intc::kRegPending), 0u);
+    EXPECT_EQ(ic.mmioRead(Intc::kRegEnable), 0u);
+}
+
+TEST(Uart, ResetClearsCapturedOutput)
+{
+    Uart u;
+    u.mmioWrite(Uart::kRegThr, 'x');
+    EXPECT_EQ(u.output(), "x");
+    u.reset();
+    EXPECT_EQ(u.output(), "");
 }
 
 } // namespace
