@@ -2,15 +2,28 @@
  * @file
  * Fig. 10: the virtual-core optimisation — mapping simulated
  * thread-groups onto more host threads than the guest has shader
- * cores.  SobelFilter (one big data-parallel kernel) scales; the
+ * cores.  Big data-parallel kernels (sgemm, SobelFilter) scale; the
  * iterative, short-kernel BinarySearch does not (paper: 20.9x vs
  * ~1.0x at 64 threads).
  *
+ * sgemm is the headline series: CI gates on its 8-thread speedup.
+ * Results go to BENCH_thread_scaling.json (see EXPERIMENTS.md for the
+ * reproduction recipe and how to read the file).
+ *
+ * Flags (besides the common --scale/--full):
+ *   --gate   exit non-zero if sgemm's 8-thread speedup is < 3x over
+ *            1 thread.  The gate only arms when the host has >= 4
+ *            hardware threads — wall-clock scaling is physically
+ *            impossible on fewer — and the JSON records whether it
+ *            was enforced.
+ *
  * NOTE: wall-clock speedup requires host cores; on a single-core host
- * this bench still exercises the mechanism and reports the thread
- * counts, but speedups will flatten at the host's core count.
+ * this bench still exercises the full work-stealing scheduler (the
+ * per-series steal counts prove it), but speedups flatten at the
+ * host's core count.
  */
 
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -18,29 +31,47 @@
 #include "common/logging.h"
 #include "workloads/workload.h"
 
+namespace {
+
+struct Series
+{
+    const char *name;
+    std::vector<double> secs;      ///< Wall time per thread count.
+    std::vector<double> speedup;   ///< vs. the 1-thread entry.
+    std::vector<uint64_t> steals;  ///< Scheduler steals per run.
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace bifsim;
     bench::Options opt = bench::Options::parse(argc, argv, 0.05);
+    bool gate = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--gate") == 0)
+            gate = true;
+    }
     setInformEnabled(false);
 
+    const unsigned hw = std::thread::hardware_concurrency();
     bench::banner("Fig. 10 — host-thread scaling (virtual cores)",
                   "Speedup over 1 host thread while the guest still "
                   "sees 8 shader cores.");
-    std::printf("host has %u hardware threads\n\n",
-                std::thread::hardware_concurrency());
+    std::printf("host has %u hardware threads\n\n", hw);
 
-    std::vector<unsigned> threads = {1, 2, 4, 8, 16, 32, 64};
-    std::printf("%-8s %14s %14s\n", "threads", "sobelfilter",
-                "binarysearch");
+    const unsigned threads[] = {1, 2, 4, 8};
+    Series series[] = {{"sgemm", {}, {}, {}},
+                       {"sobelfilter", {}, {}, {}},
+                       {"binarysearch", {}, {}, {}}};
 
-    std::vector<double> base(2, 0.0);
+    std::printf("%-8s %14s %14s %14s\n", "threads", "sgemm",
+                "sobelfilter", "binarysearch");
     for (unsigned nt : threads) {
-        double speed[2];
-        const char *names[2] = {"sobelfilter", "binarysearch"};
-        for (int i = 0; i < 2; ++i) {
-            auto wl = workloads::makeWorkload(names[i], opt.scale);
+        std::printf("%-8u", nt);
+        for (Series &s : series) {
+            auto wl = workloads::makeWorkload(s.name, opt.scale);
             rt::SystemConfig cfg;
             cfg.gpu.numCores = 8;        // Guest-visible cores fixed.
             cfg.gpu.hostThreads = nt;    // Simulator parallelism.
@@ -51,17 +82,66 @@ main(int argc, char **argv)
             workloads::RunResult rr = wl->run(dev);
             double secs = t.seconds();
             if (!rr.ok) {
-                std::fprintf(stderr, "%s: %s\n", names[i],
+                std::fprintf(stderr, "%s: %s\n", s.name,
                              rr.error.c_str());
                 return 1;
             }
-            if (nt == 1)
-                base[i] = secs;
-            speed[i] = base[i] / secs;
+            s.secs.push_back(secs);
+            s.speedup.push_back(s.secs.front() / secs);
+            s.steals.push_back(
+                session.system().gpu().schedulerStats().steals);
+            std::printf(" %13.2fx", s.speedup.back());
         }
-        std::printf("%-8u %13.2fx %13.2fx\n", nt, speed[0], speed[1]);
+        std::printf("\n");
     }
-    std::printf("\n(paper, 32-core host: sobel 20.88x at 64 threads, "
+
+    const double sgemm8 = series[0].speedup.back();
+    const bool gate_armed = gate && hw >= 4;
+    std::printf("\nsgemm 8-thread speedup: %.2fx (gate >= 3x: %s)\n",
+                sgemm8,
+                gate_armed ? "enforced"
+                           : (gate ? "skipped, < 4 host threads"
+                                   : "not requested"));
+    std::printf("(paper, 32-core host: sobel 20.88x at 64 threads, "
                 "binarysearch flat ~1x)\n");
+
+    std::FILE *f = std::fopen("BENCH_thread_scaling.json", "w");
+    if (f) {
+        std::fprintf(f,
+                     "{\n  \"bench\": \"thread_scaling\",\n"
+                     "  \"scale\": %.3f,\n"
+                     "  \"host_hw_threads\": %u,\n"
+                     "  \"threads\": [1, 2, 4, 8],\n",
+                     opt.scale, hw);
+        for (const Series &s : series) {
+            std::fprintf(f, "  \"%s_secs\": [", s.name);
+            for (size_t i = 0; i < s.secs.size(); ++i)
+                std::fprintf(f, "%s%.6f", i ? ", " : "", s.secs[i]);
+            std::fprintf(f, "],\n  \"%s_speedup\": [", s.name);
+            for (size_t i = 0; i < s.speedup.size(); ++i)
+                std::fprintf(f, "%s%.3f", i ? ", " : "", s.speedup[i]);
+            std::fprintf(f, "],\n  \"%s_steals\": [", s.name);
+            for (size_t i = 0; i < s.steals.size(); ++i)
+                std::fprintf(f, "%s%llu", i ? ", " : "",
+                             static_cast<unsigned long long>(
+                                 s.steals[i]));
+            std::fprintf(f, "],\n");
+        }
+        std::fprintf(f,
+                     "  \"gate_threshold\": 3.0,\n"
+                     "  \"gate_enforced\": %s,\n"
+                     "  \"sgemm_speedup_at_8\": %.3f\n}\n",
+                     gate_armed ? "true" : "false", sgemm8);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_thread_scaling.json\n");
+    }
+
+    if (gate_armed && sgemm8 < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: sgemm 8-thread speedup %.2fx below the 3x "
+                     "gate\n",
+                     sgemm8);
+        return 1;
+    }
     return 0;
 }

@@ -26,7 +26,7 @@ GpuMmu::walkFill(uint32_t va, bool write, GpuTlb &tlb)
     Addr root = root_.load(std::memory_order_acquire);
     if (root == 0)
         return nullptr;
-    walks_.fetch_add(1, std::memory_order_relaxed);
+    tlb.walks++;   // Thread-local: the TLB belongs to the caller.
     if (tlb.traceBuf) [[unlikely]]
         tlb.traceBuf->instant("mmu_walk", "mmu", "va", va);
 

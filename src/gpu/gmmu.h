@@ -24,6 +24,15 @@
  * changes and job boundaries bump a global epoch counter; workers
  * compare their TLB's epoch lazily at clause boundaries and flush only
  * when stale, so there is no cross-thread flush coordination.
+ *
+ * Concurrency model (DESIGN.md §5f): GpuMmu itself is a *stateless*
+ * walker over guest memory plus two atomics (root, epoch) — it is safe
+ * to call translate()/lookup() from any number of threads as long as
+ * each call site passes its *own* GpuTlb.  All mutable per-thread
+ * translation state, including the walk/hit counters, lives in the
+ * GpuTlb, which must never be shared between threads.  Counters are
+ * folded into the job result once at job completion, so the
+ * translation fast path performs no shared-memory writes at all.
  */
 
 #include <atomic>
@@ -50,8 +59,10 @@ enum GpuPteBits : uint32_t
 constexpr uint32_t kGpuPageShift = 12;
 constexpr uint32_t kGpuPageBytes = 1u << kGpuPageShift;
 
-/** A small per-worker TLB; workers own one each so no locking is needed
- *  on the translation fast path. */
+/** A small per-worker TLB; workers own one each so no locking is
+ *  needed on the translation fast path.  Strictly thread-local: the
+ *  owning thread is the only one that may pass it to
+ *  GpuMmu::translate()/lookup() or read its counters. */
 struct GpuTlb
 {
     static constexpr size_t kEntries = 64;
@@ -79,9 +90,11 @@ struct GpuTlb
     uint64_t epoch = 0;
 
     // Per-worker translation counters (no atomics; folded into the job
-    // result at completion).
+    // result at completion, so adding host threads adds no shared
+    // counter traffic).
     uint64_t lastPageHits = 0;
     uint64_t arrayHits = 0;
+    uint64_t walks = 0;        ///< Full page-table walks through this TLB.
 
     /** Owning thread's trace buffer (null = tracing off); walks record
      *  an mmu_walk instant into it. */
@@ -104,6 +117,11 @@ struct GpuTlb
  * Stateless page-table walker for the GPU address space.  The root
  * pointer is atomic so the job-manager thread and MMIO writes from the
  * CPU thread can exchange it safely.
+ *
+ * Walk counts accumulate in the caller's GpuTlb (thread-local, no
+ * atomics); the walker itself carries no mutable statistics, so any
+ * number of workers can translate concurrently without touching a
+ * shared cache line.
  */
 class GpuMmu
 {
@@ -111,7 +129,8 @@ class GpuMmu
     explicit GpuMmu(PhysMem &mem) : mem_(mem) {}
 
     /** Sets the page-table root physical address (AS_TRANSTAB).
-     *  Bumps the epoch: cached translations become stale. */
+     *  Bumps the epoch: cached translations become stale.
+     *  Threading: any thread (typically the MMIO/submit path). */
     void
     setRoot(Addr root_pa)
     {
@@ -119,15 +138,18 @@ class GpuMmu
         bumpEpoch();
     }
 
-    /** Current page-table root. */
+    /** Current page-table root.  Threading: any thread. */
     Addr root() const { return root_.load(); }
 
     /**
      * Translates GPU virtual address @p va.
      * @param write  Whether the access is a store.
-     * @param tlb    The calling worker's TLB.
+     * @param tlb    The calling thread's own TLB (never shared).
      * @param pa_out Receives the physical address.
      * @return false on translation fault.
+     * Threading: any thread, concurrently; may race with setRoot()/
+     * bumpEpoch() — a stale translation is served until the caller's
+     * next GpuTlb::syncEpoch() (the lazy-shootdown contract).
      */
     bool translate(uint32_t va, bool write, GpuTlb &tlb, Addr &pa_out);
 
@@ -138,14 +160,12 @@ class GpuMmu
      * cache.  The entry's host pointer is null when the frame is not
      * entirely inside RAM; callers must then fall back to physical
      * addressing.
+     * Threading: as translate().
      */
     const GpuTlb::Entry *lookup(uint32_t va, bool write, GpuTlb &tlb);
 
-    /** Translation statistics (monotonic, approximate under threads). */
-    uint64_t walkCount() const { return walks_.load(); }
-
     /** Global TLB-invalidation epoch (bumped by AS_COMMAND, root
-     *  changes and job boundaries). */
+     *  changes and job boundaries).  Threading: any thread. */
     uint64_t
     epoch() const
     {
@@ -153,7 +173,8 @@ class GpuMmu
     }
 
     /** Invalidates all worker TLBs lazily: workers notice the new epoch
-     *  at their next clause boundary and flush locally. */
+     *  at their next clause boundary and flush locally.  Threading:
+     *  any thread; O(1), no cross-thread coordination. */
     void bumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
 
   private:
@@ -162,7 +183,6 @@ class GpuMmu
 
     PhysMem &mem_;
     std::atomic<Addr> root_{0};
-    std::atomic<uint64_t> walks_{0};
     std::atomic<uint64_t> epoch_{1};
 };
 

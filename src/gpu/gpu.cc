@@ -1,5 +1,6 @@
 #include "gpu/gpu.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <unordered_set>
 
@@ -16,17 +17,42 @@ constexpr uint32_t kMaxGroupThreads = 1024;
  *  JM thread forever). */
 constexpr size_t kMaxChainDescriptors = 65536;
 
+/** Worker-pool size ceiling (sanity bound for auto-detection and the
+ *  BIFSIM_HOST_THREADS override). */
+constexpr unsigned kMaxHostThreads = 256;
+
+/** Slices dealt per worker at job start.  >1 so late-finishing workers
+ *  leave stealable tail work; small so slices stay coarse enough that
+ *  the per-slice deque traffic is negligible. */
+constexpr uint32_t kSlicesPerWorker = 4;
+
+/** Resolves GpuConfig::hostThreads (0 = auto, see gpu.h). */
+unsigned
+resolveHostThreads(unsigned configured)
+{
+    unsigned t = configured;
+    if (t == 0) {
+        if (const char *env = std::getenv("BIFSIM_HOST_THREADS"))
+            t = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    }
+    if (t == 0)
+        t = std::thread::hardware_concurrency();
+    if (t == 0)
+        t = 1;
+    return std::min(t, kMaxHostThreads);
+}
+
 } // namespace
 
 GpuDevice::GpuDevice(PhysMem &mem, GpuConfig cfg, IrqFn irq)
     : mem_(mem), cfg_(cfg), irq_(std::move(irq)), mmu_(mem),
       tracer_(cfg.trace, cfg.traceBufferEvents)
 {
-    if (cfg_.hostThreads == 0)
-        cfg_.hostThreads = 1;
+    cfg_.hostThreads = resolveHostThreads(cfg_.hostThreads);
     devBuf_ = tracer_.registerThread("gpu-device");
     jmBuf_ = tracer_.registerThread("gpu-jm");
     executors_.resize(cfg_.hostThreads);
+    deques_ = std::make_unique<SliceDeque[]>(cfg_.hostThreads);
     workers_.reserve(cfg_.hostThreads);
     for (unsigned i = 0; i < cfg_.hostThreads; ++i)
         workers_.emplace_back([this, i] { workerMain(i); });
@@ -87,7 +113,11 @@ GpuDevice::mmioRead(Addr offset)
       case kRegAsFaultStatus:  return faultStatus_;
       case kRegAsFaultAddress: return faultAddress_;
       case kRegScCount:        return cfg_.numCores;
-      case kRegScThreads:      return cfg_.hostThreads;
+      case kRegScThreads:
+        // Runtime-effective pool size: the threads that actually exist,
+        // which reflects auto-detection (hostThreads = 0), not the
+        // value the configuration was constructed with.
+        return static_cast<uint32_t>(workers_.size());
       default:                 return 0;
     }
 }
@@ -107,8 +137,12 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
         updateIrqOutput();
         break;
       case kRegGpuCmd:
+        // Decode-cache flush: epoch bump only — stale nodes become
+        // unreachable immediately (even to a decode already in flight;
+        // see shader_cache.h) and are reclaimed at the next quiescent
+        // purge.  Safe while workers hold L1 pins.
         if (value == 1)
-            shaderCache_.clear();
+            shaderCache_.invalidate();
         break;
       case kRegJsSubmit:
         jsStatus_ = kJsRunning;
@@ -135,7 +169,7 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
         // stale the moment the root changes.  (Re-writing the current
         // root, as drivers do on every submit, keeps the cache.)
         if (static_cast<Addr>(value) != mmu_.root()) {
-            shaderCache_.clear();
+            shaderCache_.invalidate();
             if (devBuf_)
                 devBuf_->instant("as_root_switch", "mmio", "root",
                                  value);
@@ -187,8 +221,11 @@ GpuDevice::reset()
     sys_ = SystemStats{};
     total_ = KernelStats{};
     lastJob_ = JobResult{};
+    sched_ = SchedStats{};
     cacheStats_ = ShaderCacheStats{};
-    shaderCache_.clear();
+    shaderCache_.purge();   // Quiescent: waitIdle() above, lock_ held.
+    jmL1_.clear();
+    jmTlb_.flush();
     mmu_.setRoot(0);
     updateIrqOutput();
 }
@@ -304,8 +341,12 @@ GpuDevice::restoreState(snapshot::ChunkReader &r)
     cacheStats_ = cache_stats;
     // Decoded shaders were compiled against the old address space;
     // setRoot()'s epoch bump makes every worker drop its host-pointer
-    // TLB at the next clause boundary.
-    shaderCache_.clear();
+    // TLB at the next clause boundary.  The purge is legal here: the
+    // quiescence check above plus the restore contract (no concurrent
+    // submits) guarantee no lookup is in flight.
+    shaderCache_.purge();
+    jmL1_.clear();
+    jmTlb_.flush();
     mmu_.setRoot(root);
     updateIrqOutput();
 }
@@ -338,6 +379,13 @@ GpuDevice::shaderCacheStats() const
     return cacheStats_;
 }
 
+SchedStats
+GpuDevice::schedulerStats() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return sched_;
+}
+
 void
 GpuDevice::resetStats()
 {
@@ -345,6 +393,7 @@ GpuDevice::resetStats()
     sys_ = SystemStats{};
     total_ = KernelStats{};
     lastJob_ = JobResult{};
+    sched_ = SchedStats{};
     cacheStats_ = ShaderCacheStats{};
 }
 
@@ -352,7 +401,12 @@ bool
 GpuDevice::readVaRange(uint32_t va, size_t len, std::vector<uint8_t> &out)
 {
     out.resize(len);
-    GpuTlb tlb;
+    // jmTlb_ is private to the chain-execution thread (JM, or the
+    // submitting thread under syncSubmit — never both at once), so
+    // descriptor/shader/argument fetches keep their translations warm
+    // across a chain.  The epoch check drops them when the root moves.
+    jmTlb_.syncEpoch(mmu_);
+    GpuTlb &tlb = jmTlb_;
     size_t done = 0;
     while (done < len) {
         uint32_t cur = va + static_cast<uint32_t>(done);
@@ -375,17 +429,24 @@ GpuDevice::getShader(uint32_t binary_va, std::string &error,
 {
     kind = JobFaultKind::BadBinary;
     uint64_t t0 = jmBuf_ ? trace::nowNs() : 0;
-    {
+    // Submit-path L1 in front of the shared L2 — a hit takes no lock at
+    // all (jmL1_ is private to the chain-execution thread; the L2 read
+    // path is lock-free).  Only the guest-visible hit counter still
+    // takes the device lock, once per job rather than per access.
+    if (std::shared_ptr<DecodedShader> s =
+            jmL1_.get(shaderCache_, binary_va)) {
         std::lock_guard<std::mutex> g(lock_);
-        auto it = shaderCache_.find(binary_va);
-        if (it != shaderCache_.end()) {
-            cacheStats_.hits++;
-            if (jmBuf_)
-                jmBuf_->span("decode", "shader", t0, "hit", 1, "va",
-                             binary_va);
-            return it->second;
-        }
+        cacheStats_.hits++;
+        if (jmBuf_)
+            jmBuf_->span("decode", "shader", t0, "hit", 1, "va",
+                         binary_va);
+        return s;
     }
+
+    // Stamp the node with the epoch observed *before* the guest bytes
+    // are read: if a flush lands while we decode, the insert below is
+    // already stale and the next job re-decodes (see shader_cache.h).
+    uint64_t decode_epoch = shaderCache_.epoch();
 
     // Decode phase (paper §III-B2): executed exactly once per shader.
     std::vector<uint8_t> header;
@@ -443,9 +504,9 @@ GpuDevice::getShader(uint32_t binary_va, std::string &error,
 
     auto shader =
         std::make_shared<DecodedShader>(DecodedShader::build(std::move(mod)));
+    shaderCache_.insert(binary_va, shader, decode_epoch);
     std::lock_guard<std::mutex> g(lock_);
     cacheStats_.decodes++;
-    shaderCache_[binary_va] = shader;
     if (jmBuf_)
         jmBuf_->span("decode", "shader", t0, "hit", 0, "va", binary_va);
     return shader;
@@ -492,9 +553,13 @@ GpuDevice::runJob(const JobDescriptor &desc)
 
     JobContext ctx;
     ctx.shader = shader.get();
+    ctx.shaderRef = shader;
     ctx.desc = desc;
     ctx.mmu = &mmu_;
     ctx.mem = &mem_;
+    ctx.shaderCache = &shaderCache_;
+    ctx.deques = deques_.get();
+    ctx.numWorkers = static_cast<unsigned>(workers_.size());
     ctx.collect = cfg_.instrument;
     ctx.fastPath = cfg_.fastPath;
     for (int d = 0; d < 3; ++d)
@@ -513,7 +578,11 @@ GpuDevice::runJob(const JobDescriptor &desc)
     // Job boundary: stale translations from the previous job must not
     // survive.  Workers pick up the new epoch in beginJob.
     mmu_.bumpEpoch();
-    uint64_t walks_before = mmu_.walkCount();
+
+    // Deal the grid into the per-worker deques while the pool is still
+    // parked — after the publication below, the deques belong to the
+    // workers until the completion barrier.
+    distributeSlices(ctx.totalGroups);
 
     // Dispatch to the worker pool.
     {
@@ -529,8 +598,12 @@ GpuDevice::runJob(const JobDescriptor &desc)
     }
 
     // Merge per-worker collectors (paper §IV-A: totalled at job
-    // completion, no hot-path synchronisation).
+    // completion, no hot-path synchronisation).  All merges are sums
+    // and set unions, so the result is independent of which worker ran
+    // (or stole) which workgroup — the determinism the multi-worker
+    // snapshot tests rely on.
     JobResult result;
+    SchedStats jobSched;
     std::unordered_set<uint32_t> pages;
     for (WorkgroupExecutor &ex : executors_) {
         result.kernel.merge(ex.collector().kernel);
@@ -538,9 +611,10 @@ GpuDevice::runJob(const JobDescriptor &desc)
                      ex.collector().pages.end());
         result.tlb.lastPageHits += ex.tlb().lastPageHits;
         result.tlb.arrayHits += ex.tlb().arrayHits;
+        result.tlb.walks += ex.tlb().walks;
+        jobSched.merge(ex.sched());
     }
     result.pagesAccessed = pages.size();
-    result.tlb.walks = mmu_.walkCount() - walks_before;
 
     if (ctx.faulted.load()) {
         return fail(ctx.fault.kind, ctx.fault.va, ctx.fault.detail);
@@ -549,6 +623,7 @@ GpuDevice::runJob(const JobDescriptor &desc)
     std::lock_guard<std::mutex> g(lock_);
     lastJob_ = result;
     total_.merge(result.kernel);
+    sched_.merge(jobSched);
     sys_.pagesAccessed += result.pagesAccessed;
     sys_.computeJobs++;
     jobCount_++;
@@ -557,11 +632,42 @@ GpuDevice::runJob(const JobDescriptor &desc)
         appendCounters(counters, result.kernel);
         appendCounters(counters, result.tlb);
         appendCounters(counters, sys_);
+        appendCounters(counters, jobSched);
         for (const NamedCounter &c : counters)
             jmBuf_->counter(c.name, c.value);
     }
     raiseIrqLocked(kIrqJobDone);
     return true;
+}
+
+void
+GpuDevice::distributeSlices(uint32_t total_groups)
+{
+    const unsigned nw = static_cast<unsigned>(workers_.size());
+    // Upper bound on slices any single deque can receive: every slice
+    // in the job lands on worker 0 under skewSlices.
+    const uint32_t max_slices = nw * kSlicesPerWorker;
+    for (unsigned w = 0; w < nw; ++w)
+        deques_[w].reset(cfg_.skewSlices ? max_slices : kSlicesPerWorker);
+
+    // Each worker owns one contiguous block of the grid (locality of
+    // guest data between neighbouring groups), split into a few slices
+    // so finished workers find stealable tail work in slow workers'
+    // deques instead of idling at the barrier.
+    uint32_t next = 0;
+    for (unsigned w = 0; w < nw && next < total_groups; ++w) {
+        uint32_t block =
+            (total_groups - next + (nw - w) - 1) / (nw - w);
+        uint32_t dealt = 0;
+        for (uint32_t s = 0; s < kSlicesPerWorker && dealt < block; ++s) {
+            uint32_t n = (block - dealt + (kSlicesPerWorker - s) - 1) /
+                         (kSlicesPerWorker - s);
+            GroupSlice slice{next + dealt, next + dealt + n};
+            deques_[cfg_.skewSlices ? 0 : w].push(slice);
+            dealt += n;
+        }
+        next += block;
+    }
 }
 
 void
@@ -672,7 +778,7 @@ GpuDevice::workerMain(unsigned idx)
         JobContext *job = activeJob_;
         l.unlock();
 
-        executors_[idx].beginJob(job);
+        executors_[idx].beginJob(job, idx);
         executors_[idx].runUntilDone();
         executors_[idx].finalize();
 

@@ -30,7 +30,17 @@
  *   0x038 AS_FAULTSTATUS  (ro)  JobFaultKind of last fault
  *   0x03C AS_FAULTADDRESS (ro)  faulting GPU VA
  *   0x040 SC_COUNT        (ro)  guest shader cores
- *   0x044 SC_THREADS      (ro)  host worker threads (simulator detail)
+ *   0x044 SC_THREADS      (ro)  runtime-effective host worker threads
+ *                               (simulator detail; reflects auto
+ *                               detection, not the configured value)
+ *
+ * Threading (full model in DESIGN.md §5f): MMIO handlers run on the
+ * CPU/caller thread under lock_; the Job Manager chain loop runs on
+ * its own thread (or inline on the submitting thread under
+ * GpuConfig::syncSubmit); workgroups execute on the worker pool, which
+ * parks on poolLock_ between jobs.  Lock order is lock_ -> poolLock_
+ * (never the reverse); neither is ever held while executing guest
+ * shader code.
  */
 
 #include <atomic>
@@ -41,12 +51,13 @@
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/analysis.h"
 #include "gpu/gmmu.h"
+#include "gpu/shader_cache.h"
 #include "gpu/shader_core.h"
+#include "gpu/work_queue.h"
 #include "instrument/stats.h"
 #include "mem/device.h"
 #include "mem/phys_mem.h"
@@ -59,7 +70,23 @@ struct GpuConfig
 {
     unsigned numCores = 8;     ///< Guest-visible shader cores (Mali-G71
                                ///< MP8 as on the HiKey960).
-    unsigned hostThreads = 8;  ///< Host worker threads ("virtual cores").
+
+    /**
+     * Host worker threads ("virtual cores").  0 = auto-detect: the
+     * BIFSIM_HOST_THREADS environment variable if set, else the host's
+     * hardware concurrency (min 1).  The resolved value is visible in
+     * GpuDevice::config() and the SC_THREADS register.
+     */
+    unsigned hostThreads = 8;
+
+    /**
+     * Debug knob: deal every workgroup slice to worker 0's deque so
+     * all other workers must steal.  Exists to make the stealing path
+     * deterministically reachable from stress tests; never enable for
+     * performance runs.
+     */
+    bool skewSlices = false;
+
     bool instrument = true;    ///< Collect execution statistics.
     bool fastPath = true;      ///< Micro-op dispatch + host-pointer TLB;
                                ///< false selects the legacy interpreter
@@ -183,18 +210,28 @@ class GpuDevice : public Device
     GpuDevice(const GpuDevice &) = delete;
     GpuDevice &operator=(const GpuDevice &) = delete;
 
+    /** Threading: any thread (normally the simulated CPU's); serialised
+     *  internally by the device lock. */
     uint32_t mmioRead(Addr offset) override;
+
+    /** Threading: any thread.  Under GpuConfig::syncSubmit a JS_SUBMIT
+     *  write runs the whole chain inline before returning; otherwise it
+     *  only enqueues for the Job Manager thread. */
     void mmioWrite(Addr offset, uint32_t value) override;
+
     std::string name() const override { return "gpu"; }
 
     /** Blocks the calling host thread until all submitted chains have
-     *  completed (host-side convenience for the direct runtime mode). */
+     *  completed (host-side convenience for the direct runtime mode).
+     *  Threading: any thread except the Job Manager itself. */
     void waitIdle();
 
-    /** True if no chain is queued or running (snapshot quiescence). */
+    /** True if no chain is queued or running (snapshot quiescence).
+     *  Threading: any thread; instantaneous unless externally fenced. */
     bool idle() const;
 
-    /** Returns the device to its power-on state (must be idle). */
+    /** Returns the device to its power-on state (must be idle).
+     *  Threading: any single thread, with no concurrent MMIO. */
     void reset() override;
 
     /**
@@ -202,39 +239,55 @@ class GpuDevice : public Device
      * state and statistics into @p w.  The GPU must be quiescent
      * (idle()); throws snapshot::SnapshotError otherwise — job-slot
      * state mid-chain is not capturable.
+     * Threading: any single thread, no concurrent MMIO/submits.
      */
     void saveState(snapshot::ChunkWriter &w) const;
 
     /**
-     * Restores from @p r.  Clears the shader decode cache and installs
+     * Restores from @p r.  Purges the shader decode cache and installs
      * the saved translation root through GpuMmu::setRoot(), whose epoch
      * bump invalidates every worker's host-pointer TLB, so no stale
      * translation or decoded shader can be served after a restore.
+     * Threading: any single thread, no concurrent MMIO/submits (the
+     * cache purge requires the device to stay quiescent throughout).
      */
     void restoreState(snapshot::ChunkReader &r);
 
-    /** Results of the most recently completed job. */
+    /** Results of the most recently completed job.
+     *  Threading: any thread (returns a copy taken under the lock). */
     JobResult lastJob() const;
 
-    /** Kernel statistics accumulated over all jobs. */
+    /** Kernel statistics accumulated over all jobs.
+     *  Threading: any thread. */
     KernelStats totalKernelStats() const;
 
-    /** System-level statistics (Table III). */
+    /** System-level statistics (Table III).  Threading: any thread. */
     SystemStats systemStats() const;
 
-    /** Shader decode-cache statistics. */
+    /** Shader decode-cache statistics.  Threading: any thread. */
     ShaderCacheStats shaderCacheStats() const;
 
-    /** Clears all statistics (not the decode cache). */
+    /** Work-stealing scheduler statistics accumulated over all jobs
+     *  (host-side diagnostic; not snapshotted).
+     *  Threading: any thread. */
+    SchedStats schedulerStats() const;
+
+    /** Clears all statistics (not the decode cache).
+     *  Threading: any thread. */
     void resetStats();
 
-    /** The GPU MMU (used by host-side direct setup paths and tests). */
+    /** The GPU MMU (used by host-side direct setup paths and tests).
+     *  Threading: the returned reference is itself thread-safe per the
+     *  GpuMmu contract (gmmu.h). */
     GpuMmu &mmu() { return mmu_; }
 
-    /** The model configuration. */
+    /** The model configuration, with auto-detected fields resolved
+     *  (hostThreads is never 0 here).  Threading: any thread;
+     *  immutable after construction. */
     const GpuConfig &config() const { return cfg_; }
 
-    /** The job-lifecycle tracer (no-op unless GpuConfig::trace). */
+    /** The job-lifecycle tracer (no-op unless GpuConfig::trace).
+     *  Threading: per the trace::Tracer contract (trace.h). */
     trace::Tracer &tracer() { return tracer_; }
 
   private:
@@ -264,12 +317,19 @@ class GpuDevice : public Device
     SystemStats sys_;
     KernelStats total_;
     JobResult lastJob_;
+    SchedStats sched_;             ///< Accumulated over jobs (lock_).
 
-    std::unordered_map<uint32_t, std::shared_ptr<DecodedShader>>
-        shaderCache_;
-    ShaderCacheStats cacheStats_;
+    ShaderCacheL2 shaderCache_;    ///< Shared decode cache (own sync).
+    ShaderCacheL1 jmL1_;           ///< Submit-path L1.  Serialised by
+                                   ///< the one-chain-at-a-time rule,
+                                   ///< like jmTlb_.
+    GpuTlb jmTlb_;                 ///< Chain-walk TLB (readVaRange).
+    ShaderCacheStats cacheStats_;  ///< Guest-visible stats (lock_).
 
-    // Worker pool.
+    // Worker pool.  Parked workers wait on poolCv_; a job is published
+    // by setting activeJob_ and bumping jobSeq_ under poolLock_, and
+    // completion is the workersDone_ == workers barrier on poolDoneCv_.
+    // The slice deques are (re)filled only while the pool is parked.
     std::mutex poolLock_;
     std::condition_variable poolCv_;
     std::condition_variable poolDoneCv_;
@@ -277,6 +337,7 @@ class GpuDevice : public Device
     uint64_t jobSeq_ = 0;
     unsigned workersDone_ = 0;
     std::vector<WorkgroupExecutor> executors_;
+    std::unique_ptr<SliceDeque[]> deques_;   ///< One per worker.
     std::vector<std::thread> workers_;
     std::thread jmThread_;
 
@@ -288,6 +349,9 @@ class GpuDevice : public Device
 
     /** Executes one job; returns false on fault (chain stops). */
     bool runJob(const JobDescriptor &desc);
+
+    /** Deals the grid into per-worker slice deques (pool parked). */
+    void distributeSlices(uint32_t total_groups);
 
     /** Reads @p len bytes at GPU VA @p va through the MMU. */
     bool readVaRange(uint32_t va, size_t len, std::vector<uint8_t> &out);

@@ -929,9 +929,10 @@ WorkgroupExecutor::setTrace(trace::TraceBuffer *buf)
 }
 
 void
-WorkgroupExecutor::beginJob(JobContext *job)
+WorkgroupExecutor::beginJob(JobContext *job, unsigned worker_index)
 {
     job_ = job;
+    index_ = worker_index;
     if (traceBuf_) {
         jobStartTs_ = trace::nowNs();
         groupsRun_ = 0;
@@ -941,7 +942,26 @@ WorkgroupExecutor::beginJob(JobContext *job)
     tlb_.syncEpoch(*job->mmu);
     tlb_.lastPageHits = 0;
     tlb_.arrayHits = 0;
+    tlb_.walks = 0;
     lastPageIns_ = 0xffffffffu;
+    sched_ = SchedStats{};
+    // Resolve the shader through the worker's private L1 so steady-state
+    // jobs touch no shared cache line (not even a refcount).  The pin
+    // keeps the image alive even if the L2 is invalidated mid-job.
+    shaderRef_.reset();
+    if (job->shaderCache) {
+        uint64_t fills_before = shaderL1_.l2Fills;
+        shaderRef_ = shaderL1_.get(*job->shaderCache, job->desc.binaryVa);
+        if (shaderRef_) {
+            if (shaderL1_.l2Fills != fills_before)
+                sched_.shaderL2Fills++;
+            else
+                sched_.shaderL1Hits++;
+        }
+    }
+    if (shaderRef_.get() != job->shader)
+        shaderRef_ = job->shaderRef;   // Cache raced an invalidation;
+                                       // the context's pin is canonical.
     size_t num_clauses = job->shader->mod.clauses.size();
     coll_.reset(num_clauses);
     groupExec_.assign(num_clauses, 0);
@@ -1071,13 +1091,11 @@ WorkgroupExecutor::runGroup(uint32_t linear_group)
 }
 
 void
-WorkgroupExecutor::runUntilDone()
+WorkgroupExecutor::runSlice(const GroupSlice &s)
 {
-    for (;;) {
+    sched_.slicesRun++;
+    for (uint32_t g = s.begin; g < s.end; ++g) {
         if (job_->faulted.load(std::memory_order_acquire))
-            return;
-        uint32_t g = job_->nextGroup.fetch_add(1);
-        if (g >= job_->totalGroups)
             return;
         if (traceBuf_) [[unlikely]] {
             uint64_t t0 = trace::nowNs();
@@ -1087,6 +1105,55 @@ WorkgroupExecutor::runUntilDone()
         } else {
             runGroup(g);
         }
+        sched_.groupsRun++;
+    }
+}
+
+void
+WorkgroupExecutor::runUntilDone()
+{
+    SliceDeque *deques = job_->deques;
+    const unsigned n = job_->numWorkers;
+    GroupSlice s;
+    for (;;) {
+        if (job_->faulted.load(std::memory_order_acquire))
+            return;
+        // Drain our own deque first (LIFO pop: best locality).
+        if (deques[index_].pop(s)) {
+            runSlice(s);
+            continue;
+        }
+        // Own deque empty: scan the other workers' deques for a steal
+        // (FIFO from the top — the slices their owner will reach last).
+        bool lost_race = false;
+        bool got = false;
+        for (unsigned i = 1; i < n && !got; ++i) {
+            unsigned victim = (index_ + i) % n;
+            sched_.stealAttempts++;
+            switch (deques[victim].steal(s)) {
+              case SliceDeque::Steal::Got:
+                got = true;
+                break;
+              case SliceDeque::Steal::Lost:
+                lost_race = true;
+                break;
+              case SliceDeque::Steal::Empty:
+                break;
+            }
+        }
+        if (got) {
+            sched_.steals++;
+            if (traceBuf_) [[unlikely]]
+                traceBuf_->instant("steal", "sched", "groups",
+                                   s.end - s.begin);
+            runSlice(s);
+            continue;
+        }
+        // A clean scan (every deque Empty, no lost races) proves no
+        // unclaimed work remains: in-flight slices are finished by
+        // whoever claimed them, and nobody pushes after job start.
+        if (!lost_race)
+            return;
     }
 }
 

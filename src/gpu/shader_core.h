@@ -10,9 +10,11 @@
  * static instrumentation precomputed), then a dispatcher iterates over
  * the job dimensions creating warps of four threads ("quads") that
  * execute clauses in lockstep.  Thread-groups (OpenCL workgroups) are
- * claimed by host worker threads via an atomic counter — the "virtual
- * cores" optimisation: more host threads than guest shader cores, with
- * simulator-private local memory per host thread.
+ * distributed as contiguous slices into per-worker Chase-Lev deques at
+ * job start; idle workers steal slices from victims (work_queue.h) —
+ * the "virtual cores" optimisation: more host threads than guest
+ * shader cores, with simulator-private local memory per host thread
+ * and no shared-counter traffic on the claim path.
  *
  * Execute fast path: at decode time each clause's tuples are lowered
  * into a dense pre-resolved micro-op array (opcode, unified-register
@@ -34,6 +36,8 @@
 
 #include "gpu/gmmu.h"
 #include "gpu/isa/bif.h"
+#include "gpu/shader_cache.h"
+#include "gpu/work_queue.h"
 #include "instrument/stats.h"
 #include "mem/phys_mem.h"
 
@@ -125,14 +129,22 @@ struct JobFault
 constexpr uint32_t kMaxArgWords = 64;
 
 /**
- * Everything shared by the workers executing one job.
+ * Everything shared by the workers executing one job.  Immutable while
+ * the job runs except for the fault latch; published to the parked
+ * workers through the pool mutex (see DESIGN.md §5f).
  */
 struct JobContext
 {
-    const DecodedShader *shader = nullptr;
+    const DecodedShader *shader = nullptr;   ///< Authoritative image.
+    std::shared_ptr<DecodedShader> shaderRef;   ///< Pins @c shader for
+                                                ///< the job's duration.
     JobDescriptor desc;
     GpuMmu *mmu = nullptr;
     PhysMem *mem = nullptr;
+    const ShaderCacheL2 *shaderCache = nullptr;  ///< Worker L1 backing.
+    SliceDeque *deques = nullptr;       ///< Per-worker slice deques
+                                        ///< (numWorkers of them).
+    unsigned numWorkers = 1;
     uint32_t args[kMaxArgWords] = {};
     uint32_t groups[3] = {1, 1, 1};
     uint32_t totalGroups = 1;
@@ -140,12 +152,11 @@ struct JobContext
     bool fastPath = true;               ///< Micro-op dispatch + host-ptr
                                         ///< TLB (false = legacy loop).
 
-    std::atomic<uint32_t> nextGroup{0};
     std::atomic<bool> faulted{false};
     std::mutex faultLock;
     JobFault fault;
 
-    /** Records the first fault (thread-safe). */
+    /** Records the first fault (thread-safe; any worker). */
     void raiseFault(JobFaultKind kind, uint32_t va,
                     const std::string &detail);
 };
@@ -155,17 +166,26 @@ struct JobContext
  *
  * Owns the worker's TLB, the simulator-private local-memory buffer (the
  * paper's §III-B3 mechanism for running more thread-groups in parallel
- * than the guest has shader cores), and the instrumentation collector.
+ * than the guest has shader cores), the worker's shader-cache L1 and
+ * the instrumentation collectors.
+ *
+ * Threading: every method runs on the owning worker thread only.  The
+ * accessors (collector(), tlb(), sched()) are read by the dispatching
+ * thread *after* the job-completion barrier, never concurrently with
+ * execution.
  */
 class WorkgroupExecutor
 {
   public:
     WorkgroupExecutor() = default;
 
-    /** Prepares for a new job: syncs the TLB epoch, resets collectors. */
-    void beginJob(JobContext *job);
+    /** Prepares for a new job: syncs the TLB epoch, resets the
+     *  collectors and resolves the shader through the worker's L1.
+     *  @param worker_index  This worker's slot in JobContext::deques. */
+    void beginJob(JobContext *job, unsigned worker_index);
 
-    /** Claims and runs workgroups until the job's counter drains. */
+    /** Runs slices from the worker's own deque, then steals from the
+     *  other workers' deques until a full scan finds them all empty. */
     void runUntilDone();
 
     /** Folds per-clause execution counts into the kernel totals
@@ -177,6 +197,9 @@ class WorkgroupExecutor
 
     /** The worker's TLB (counters folded into the job result). */
     const GpuTlb &tlb() const { return tlb_; }
+
+    /** The worker's scheduler counters for the current job. */
+    const SchedStats &sched() const { return sched_; }
 
     /** Attaches the owning worker thread's trace buffer (null = off).
      *  Called once from the worker thread before any job runs. */
@@ -207,6 +230,10 @@ class WorkgroupExecutor
     GpuTlb tlb_;
     std::vector<uint8_t> local_;
     WorkerCollector coll_;
+    SchedStats sched_;
+    unsigned index_ = 0;           ///< Slot in JobContext::deques.
+    ShaderCacheL1 shaderL1_;       ///< Worker-private decode cache.
+    std::shared_ptr<DecodedShader> shaderRef_;  ///< Job-duration pin.
     uint32_t groupId_[3] = {0, 0, 0};
 
     trace::TraceBuffer *traceBuf_ = nullptr;   ///< Null = tracing off.
@@ -219,6 +246,7 @@ class WorkgroupExecutor
     std::vector<uint64_t> groupExec_;
     uint32_t lastPageIns_ = 0xffffffffu;  ///< Last page-set insert.
 
+    void runSlice(const GroupSlice &s);
     void runGroup(uint32_t linear_group);
     WarpStop runWarp(Warp &warp);
     void initWarp(Warp &w, uint32_t warp_idx, uint32_t group_threads);

@@ -143,6 +143,34 @@ struct SystemStats
 };
 
 /**
+ * Work-stealing scheduler statistics (host-side diagnostic; not part
+ * of the guest-visible state and not snapshotted).  Accumulated
+ * thread-locally per worker while a job runs and merged once at job
+ * completion, like every other collector.
+ */
+struct SchedStats
+{
+    uint64_t slicesRun = 0;      ///< Workgroup slices executed.
+    uint64_t groupsRun = 0;      ///< Workgroups executed.
+    uint64_t steals = 0;         ///< Slices taken from another worker.
+    uint64_t stealAttempts = 0;  ///< Steal scans that probed a victim.
+    uint64_t shaderL1Hits = 0;   ///< Worker shader-L1 hits.
+    uint64_t shaderL2Fills = 0;  ///< Worker shader-L1 misses served
+                                 ///< by the shared L2.
+
+    void
+    merge(const SchedStats &o)
+    {
+        slicesRun += o.slicesRun;
+        groupsRun += o.groupsRun;
+        steals += o.steals;
+        stealAttempts += o.stealAttempts;
+        shaderL1Hits += o.shaderL1Hits;
+        shaderL2Fills += o.shaderL2Fills;
+    }
+};
+
+/**
  * A named counter value: the unified view over the KernelStats /
  * TlbStats / SystemStats structs used by the trace subsystem's counter
  * events and the human-readable job summaries.  Names are static
@@ -173,6 +201,9 @@ void appendCounters(std::vector<NamedCounter> &out, const TlbStats &t);
 
 /** Appends every counter of @p s under the "sys." prefix. */
 void appendCounters(std::vector<NamedCounter> &out, const SystemStats &s);
+
+/** Appends every counter of @p s under the "sched." prefix. */
+void appendCounters(std::vector<NamedCounter> &out, const SchedStats &s);
 
 /** Per-worker collector, merged into the job totals at completion. */
 struct WorkerCollector

@@ -20,6 +20,16 @@
  *                      tables, writes the registers, sleeps in WFI and
  *                      services the completion interrupt (Fig. 9,
  *                      Table III).
+ *
+ * Threading: a Session is a single-threaded object — exactly one host
+ * thread (the "simulation thread" of DESIGN.md §5f) constructs it and
+ * makes all calls on it; no method is safe to call concurrently with
+ * any other.  Parallelism lives *below* this API: enqueue() hands the
+ * job to the GPU's worker pool (GpuConfig::hostThreads workers,
+ * work-stealing scheduler) and blocks until completion, so callers
+ * never observe partial results.  The per-method "Threading:" lines
+ * below only flag the few additional constraints (quiescence for
+ * snapshot/trace export).
  */
 
 #include <cstdint>
@@ -106,6 +116,8 @@ class Session
      * allocator, mapping, kernel and buffer registries — into @p w.
      * Waits for GPU quiescence first (between enqueues any point is
      * quiescent; mid-enqueue saving is not supported).
+     * Threading: simulation thread only; blocks until the GPU worker
+     * pool is parked before serialising.
      */
     void saveSnapshot(snapshot::Writer &w);
 
@@ -126,7 +138,9 @@ class Session
 
     /** The job-lifecycle tracer (GpuConfig::trace gates recording).
      *  Export after the last enqueue returns for a consistent snapshot:
-     *  s.tracer().exportChromeJsonFile("trace.json"). */
+     *  s.tracer().exportChromeJsonFile("trace.json").
+     *  Threading: the reference may be taken from any thread, but see
+     *  trace.h for which Tracer operations require quiescence. */
     trace::Tracer &tracer() { return sys_.gpu().tracer(); }
 
     /** Allocates a device buffer (page-aligned, zero-initialised). */
@@ -149,7 +163,12 @@ class Session
     KernelHandle load(const kclc::CompiledKernel &kernel);
 
     /**
-     * Launches a kernel and waits for completion.
+     * Launches a kernel and waits for completion.  The job executes on
+     * the GPU worker pool (and, in FullSystem mode, drives the guest
+     * CPU through the driver); this call is the synchronisation point —
+     * by return, all workers have hit the job barrier and the merged
+     * result is stable.
+     * Threading: simulation thread only.
      * @return the job result (check .faulted).
      */
     gpu::JobResult enqueue(const KernelHandle &kernel, NDRange global,

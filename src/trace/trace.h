@@ -78,13 +78,20 @@ struct Event
  * Per-thread event ring.  Single producer (the owning thread, or
  * multiple threads serialised by an external lock, as for the device
  * MMIO buffer); drained by Tracer::exportChromeJson while quiesced.
+ *
+ * Threading: all event-recording methods (instant/span/counter) are
+ * producer-only — exactly one thread (or an externally serialised
+ * set) may call them per buffer; they never lock or allocate.  The
+ * read side (size/pushed/snapshot) may run from any thread but only
+ * sees a consistent ring when producers are quiescent (see the
+ * export note above).
  */
 class TraceBuffer
 {
   public:
     TraceBuffer(std::string thread_name, size_t capacity);
 
-    /** Instant event. */
+    /** Instant event.  Threading: owning producer only. */
     void
     instant(const char *name, const char *cat)
     {
@@ -105,7 +112,8 @@ class TraceBuffer
         pushNow(name, cat, Phase::Instant, 2, a0n, a0, a1n, a1);
     }
 
-    /** Complete span: @p start_ts from an earlier nowNs() call. */
+    /** Complete span: @p start_ts from an earlier nowNs() call.
+     *  Threading: owning producer only. */
     void
     span(const char *name, const char *cat, uint64_t start_ts)
     {
@@ -126,21 +134,27 @@ class TraceBuffer
         pushSpan(name, cat, start_ts, 2, a0n, a0, a1n, a1);
     }
 
-    /** Counter sample (rendered as a track in chrome://tracing). */
+    /** Counter sample (rendered as a track in chrome://tracing).
+     *  Threading: owning producer only. */
     void counter(const char *name, uint64_t value);
 
+    /** Threading: any thread (immutable after construction). */
     const std::string &threadName() const { return threadName_; }
 
-    /** Events currently retained (<= capacity). */
+    /** Events currently retained (<= capacity).  Threading: any
+     *  thread; exact only while producers are quiescent. */
     size_t size() const;
 
-    /** Total events ever pushed (>= size() once the ring wraps). */
+    /** Total events ever pushed (>= size() once the ring wraps).
+     *  Threading: any thread (atomic read). */
     uint64_t pushed() const
     {
         return count_.load(std::memory_order_acquire);
     }
 
-    /** Copies the retained events, oldest first, into @p out. */
+    /** Copies the retained events, oldest first, into @p out.
+     *  Threading: any thread, but call only while the producer is
+     *  quiescent — a concurrent push can tear the copied slots. */
     void snapshot(std::vector<Event> &out) const;
 
   private:
@@ -169,26 +183,33 @@ class Tracer
   public:
     explicit Tracer(bool enabled, size_t buffer_events = 1u << 14);
 
+    /** Threading: any thread (immutable after construction). */
     bool enabled() const { return enabled_; }
 
     /**
      * Registers a producer thread and returns its buffer (stable for
      * the Tracer's lifetime), or nullptr when tracing is disabled —
      * callers keep the pointer and gate each event site on it.
+     * Threading: any thread (registration serialises on an internal
+     * lock); typically called once from each thread at startup.
      */
     TraceBuffer *registerThread(const std::string &name);
 
-    /** Total events currently retained across all buffers. */
+    /** Total events currently retained across all buffers.
+     *  Threading: any thread; approximate while producers run. */
     size_t eventCount() const;
 
-    /** Writes Chrome trace_event JSON ({"traceEvents":[...]}). */
+    /** Writes Chrome trace_event JSON ({"traceEvents":[...]}).
+     *  Threading: any thread, but producers must be quiescent (e.g.
+     *  after GpuDevice::waitIdle) for a consistent snapshot. */
     void exportChromeJson(std::ostream &os) const;
 
-    /** Writes the JSON to @p path; false on I/O failure. */
+    /** Writes the JSON to @p path; false on I/O failure.
+     *  Threading: as exportChromeJson. */
     bool exportChromeJsonFile(const std::string &path) const;
 
     /** Human-readable per-job summary plus aggregate span/counter
-     *  tables. */
+     *  tables.  Threading: as exportChromeJson. */
     void writeSummary(std::ostream &os) const;
 
   private:

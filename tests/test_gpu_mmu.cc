@@ -83,13 +83,14 @@ TEST_F(GpuMmuTest, TlbAvoidsRepeatWalks)
     map(0x00100000, kBase + 0x8000, true);
     Addr pa = 0;
     mmu.translate(0x00100000, false, tlb, pa);
-    uint64_t walks = mmu.walkCount();
+    // Walk counts are per-TLB (thread-local) — no shared counter.
+    uint64_t walks = tlb.walks;
     for (int i = 0; i < 100; ++i)
         mmu.translate(0x00100000 + i * 4, false, tlb, pa);
-    EXPECT_EQ(mmu.walkCount(), walks);
+    EXPECT_EQ(tlb.walks, walks);
     tlb.flush();
     mmu.translate(0x00100000, false, tlb, pa);
-    EXPECT_EQ(mmu.walkCount(), walks + 1);
+    EXPECT_EQ(tlb.walks, walks + 1);
 }
 
 TEST_F(GpuMmuTest, TlbCachesWritePermission)
@@ -131,10 +132,10 @@ TEST_F(GpuMmuTest, LookupCachesHostPointer)
     // Repeat lookups are served from the TLB array without walking
     // (the one-entry last-page cache sits in the executor, above this
     // layer, and is exercised by the workload/differential tests).
-    uint64_t walks = mmu.walkCount();
+    uint64_t walks = tlb.walks;
     for (int i = 0; i < 16; ++i)
         EXPECT_NE(mmu.lookup(0x00100000 + i * 64, false, tlb), nullptr);
-    EXPECT_EQ(mmu.walkCount(), walks);
+    EXPECT_EQ(tlb.walks, walks);
     EXPECT_GE(tlb.arrayHits, 16u);
     EXPECT_EQ(tlb.last, e);
 }
@@ -154,7 +155,7 @@ TEST_F(GpuMmuTest, AsCommandEpochBumpInvalidatesHostPointerEntries)
     const GpuTlb::Entry *e = dmmu.lookup(0x00100000, false, wtlb);
     ASSERT_NE(e, nullptr);
     ASSERT_NE(e->host, nullptr);
-    uint64_t walks = dmmu.walkCount();
+    uint64_t walks = wtlb.walks;
 
     uint64_t epoch_before = dmmu.epoch();
     dev.mmioWrite(kRegAsCommand, 1);
@@ -169,7 +170,7 @@ TEST_F(GpuMmuTest, AsCommandEpochBumpInvalidatesHostPointerEntries)
 
     // The next lookup must re-walk the (possibly rewritten) tables.
     ASSERT_NE(dmmu.lookup(0x00100000, false, wtlb), nullptr);
-    EXPECT_EQ(dmmu.walkCount(), walks + 1);
+    EXPECT_EQ(wtlb.walks, walks + 1);
 
     // Unchanged epoch: the lazy check is a no-op.
     EXPECT_FALSE(wtlb.syncEpoch(dmmu));

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Work-stealing scheduler tests (DESIGN.md §5f): SliceDeque semantics
+ * under concurrency, steal paths forced via GpuConfig::skewSlices,
+ * worker-count invariance of results and instrumentation, scheduler
+ * statistics, and the SC_THREADS auto-detection contract.
+ *
+ * The multi-threaded tests here are the designated TSan subjects for
+ * the scheduler: they drive owner pop vs. thief steal races on the
+ * deques and worker L1 vs. shared L2 traffic on the decode cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "gpu/gpu.h"
+#include "gpu/isa/bif.h"
+#include "gpu/work_queue.h"
+#include "runtime/session.h"
+
+namespace bifsim {
+namespace {
+
+using bif::Instr;
+using bif::Op;
+using gpu::GroupSlice;
+using gpu::SliceDeque;
+
+// ---------------------------------------------------------------------
+// SliceDeque unit semantics
+// ---------------------------------------------------------------------
+
+TEST(SliceDeque, OwnerPopsLifoThievesStealFifo)
+{
+    SliceDeque dq;
+    dq.reset(4);
+    dq.push(GroupSlice{0, 10});
+    dq.push(GroupSlice{10, 20});
+    dq.push(GroupSlice{20, 30});
+    EXPECT_EQ(dq.sizeApprox(), 3u);
+
+    GroupSlice s;
+    // Owner takes the newest slice (bottom).
+    ASSERT_TRUE(dq.pop(s));
+    EXPECT_EQ(s.begin, 20u);
+    EXPECT_EQ(s.end, 30u);
+    // A thief takes the oldest (top).
+    ASSERT_EQ(dq.steal(s), SliceDeque::Steal::Got);
+    EXPECT_EQ(s.begin, 0u);
+    EXPECT_EQ(s.end, 10u);
+    // The middle slice remains for either end.
+    ASSERT_TRUE(dq.pop(s));
+    EXPECT_EQ(s.begin, 10u);
+    EXPECT_FALSE(dq.pop(s));
+    EXPECT_EQ(dq.steal(s), SliceDeque::Steal::Empty);
+    EXPECT_EQ(dq.sizeApprox(), 0u);
+}
+
+TEST(SliceDeque, ResetReusesAndReclaimsSlots)
+{
+    SliceDeque dq;
+    for (int round = 0; round < 3; ++round) {
+        dq.reset(8);
+        for (uint32_t i = 0; i < 8; ++i)
+            dq.push(GroupSlice{i, i + 1});
+        GroupSlice s;
+        uint32_t seen = 0;
+        while (dq.pop(s))
+            seen++;
+        EXPECT_EQ(seen, 8u);
+    }
+}
+
+TEST(SliceDeque, PackRoundTripsExtremes)
+{
+    GroupSlice s{0xfffffff0u, 0xffffffffu};
+    GroupSlice r = GroupSlice::unpack(s.pack());
+    EXPECT_EQ(r.begin, s.begin);
+    EXPECT_EQ(r.end, s.end);
+    EXPECT_EQ(r.size(), 15u);
+}
+
+TEST(SliceDeque, ConcurrentOwnerAndThievesClaimEachSliceOnce)
+{
+    // 1024 single-group slices, one popping owner, three stealing
+    // thieves: every group must be claimed exactly once.  This is the
+    // core no-loss/no-duplication property the job scheduler rests on.
+    constexpr uint32_t kSlices = 1024;
+    constexpr unsigned kThieves = 3;
+    SliceDeque dq;
+    dq.reset(kSlices);
+    for (uint32_t i = 0; i < kSlices; ++i)
+        dq.push(GroupSlice{i, i + 1});
+
+    std::vector<std::atomic<uint32_t>> claimed(kSlices);
+    for (auto &c : claimed)
+        c.store(0);
+    std::atomic<bool> go{false};
+
+    auto thief = [&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (;;) {
+            GroupSlice s;
+            switch (dq.steal(s)) {
+              case SliceDeque::Steal::Got:
+                claimed[s.begin].fetch_add(1);
+                break;
+              case SliceDeque::Steal::Lost:
+                break;   // Retry.
+              case SliceDeque::Steal::Empty:
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> thieves;
+    for (unsigned t = 0; t < kThieves; ++t)
+        thieves.emplace_back(thief);
+
+    go.store(true, std::memory_order_release);
+    // Owner pops concurrently with the thieves.
+    GroupSlice s;
+    while (dq.pop(s))
+        claimed[s.begin].fetch_add(1);
+    for (std::thread &t : thieves)
+        t.join();
+
+    for (uint32_t i = 0; i < kSlices; ++i)
+        EXPECT_EQ(claimed[i].load(), 1u) << "slice " << i;
+}
+
+// ---------------------------------------------------------------------
+// Scheduler integration (through the runtime session)
+// ---------------------------------------------------------------------
+
+Instr
+mk(Op op, uint8_t dst, uint8_t s0, uint8_t s1, uint8_t s2, int32_t imm)
+{
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = s0;
+    i.src1 = s1;
+    i.src2 = s2;
+    i.imm = imm;
+    return i;
+}
+
+constexpr uint8_t kNone = bif::kOperandNone;
+
+bif::Module
+buildModule(const std::vector<std::vector<Instr>> &clauses)
+{
+    bif::Module m;
+    for (const auto &instrs : clauses) {
+        bif::Clause cl;
+        for (const Instr &in : instrs) {
+            bif::Tuple t;
+            if (bif::legalInSlot0(in.op))
+                t.slot[0] = in;
+            else
+                t.slot[1] = in;
+            cl.tuples.push_back(t);
+        }
+        m.clauses.push_back(cl);
+    }
+    m.regCount = 64;
+    return m;
+}
+
+/** A compute-heavy kernel of many tiny workgroups: each single-thread
+ *  group runs a 500-iteration accumulate loop, then stores
+ *  out[gid] = sum(1..500) + gid.  The loop makes each group expensive
+ *  enough that a skewed distribution keeps worker 0 busy long enough
+ *  for every other worker to wake and steal, even on a one-core host. */
+bif::Module
+tinyGroupsKernel()
+{
+    return buildModule({
+        {
+            // r1 = 500 (counter), r2 = 0 (acc)
+            mk(Op::MovImm, 1, kNone, kNone, kNone, 500),
+            mk(Op::MovImm, 2, kNone, kNone, kNone, 0),
+            mk(Op::MovImm, 3, kNone, kNone, kNone, 1),
+            mk(Op::MovImm, 7, kNone, kNone, kNone, 2),
+        },
+        {
+            // loop: acc += counter; counter -= 1; if (counter) repeat
+            mk(Op::IAdd, 2, 2, 1, kNone, 0),
+            mk(Op::ISub, 1, 1, 3, kNone, 0),
+            mk(Op::BranchNZ, kNone, 1, kNone, kNone, 1),
+        },
+        {
+            // gid = group_id * local_size + local_id; acc += gid
+            mk(Op::IMul, 4, bif::kSrGroupIdX, bif::kSrLocalSizeX, kNone,
+               0),
+            mk(Op::IAdd, 4, 4, bif::kSrLocalIdX, kNone, 0),
+            mk(Op::IAdd, 2, 2, 4, kNone, 0),
+            // out[gid] = acc
+            mk(Op::IShl, 5, 4, 7, kNone, 0),
+            mk(Op::LdArg, 6, kNone, kNone, kNone, 0),
+            mk(Op::IAdd, 5, 5, 6, kNone, 0),
+            mk(Op::StGlobal, kNone, 5, 2, kNone, 0),
+            mk(Op::Ret, kNone, kNone, kNone, kNone, 0),
+        },
+    });
+}
+
+rt::KernelHandle
+loadModule(rt::Session &s, const bif::Module &m)
+{
+    kclc::CompiledKernel ck;
+    ck.name = "raw";
+    ck.mod = m;
+    ck.binary = bif::encode(m);
+    ck.localBytes = m.localBytes;
+    ck.regCount = m.regCount;
+    return s.load(ck);
+}
+
+constexpr uint32_t kGroups = 1024;
+constexpr uint32_t kLoopSum = 500 * 501 / 2;
+
+struct SchedRun
+{
+    std::vector<uint32_t> out;
+    gpu::KernelStats kernel;
+    uint64_t pagesAccessed = 0;
+    gpu::SchedStats sched;
+};
+
+SchedRun
+runTinyGroups(unsigned host_threads, bool skew)
+{
+    rt::SystemConfig cfg;
+    cfg.gpu.hostThreads = host_threads;
+    cfg.gpu.skewSlices = skew;
+    rt::Session s(cfg);
+    rt::KernelHandle k = loadModule(s, tinyGroupsKernel());
+    rt::Buffer out = s.alloc(kGroups * 4);
+    gpu::JobResult r =
+        s.enqueue(k, rt::NDRange{kGroups, 1, 1}, rt::NDRange{1, 1, 1},
+                  {rt::Arg::buf(out)});
+    EXPECT_FALSE(r.faulted) << r.fault.detail;
+    SchedRun run;
+    run.out.resize(kGroups);
+    s.read(out, run.out.data(), kGroups * 4);
+    run.kernel = r.kernel;
+    run.pagesAccessed = r.pagesAccessed;
+    run.sched = s.system().gpu().schedulerStats();
+    return run;
+}
+
+TEST(GpuSched, ContentionStressSkewForcesStealing)
+{
+    // Every slice is dealt to worker 0; workers 1..7 can only make
+    // progress by stealing.  Results must still be exact and the
+    // scheduler must report actual steals.
+    SchedRun run = runTinyGroups(8, /*skew=*/true);
+    for (uint32_t i = 0; i < kGroups; ++i)
+        ASSERT_EQ(run.out[i], kLoopSum + i) << "group " << i;
+    EXPECT_EQ(run.sched.groupsRun, kGroups);
+    EXPECT_GT(run.sched.slicesRun, 1u);
+    EXPECT_GT(run.sched.steals, 0u) << "skewed slices were never stolen";
+    EXPECT_GE(run.sched.stealAttempts, run.sched.steals);
+    EXPECT_EQ(run.kernel.workgroups, kGroups);
+}
+
+TEST(GpuSched, ResultsInvariantUnderWorkerCountAndSkew)
+{
+    // The scheduler may run any workgroup on any worker in any order;
+    // guest-visible results and instrumentation totals must not care.
+    SchedRun base = runTinyGroups(1, false);
+    for (uint32_t i = 0; i < kGroups; ++i)
+        ASSERT_EQ(base.out[i], kLoopSum + i);
+    for (unsigned threads : {2u, 8u}) {
+        for (bool skew : {false, true}) {
+            SchedRun run = runTinyGroups(threads, skew);
+            EXPECT_EQ(run.out, base.out)
+                << threads << " threads, skew=" << skew;
+            EXPECT_EQ(run.kernel.totalInstrs(), base.kernel.totalInstrs());
+            EXPECT_EQ(run.kernel.clausesExecuted,
+                      base.kernel.clausesExecuted);
+            EXPECT_EQ(run.kernel.workgroups, base.kernel.workgroups);
+            EXPECT_EQ(run.kernel.threadsLaunched,
+                      base.kernel.threadsLaunched);
+            EXPECT_EQ(run.pagesAccessed, base.pagesAccessed);
+            EXPECT_EQ(run.sched.groupsRun, kGroups);
+        }
+    }
+}
+
+TEST(GpuSched, SingleWorkerNeverSteals)
+{
+    SchedRun run = runTinyGroups(1, false);
+    EXPECT_EQ(run.sched.steals, 0u);
+    EXPECT_EQ(run.sched.stealAttempts, 0u);
+    EXPECT_EQ(run.sched.groupsRun, kGroups);
+}
+
+TEST(GpuSched, SchedStatsClearedByResetStats)
+{
+    rt::SystemConfig cfg;
+    cfg.gpu.hostThreads = 2;
+    rt::Session s(cfg);
+    rt::KernelHandle k = loadModule(s, tinyGroupsKernel());
+    rt::Buffer out = s.alloc(kGroups * 4);
+    gpu::JobResult r =
+        s.enqueue(k, rt::NDRange{kGroups, 1, 1}, rt::NDRange{1, 1, 1},
+                  {rt::Arg::buf(out)});
+    ASSERT_FALSE(r.faulted);
+    ASSERT_GT(s.system().gpu().schedulerStats().groupsRun, 0u);
+    s.system().gpu().resetStats();
+    gpu::SchedStats cleared = s.system().gpu().schedulerStats();
+    EXPECT_EQ(cleared.groupsRun, 0u);
+    EXPECT_EQ(cleared.slicesRun, 0u);
+    EXPECT_EQ(cleared.steals, 0u);
+}
+
+TEST(GpuSched, WorkerShaderL1ServesRepeatJobs)
+{
+    // Back-to-back jobs with the same binary: after the first job the
+    // workers' private shader L1s must serve the lookups without
+    // touching the shared L2.
+    rt::SystemConfig cfg;
+    cfg.gpu.hostThreads = 2;
+    rt::Session s(cfg);
+    rt::KernelHandle k = loadModule(s, tinyGroupsKernel());
+    rt::Buffer out = s.alloc(kGroups * 4);
+    for (int i = 0; i < 3; ++i) {
+        gpu::JobResult r =
+            s.enqueue(k, rt::NDRange{kGroups, 1, 1},
+                      rt::NDRange{1, 1, 1}, {rt::Arg::buf(out)});
+        ASSERT_FALSE(r.faulted);
+    }
+    gpu::SchedStats sched = s.system().gpu().schedulerStats();
+    // 3 jobs x 2 workers = 6 resolves; at most one L2 fill per worker.
+    EXPECT_EQ(sched.shaderL1Hits + sched.shaderL2Fills, 6u);
+    EXPECT_GE(sched.shaderL1Hits, 4u);
+    // The submit path's own L1 also kept the guest-visible stats exact.
+    gpu::ShaderCacheStats cs = s.system().gpu().shaderCacheStats();
+    EXPECT_EQ(cs.decodes, 1u);
+    EXPECT_EQ(cs.hits, 2u);
+}
+
+// ---------------------------------------------------------------------
+// SC_THREADS / hostThreads resolution
+// ---------------------------------------------------------------------
+
+TEST(GpuSched, ScThreadsReportsRuntimeEffectiveCountAfterAutoDetect)
+{
+    // Regression: SC_THREADS used to echo the *configured* value, so a
+    // guest reading it under hostThreads=0 (auto) saw 0 workers.
+    unsetenv("BIFSIM_HOST_THREADS");
+    PhysMem mem(0x80000000, 1 << 20);
+    gpu::GpuConfig cfg;
+    cfg.hostThreads = 0;
+    gpu::GpuDevice dev(mem, cfg, [](bool) {});
+    uint32_t sc = dev.mmioRead(gpu::kRegScThreads);
+    EXPECT_GT(sc, 0u) << "auto-detect must never surface 0 workers";
+    EXPECT_EQ(sc, dev.config().hostThreads);
+}
+
+TEST(GpuSched, ScThreadsHonoursEnvironmentOverride)
+{
+    setenv("BIFSIM_HOST_THREADS", "3", 1);
+    PhysMem mem(0x80000000, 1 << 20);
+    gpu::GpuConfig cfg;
+    cfg.hostThreads = 0;
+    gpu::GpuDevice dev(mem, cfg, [](bool) {});
+    EXPECT_EQ(dev.mmioRead(gpu::kRegScThreads), 3u);
+    EXPECT_EQ(dev.config().hostThreads, 3u);
+    unsetenv("BIFSIM_HOST_THREADS");
+
+    // An explicit configuration value beats the environment.
+    setenv("BIFSIM_HOST_THREADS", "5", 1);
+    gpu::GpuConfig fixed;
+    fixed.hostThreads = 2;
+    gpu::GpuDevice dev2(mem, fixed, [](bool) {});
+    EXPECT_EQ(dev2.mmioRead(gpu::kRegScThreads), 2u);
+    unsetenv("BIFSIM_HOST_THREADS");
+}
+
+TEST(GpuSched, ScThreadsReadableThroughFullSystemBus)
+{
+    // The guest driver reads SC_THREADS over the bus in FullSystem
+    // mode; with auto-detection it must see the real pool size.
+    rt::SystemConfig cfg;
+    cfg.gpu.hostThreads = 0;
+    rt::Session s(cfg, rt::Mode::FullSystem);
+    uint64_t v = 0;
+    s.system().bus().read(rt::System::kGpuBase + gpu::kRegScThreads, 4,
+                          v);
+    EXPECT_GT(v, 0u);
+    EXPECT_EQ(v, s.system().gpu().config().hostThreads);
+}
+
+} // namespace
+} // namespace bifsim

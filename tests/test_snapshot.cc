@@ -521,15 +521,23 @@ expectEqual(const Fingerprint &a, const Fingerprint &b)
 
 /** One deterministic-resume scenario: set up a workload, run one
  *  enqueue, snapshot, run a second enqueue; then restore the snapshot
- *  into a fresh session and run the same second enqueue there. */
-void
+ *  into a fresh session and run the same second enqueue there.
+ *  @param host_threads  GPU worker-pool size (0 keeps the default).
+ *  @param skew_slices   Force the work-stealing path (see GpuConfig).
+ *  @return the run-through fingerprint, so callers can additionally
+ *  compare fingerprints *across* worker-pool configurations. */
+Fingerprint
 runDeterminismScenario(rt::Mode mode, bool fast_path, const char *src,
-                       const char *name)
+                       const char *name, unsigned host_threads = 0,
+                       bool skew_slices = false)
 {
     // syncSubmit pins the CPU/GPU interleaving in FullSystem mode;
     // Direct mode is already quiescent around every enqueue.
     rt::SystemConfig cfg =
         smallCfg(fast_path, mode == rt::Mode::FullSystem);
+    if (host_threads != 0)
+        cfg.gpu.hostThreads = host_threads;
+    cfg.gpu.skewSlices = skew_slices;
 
     constexpr int kN = 16;
     constexpr size_t kBytes = kN * kN * 4;
@@ -585,13 +593,14 @@ runDeterminismScenario(rt::Mode mode, bool fast_path, const char *src,
     // Path B: warm-boot a fresh session from the image and run the
     // identical second enqueue.
     auto s2 = rt::Session::fromSnapshot(img, cfg);
-    ASSERT_EQ(s2->mode(), mode);
-    ASSERT_EQ(s2->kernels().size(), 1u);
-    ASSERT_EQ(s2->buffers().size(), 3u);
+    EXPECT_EQ(s2->mode(), mode);
+    EXPECT_EQ(s2->kernels().size(), 1u);
+    EXPECT_EQ(s2->buffers().size(), 3u);
     launch(*s2, s2->kernels()[0], s2->buffers());
     Fingerprint restored = fingerprint(*s2);
 
     expectEqual(through, restored);
+    return through;
 }
 
 TEST(SnapshotDeterminism, DirectSgemmFastPath)
@@ -626,6 +635,36 @@ TEST(SnapshotDeterminism, FullSystemDivergentFastPath)
 {
     runDeterminismScenario(rt::Mode::FullSystem, true, kDivergentSrc,
                            "divergent");
+}
+
+TEST(SnapshotDeterminism, FullSystemSgemmMultiWorker)
+{
+    // The headline save/continue == restore/continue property must
+    // survive genuinely parallel workgroup execution, including the
+    // work-stealing path: with the slices skewed onto worker 0, the
+    // other seven workers only make progress by stealing, yet every
+    // guest-visible artefact must stay a pure function of guest state.
+    runDeterminismScenario(rt::Mode::FullSystem, true, kSgemmSrc,
+                           "sgemm", /*host_threads=*/8,
+                           /*skew_slices=*/true);
+}
+
+TEST(SnapshotDeterminism, FullSystemSgemmWorkerCountInvariant)
+{
+    // syncSubmit determinism is also *worker-count* determinism: the
+    // fingerprint (RAM digest, CPU state, retired instructions, kernel
+    // statistics) must be bit-identical for 1-, 2- and 8-worker pools,
+    // because every per-worker contribution merges as a sum or a set
+    // union at the job-end barrier.
+    Fingerprint one = runDeterminismScenario(rt::Mode::FullSystem, true,
+                                             kSgemmSrc, "sgemm", 1);
+    Fingerprint two = runDeterminismScenario(rt::Mode::FullSystem, true,
+                                             kSgemmSrc, "sgemm", 2);
+    Fingerprint eight = runDeterminismScenario(
+        rt::Mode::FullSystem, true, kSgemmSrc, "sgemm", 8,
+        /*skew_slices=*/true);
+    expectEqual(one, two);
+    expectEqual(one, eight);
 }
 
 TEST(SnapshotDeterminism, RestoredSgemmComputesCorrectResult)
