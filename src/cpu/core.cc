@@ -4,19 +4,18 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "cpu/dbt.h"
 
 namespace bifsim::sa32 {
 
-namespace {
-
-constexpr unsigned kMaxBlockInsts = 64;
-
-} // namespace
-
 Core::Core(Bus &bus, CoreConfig cfg) : bus_(bus), cfg_(cfg), mmu_(bus)
 {
+    if (usesDbt())
+        dbt_ = std::make_unique<Dbt>(*this);
     reset();
 }
+
+Core::~Core() = default;
 
 void
 Core::reset()
@@ -56,6 +55,11 @@ Core::saveState(snapshot::ChunkWriter &w) const
     w.u64(stats_.traps);
     w.u64(stats_.interrupts);
     w.u64(stats_.cacheFlushes);
+    w.u64(stats_.dbtBlocks);
+    w.u64(stats_.dbtChainLinks);
+    w.u64(stats_.dbtChainFollows);
+    w.u64(stats_.dbtChainBreaks);
+    w.u64(stats_.dbtRetires);
 }
 
 void
@@ -88,6 +92,11 @@ Core::restoreState(snapshot::ChunkReader &r)
     stats.traps = r.u64();
     stats.interrupts = r.u64();
     stats.cacheFlushes = r.u64();
+    stats.dbtBlocks = r.u64();
+    stats.dbtChainLinks = r.u64();
+    stats.dbtChainFollows = r.u64();
+    stats.dbtChainBreaks = r.u64();
+    stats.dbtRetires = r.u64();
     r.expectEnd();
 
     for (unsigned i = 0; i < kNumRegs; ++i)
@@ -113,10 +122,19 @@ Core::restoreState(snapshot::ChunkReader &r)
 void
 Core::flushCodeCache()
 {
-    if (!blocks_.empty())
+    if (!blocks_.empty() || (dbt_ && dbt_->hasTranslations()))
         stats_.cacheFlushes++;
-    blocks_.clear();
+    if (!blocks_.empty()) {
+        // Defer destruction: a store inside a decoded block can trigger
+        // this flush while runInterp() is still iterating that block's
+        // insts.  The retired maps are drained at the next block
+        // boundary.
+        retired_.push_back(std::move(blocks_));
+        blocks_.clear();
+    }
     codePages_.clear();
+    if (dbt_)
+        dbt_->invalidateAll();
 }
 
 uint32_t
@@ -278,25 +296,9 @@ Core::fetchBlock(Addr pa)
     }
 
     Block blk;
-    Addr p = pa;
-    Addr page_end = roundUp(pa + 1, 4096);
-    while (blk.insts.size() < kMaxBlockInsts && p + 4 <= page_end) {
-        uint64_t word = 0;
-        if (bus_.read(p, 4, word) != BusResult::Ok)
-            break;
-        DecodedInst d = decode(static_cast<uint32_t>(word));
-        blk.insts.push_back(d);
-        p += 4;
-        if (endsBlock(d.op))
-            break;
-    }
-    if (blk.insts.empty()) {
-        // Fetch from unmapped memory: synthesise one illegal instruction
-        // so the trap machinery reports it.
-        DecodedInst d;
-        d.op = Op::Illegal;
-        blk.insts.push_back(d);
-    }
+    DecodedInst insts[kMaxBlockInsts];
+    size_t n = decodeBlock(bus_, pa, insts);
+    blk.insts.assign(insts, insts + n);
 
     stats_.blocksDecoded++;
     if (!cfg_.blockCache) {
@@ -513,6 +515,14 @@ Core::execute(const DecodedInst &d, Addr cur_pc)
 StopReason
 Core::run(uint64_t max_insts)
 {
+    if (dbt_)
+        return dbt_->run(max_insts);
+    return runInterp(max_insts);
+}
+
+StopReason
+Core::runInterp(uint64_t max_insts)
+{
     uint64_t budget = max_insts;
     while (budget > 0) {
         uint32_t icause = 0;
@@ -558,6 +568,8 @@ Core::run(uint64_t max_insts)
         }
         if (!redirected)
             pc_ = cur_pc;   // Block fell through (page end / length cap).
+        if (!retired_.empty())
+            retired_.clear();   // blk is dead: safe point for flushed blocks.
     }
     return StopReason::MaxInsts;
 }

@@ -5,17 +5,25 @@
  * @file
  * The SA32 CPU core.
  *
- * Execution uses a two-phase decode-then-execute scheme with a
- * basic-block decode cache: guest code is decoded once per block and
- * re-executed from the cache thereafter.  This is the functional
- * equivalent of the paper's DBT-based CPU simulation — it is what makes
- * repeated execution of the guest driver stack cheap (Fig. 9) — and it
- * can be disabled (Config::blockCache=false) to model the
- * Multi2Sim-style baseline that re-decodes every instruction.
+ * Guest execution has three tiers, mirroring the paper's QEMU-class
+ * DBT CPU versus the Multi2Sim-style baseline:
+ *
+ *  - DBT (default, CoreConfig::dbt = true): basic blocks are lowered
+ *    once into threaded code (pre-resolved handler pointers, direct
+ *    block chaining) and executed by an indirect-goto dispatch loop —
+ *    see cpu/dbt.h and DESIGN.md §5g.
+ *  - Interpreter (dbt = false): a two-phase decode-then-execute scheme
+ *    with a basic-block decode cache.  Kept as the A/B and lockstep
+ *    differential oracle for the DBT tier; both tiers execute
+ *    identical block shapes and are architecturally lockstep.
+ *  - Re-decode baseline (blockCache = false): every block is decoded
+ *    on every execution, modelling Multi2Sim-style simulation (this
+ *    also disables the DBT tier, which is a cache by construction).
  */
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -26,6 +34,8 @@
 #include "snapshot/snapshot.h"
 
 namespace bifsim::sa32 {
+
+class Dbt;
 
 /** Why Core::run() returned. */
 enum class StopReason
@@ -40,11 +50,20 @@ enum class StopReason
 struct CoreStats
 {
     uint64_t instret = 0;         ///< Instructions retired.
-    uint64_t blocksDecoded = 0;   ///< Decode-cache fills.
-    uint64_t blockHits = 0;       ///< Decode-cache hits.
+    uint64_t blocksDecoded = 0;   ///< Decode-cache fills / translations.
+    uint64_t blockHits = 0;       ///< Cache hits (incl. chain follows).
     uint64_t traps = 0;           ///< Synchronous traps taken.
     uint64_t interrupts = 0;      ///< Interrupts taken.
-    uint64_t cacheFlushes = 0;    ///< Decode-cache invalidations.
+    uint64_t cacheFlushes = 0;    ///< Decode/translation invalidations.
+
+    /** @name DBT-tier translation counters (zero on the interpreter).
+     *  @{ */
+    uint64_t dbtBlocks = 0;        ///< Translations installed.
+    uint64_t dbtChainLinks = 0;    ///< Direct block-chain links created.
+    uint64_t dbtChainFollows = 0;  ///< Dispatches served by a chain.
+    uint64_t dbtChainBreaks = 0;   ///< Links invalidated (epoch/VA).
+    uint64_t dbtRetires = 0;       ///< Translations retired by flushes.
+    /** @} */
 };
 
 /**
@@ -56,6 +75,9 @@ struct CoreConfig
 {
     Addr resetPc = 0x80000000;  ///< PC after reset.
     bool blockCache = true;     ///< Enable the decode cache.
+    bool dbt = true;            ///< Threaded-code DBT tier (needs
+                                ///< blockCache; false = interpreter
+                                ///< oracle).
     uint32_t hartId = 0;        ///< Value of the mhartid CSR.
 };
 
@@ -63,6 +85,7 @@ class Core
 {
   public:
     explicit Core(Bus &bus, CoreConfig cfg = CoreConfig());
+    ~Core();
 
     /** Resets architectural state (registers, CSRs, caches). */
     void reset();
@@ -91,8 +114,18 @@ class Core
     /** Drives an interrupt line level (kIrqTimer / kIrqExternal). */
     void setIrqLine(IrqNum irq, bool level);
 
-    /** Discards all cached decoded blocks (e.g.\ after loading code). */
+    /** Discards all cached decoded blocks and DBT translations
+     *  (e.g.\ after loading code).  Safe to call mid-execution: the
+     *  currently-running block's storage is kept alive until the next
+     *  dispatch safe point. */
     void flushCodeCache();
+
+    /** True when the threaded-code DBT tier executes guest code
+     *  (requires both cfg.dbt and cfg.blockCache). */
+    bool usesDbt() const { return cfg_.dbt && cfg_.blockCache; }
+
+    /** The DBT engine, or nullptr on the interpreter tiers. */
+    Dbt *dbt() { return dbt_.get(); }
 
     /** Execution statistics. */
     const CoreStats &stats() const { return stats_; }
@@ -115,6 +148,9 @@ class Core
     void restoreState(snapshot::ChunkReader &r);
 
   private:
+    friend class Dbt;   ///< The DBT tier is an alternate execution
+                        ///< engine over the same architectural state.
+
     enum class ExecResult { Next, Redirect, Trap, Wfi, Halt, EBreak };
 
     struct Block
@@ -147,6 +183,14 @@ class Core
     std::unordered_set<uint32_t> codePages_;
     Block scratch_;   ///< Decode target when the block cache is off.
 
+    /** Blocks retired by a mid-execution flush (self-modifying-code
+     *  store, fence).  Keeps the currently-executing block's insts
+     *  alive until the run loop's next safe point. */
+    std::vector<std::unordered_map<Addr, Block>> retired_;
+
+    std::unique_ptr<Dbt> dbt_;   ///< Present iff usesDbt().
+
+    StopReason runInterp(uint64_t max_insts);
     const Block *fetchBlock(Addr pa);
     ExecResult execute(const DecodedInst &inst, Addr cur_pc);
     void trap(uint32_t cause, uint32_t tval, Addr epc);

@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "mem/bus.h"
 
 namespace bifsim::sa32 {
 
@@ -159,6 +160,32 @@ decode(uint32_t word)
         break;
     }
     return d;
+}
+
+size_t
+decodeBlock(Bus &bus, Addr pa, DecodedInst *out)
+{
+    size_t n = 0;
+    Addr p = pa;
+    Addr page_end = roundUp(pa + 1, 4096);
+    while (n < kMaxBlockInsts && p + 4 <= page_end) {
+        uint64_t word = 0;
+        if (bus.read(p, 4, word) != BusResult::Ok)
+            break;
+        DecodedInst d = decode(static_cast<uint32_t>(word));
+        out[n++] = d;
+        p += 4;
+        if (endsBlock(d.op))
+            break;
+    }
+    if (n == 0) {
+        // Fetch from unmapped memory: synthesise one illegal
+        // instruction so the trap machinery reports it.
+        DecodedInst d;
+        d.op = Op::Illegal;
+        out[n++] = d;
+    }
+    return n;
 }
 
 std::string

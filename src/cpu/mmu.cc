@@ -18,6 +18,7 @@ CpuMmu::faultCause(AccessType type)
 void
 CpuMmu::flushTlb()
 {
+    epoch_++;
     for (TlbEntry &e : tlb_)
         e.valid = false;
 }

@@ -70,8 +70,20 @@ class CpuMmu
     TranslateResult translate(Addr va, AccessType type, Priv priv,
                               uint32_t satp);
 
-    /** Invalidates all TLB entries (satp writes, sfence). */
+    /** Invalidates all TLB entries (satp writes, sfence) and bumps the
+     *  translation epoch so consumers that cached VA->PA bindings (the
+     *  DBT tier's block-chain links) can invalidate lazily. */
     void flushTlb();
+
+    /**
+     * Monotonic translation-regime epoch.  Incremented by every
+     * flushTlb(); anything derived from a VA->PA mapping (chain links,
+     * fetched-target bindings) records the epoch it observed and is
+     * stale the moment the values differ.  Same lazy-shootdown pattern
+     * as the GPU MMU's epoch (DESIGN.md §5b) and the L2 shader cache
+     * (§5f).
+     */
+    uint64_t epoch() const { return epoch_; }
 
     /** Access statistics. */
     const MmuStats &stats() const { return stats_; }
@@ -90,6 +102,7 @@ class CpuMmu
     Bus &bus_;
     TlbEntry tlb_[kTlbEntries];
     MmuStats stats_;
+    uint64_t epoch_ = 1;   ///< Bumped on every flushTlb().
 
     static TrapCause faultCause(AccessType type);
 };

@@ -30,6 +30,10 @@
 
 #include "mem/device.h"
 
+namespace bifsim {
+class Bus;
+}
+
 namespace bifsim::sa32 {
 
 /** Number of architectural integer registers. */
@@ -166,6 +170,22 @@ const char *opName(Op op);
 /** Returns true for ops that can redirect control flow or change
  *  translation/privilege state (these end decode-cache blocks). */
 bool endsBlock(Op op);
+
+/** Maximum instructions in one decoded basic block.  Shared by the
+ *  interpreter's decode cache and the DBT tier so both tiers execute
+ *  identical block shapes (a requirement for lockstep equivalence). */
+constexpr unsigned kMaxBlockInsts = 64;
+
+/**
+ * Decodes the basic block starting at physical address @p pa into
+ * @p out: stops at the first block-ending instruction, at
+ * kMaxBlockInsts, or at the page boundary (blocks never span pages so
+ * one store can only invalidate same-page translations).  A fetch from
+ * unreadable memory yields a single Op::Illegal so the trap machinery
+ * reports it.
+ * @return the number of instructions decoded (>= 1).
+ */
+size_t decodeBlock(Bus &bus, Addr pa, DecodedInst *out);
 
 } // namespace bifsim::sa32
 

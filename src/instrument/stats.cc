@@ -1,5 +1,7 @@
 #include "instrument/stats.h"
 
+#include "cpu/core.h"
+
 namespace bifsim::gpu {
 
 std::vector<ClauseStaticInfo>
@@ -247,6 +249,22 @@ appendCounters(std::vector<NamedCounter> &out, const SchedStats &s)
     out.push_back({"sched.steal_attempts", s.stealAttempts});
     out.push_back({"sched.shader_l1_hits", s.shaderL1Hits});
     out.push_back({"sched.shader_l2_fills", s.shaderL2Fills});
+}
+
+void
+appendCounters(std::vector<NamedCounter> &out, const sa32::CoreStats &c)
+{
+    out.push_back({"cpu.instret", c.instret});
+    out.push_back({"cpu.blocks_decoded", c.blocksDecoded});
+    out.push_back({"cpu.block_hits", c.blockHits});
+    out.push_back({"cpu.traps", c.traps});
+    out.push_back({"cpu.interrupts", c.interrupts});
+    out.push_back({"cpu.cache_flushes", c.cacheFlushes});
+    out.push_back({"cpu.dbt_blocks", c.dbtBlocks});
+    out.push_back({"cpu.dbt_chain_links", c.dbtChainLinks});
+    out.push_back({"cpu.dbt_chain_follows", c.dbtChainFollows});
+    out.push_back({"cpu.dbt_chain_breaks", c.dbtChainBreaks});
+    out.push_back({"cpu.dbt_retires", c.dbtRetires});
 }
 
 } // namespace bifsim::gpu

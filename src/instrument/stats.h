@@ -20,6 +20,10 @@
 #include "gpu/isa/bif.h"
 #include "snapshot/snapshot.h"
 
+namespace bifsim::sa32 {
+struct CoreStats;
+}
+
 namespace bifsim::gpu {
 
 /** Decode-time static metrics for one clause. */
@@ -204,6 +208,11 @@ void appendCounters(std::vector<NamedCounter> &out, const SystemStats &s);
 
 /** Appends every counter of @p s under the "sched." prefix. */
 void appendCounters(std::vector<NamedCounter> &out, const SchedStats &s);
+
+/** Appends every CPU core counter (execution tiers, traps, DBT
+ *  translation activity) under the "cpu." prefix. */
+void appendCounters(std::vector<NamedCounter> &out,
+                    const sa32::CoreStats &c);
 
 /** Per-worker collector, merged into the job totals at completion. */
 struct WorkerCollector

@@ -6,6 +6,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "instrument/stats.h"
 #include "trace/trace.h"
 
 namespace bifsim::rt {
@@ -264,8 +265,15 @@ Session::mailboxCommand(uint32_t cmd, uint32_t desc_va)
         if (m.read<uint32_t>(mb + guestos::kMbStatus) == 2)
             break;
     }
-    if (trcBuf_)
+    if (trcBuf_) {
         trcBuf_->span("driver_cmd", "driver", cmd_t0, "cmd", cmd);
+        // CPU-side counter tracks next to the GPU's (same consumer:
+        // chrome://tracing counter rows + the text trace summary).
+        std::vector<gpu::NamedCounter> counters;
+        gpu::appendCounters(counters, sys_.cpu().stats());
+        for (const gpu::NamedCounter &c : counters)
+            trcBuf_->counter(c.name, c.value);
+    }
     driverInstrs_ += sys_.cpu().stats().instret - before;
 
     if (m.read<uint32_t>(mb + guestos::kMbStatus) != 2)

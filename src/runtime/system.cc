@@ -16,6 +16,7 @@ System::System(SystemConfig cfg)
     sa32::CoreConfig cpu_cfg;
     cpu_cfg.resetPc = kRamBase;
     cpu_cfg.blockCache = cfg.cpuBlockCache;
+    cpu_cfg.dbt = cfg.cpuDbt;
     cpu_ = std::make_unique<sa32::Core>(bus_, cpu_cfg);
 
     timer_ = std::make_unique<soc::Timer>([this](bool level) {

@@ -37,7 +37,10 @@ struct SystemConfig
 {
     size_t ramBytes = 256u << 20;   ///< Guest DRAM size.
     gpu::GpuConfig gpu;             ///< GPU model configuration.
-    bool cpuBlockCache = true;      ///< CPU decode cache (DBT analog).
+    bool cpuBlockCache = true;      ///< CPU decode cache (off = re-decode
+                                    ///< baseline; also disables DBT).
+    bool cpuDbt = true;             ///< Threaded-code DBT tier (off =
+                                    ///< interpreter oracle).
     bool uartEcho = false;          ///< Echo guest console to stderr.
 };
 

@@ -63,7 +63,7 @@ std::string tagName(uint32_t tag);
 
 /** Image format constants. */
 constexpr uint32_t kMagic = makeTag("BSNP");
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;   ///< v2: CPU chunk gained DBT counters.
 
 /** Well-known chunk tags. */
 constexpr uint32_t kTagConfig = makeTag("CONF");

@@ -5,6 +5,7 @@
 
 #include "cpu/asm/assembler.h"
 #include "cpu/core.h"
+#include "cpu/dbt.h"
 #include "cpu/sa32.h"
 #include "mem/bus.h"
 #include "mem/phys_mem.h"
@@ -515,6 +516,287 @@ TEST_F(CpuTest, FenceFlushesCache)
         halt
     )");
     EXPECT_GE(core->stats().cacheFlushes, 0u);   // No crash; counted.
+}
+
+// ------------------------------------------------------------ DBT tier
+
+TEST_F(CpuTest, DbtChainsHotLoops)
+{
+    runAsm(R"(
+        li   t0, 1000
+loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        halt
+    )");
+    ASSERT_NE(core->dbt(), nullptr);
+    const CoreStats &s = core->stats();
+    EXPECT_GT(s.dbtBlocks, 0u);
+    EXPECT_GT(s.dbtChainLinks, 0u);
+    // The loop back-edge must run chained, not through the dispatcher.
+    EXPECT_GT(s.dbtChainFollows, 900u);
+}
+
+TEST_F(CpuTest, DbtFlushRetiresTranslations)
+{
+    runAsm(R"(
+        li   t0, 10
+loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        fence
+        halt
+    )");
+    ASSERT_NE(core->dbt(), nullptr);
+    EXPECT_GT(core->stats().dbtRetires, 0u);
+    // The post-fence translations (fence fall-through, halt) are live.
+    EXPECT_GT(core->dbt()->liveBlocks(), 0u);
+}
+
+// ----------------------------------------------- lockstep differential
+//
+// The interpreter (dbt = false) is the architectural oracle for the
+// threaded-code tier: both execute identical block shapes and check
+// budget/interrupts at identical block boundaries, so *every* slice
+// boundary must observe identical architectural state — registers,
+// PC, privilege, CSRs, instret and RAM contents.
+
+/** Two cores (DBT vs interpreter) on private copies of the same RAM,
+ *  stepped slice-by-slice with identical external stimulus. */
+class LockstepTest : public ::testing::Test
+{
+  protected:
+    LockstepTest() : memA(kBase, 1 << 20), memB(kBase, 1 << 20)
+    {
+        busA.attachMemory(&memA);
+        busB.attachMemory(&memB);
+        CoreConfig ca;
+        ca.dbt = true;
+        CoreConfig cb;
+        cb.dbt = false;
+        dbt = std::make_unique<Core>(busA, ca);
+        interp = std::make_unique<Core>(busB, cb);
+    }
+
+    void
+    load(const std::string &body)
+    {
+        Program p = assemble("        .org 0x80000000\n" + body);
+        p.loadInto(memA);
+        p.loadInto(memB);
+        dbt->reset();
+        interp->reset();
+        ASSERT_NE(dbt->dbt(), nullptr);
+        ASSERT_EQ(interp->dbt(), nullptr);
+    }
+
+    /** Compares all architectural state the two tiers must agree on. */
+    void
+    expectLockstep(const char *where)
+    {
+        for (unsigned i = 0; i < kNumRegs; ++i)
+            ASSERT_EQ(dbt->reg(i), interp->reg(i))
+                << where << ": x" << i;
+        ASSERT_EQ(dbt->pc(), interp->pc()) << where;
+        ASSERT_EQ(dbt->priv(), interp->priv()) << where;
+        ASSERT_EQ(dbt->waiting(), interp->waiting()) << where;
+        static constexpr uint32_t csrs[] = {
+            kCsrSatp, kCsrMStatus, kCsrMIe, kCsrMTvec, kCsrMScratch,
+            kCsrMEpc, kCsrMCause, kCsrMTval, kCsrMIp, kCsrMCycle,
+            kCsrMInstRet,
+        };
+        for (uint32_t csr : csrs)
+            ASSERT_EQ(dbt->readCsr(csr), interp->readCsr(csr))
+                << where << ": csr 0x" << std::hex << csr;
+        ASSERT_EQ(dbt->stats().instret, interp->stats().instret) << where;
+        ASSERT_EQ(dbt->stats().traps, interp->stats().traps) << where;
+        ASSERT_EQ(dbt->stats().interrupts, interp->stats().interrupts)
+            << where;
+    }
+
+    void
+    expectRamEqual(const char *where)
+    {
+        ASSERT_EQ(std::memcmp(memA.hostPtr(kBase), memB.hostPtr(kBase),
+                              memA.size()),
+                  0)
+            << where;
+    }
+
+    /**
+     * Runs both tiers for @p slices slices of @p slice_insts, checking
+     * lockstep at every boundary (the same cadence System::runCpu
+     * uses, shrunk to stress block-boundary bookkeeping).  Returns
+     * when both halt; fails if they disagree on when or how.
+     */
+    void
+    runLockstep(unsigned slices, uint64_t slice_insts)
+    {
+        for (unsigned s = 0; s < slices; ++s) {
+            StopReason ra = dbt->run(slice_insts);
+            StopReason rb = interp->run(slice_insts);
+            ASSERT_EQ(ra, rb) << "slice " << s;
+            std::string where = "slice " + std::to_string(s);
+            expectLockstep(where.c_str());
+            if (ra == StopReason::Halt)
+                break;
+        }
+        expectRamEqual("final RAM");
+    }
+
+    PhysMem memA, memB;
+    Bus busA, busB;
+    std::unique_ptr<Core> dbt, interp;
+};
+
+TEST_F(LockstepTest, ArithLoopsCallsAndCsrs)
+{
+    load(R"(
+        la   t0, handler
+        csrw mtvec, t0
+        li   s0, 0            # accumulator
+        li   s1, 0            # outer counter
+outer:
+        li   t0, 0
+        li   t1, 37
+inner:
+        add  s0, s0, t0
+        mul  t2, t0, t1
+        xor  s0, s0, t2
+        addi t0, t0, 1
+        blt  t0, t1, inner
+        jal  ra, leaf
+        ecall                 # round-trip through the trap handler
+        addi s1, s1, 1
+        li   t3, 23
+        blt  s1, t3, outer
+        csrr s2, minstret
+        halt
+leaf:
+        slli s0, s0, 1
+        srai s0, s0, 1
+        ret
+handler:
+        csrr t4, mepc
+        addi t4, t4, 4
+        csrw mepc, t4
+        csrs mscratch, s1
+        mret
+    )");
+    // Odd slice length so boundaries land mid-loop in varying places.
+    runLockstep(4000, 37);
+}
+
+TEST_F(LockstepTest, MemoryTrapsAndFaults)
+{
+    load(R"(
+        la   t0, handler
+        csrw mtvec, t0
+        li   s0, 0x80002000
+        li   s1, 0
+        li   s2, 0
+loop:
+        sw   s1, 0(s0)
+        lw   t1, 0(s0)
+        add  s2, s2, t1
+        li   t2, 0x80001001
+        lw   t3, 0(t2)        # misaligned: traps every iteration
+        li   t2, 0x20000000
+        sw   s1, 0(t2)        # unmapped: faults every iteration
+        addi s1, s1, 1
+        li   t4, 50
+        blt  s1, t4, loop
+        halt
+handler:
+        csrr t5, mepc
+        addi t5, t5, 4
+        csrw mepc, t5
+        mret
+    )");
+    runLockstep(4000, 41);
+}
+
+TEST_F(LockstepTest, WfiAndInterruptDelivery)
+{
+    load(R"(
+        la   t0, handler
+        csrw mtvec, t0
+        li   t0, 0x800        # MEIE
+        csrw mie, t0
+        li   t0, 0x8          # MIE
+        csrw mstatus, t0
+        li   s0, 0
+loop:
+        wfi
+        li   t1, 4
+        blt  s0, t1, loop
+        halt
+handler:
+        addi s0, s0, 1
+        csrw mie, zero        # Mask the level IRQ while it drops.
+        li   t0, 0x800
+        csrw mie, t0
+        mret
+    )");
+    // Drive the external line identically into both cores, toggling at
+    // slice boundaries so delivery lands at identical instants.
+    for (unsigned s = 0; s < 200; ++s) {
+        bool level = (s % 4) == 1;
+        dbt->setIrqLine(kIrqExternal, level);
+        interp->setIrqLine(kIrqExternal, level);
+        StopReason ra = dbt->run(29);
+        StopReason rb = interp->run(29);
+        ASSERT_EQ(ra, rb) << "slice " << s;
+        std::string where = "slice " + std::to_string(s);
+        expectLockstep(where.c_str());
+        if (ra == StopReason::Halt)
+            break;
+    }
+    // All four wakes happened (a final interrupt may sneak in between
+    // the loop-exit branch and the halt, so >= rather than ==).
+    EXPECT_GE(dbt->reg(8), 4u);
+    expectRamEqual("final RAM");
+}
+
+TEST_F(LockstepTest, SelfModifyingCode)
+{
+    // The guest rewrites an instruction inside an already-translated
+    // (and currently hot) block: both tiers must retire the stale code
+    // at the same store and execute the patched version afterwards.
+    load(R"(
+        li   s0, 0            # generation counter
+        li   s1, 0            # sum of observed values
+body:
+        li   a0, 1            # patched: imm grows by 2 each pass
+        add  s1, s1, a0
+        la   t0, body
+        lw   t1, 4(t0)        # 'ori a0, a0, imm' half of the li
+        addi t1, t1, 2
+        sw   t1, 4(t0)        # patch the block we are inside
+        addi s0, s0, 1
+        li   t2, 30
+        blt  s0, t2, body
+        halt
+    )");
+    runLockstep(4000, 13);
+    EXPECT_GE(dbt->stats().cacheFlushes, 30u);
+    EXPECT_GT(dbt->stats().dbtRetires, 0u);
+}
+
+TEST_F(LockstepTest, FenceAndSfenceFlushes)
+{
+    load(R"(
+        li   s0, 0
+loop:
+        fence                 # retires every translation, mid-loop
+        sfence                # bumps the MMU epoch: chains must break
+        addi s0, s0, 1
+        li   t0, 40
+        blt  s0, t0, loop
+        halt
+    )");
+    runLockstep(4000, 17);
+    EXPECT_GT(dbt->stats().dbtChainBreaks + dbt->stats().dbtRetires, 0u);
 }
 
 } // namespace

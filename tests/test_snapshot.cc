@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "cpu/asm/assembler.h"
+#include "cpu/dbt.h"
 #include "gpu/shader_core.h"
 #include "instrument/stats.h"
 #include "mem/phys_mem.h"
@@ -94,7 +96,8 @@ TEST(SnapshotFormat, RejectsBadMagic)
 TEST(SnapshotFormat, RejectsVersionSkew)
 {
     std::vector<uint8_t> bytes = smallImageBytes();
-    bytes[4] = 2;   // version field, little-endian
+    bytes[4] = static_cast<uint8_t>(snapshot::kVersion + 1);
+    // ^ version field, little-endian (kVersion < 255 keeps this 1 byte)
     EXPECT_THROW(Image::fromBytes(std::move(bytes)), SnapshotError);
 }
 
@@ -529,7 +532,7 @@ expectEqual(const Fingerprint &a, const Fingerprint &b)
 Fingerprint
 runDeterminismScenario(rt::Mode mode, bool fast_path, const char *src,
                        const char *name, unsigned host_threads = 0,
-                       bool skew_slices = false)
+                       bool skew_slices = false, bool cpu_dbt = true)
 {
     // syncSubmit pins the CPU/GPU interleaving in FullSystem mode;
     // Direct mode is already quiescent around every enqueue.
@@ -538,6 +541,7 @@ runDeterminismScenario(rt::Mode mode, bool fast_path, const char *src,
     if (host_threads != 0)
         cfg.gpu.hostThreads = host_threads;
     cfg.gpu.skewSlices = skew_slices;
+    cfg.cpuDbt = cpu_dbt;
 
     constexpr int kN = 16;
     constexpr size_t kBytes = kN * kN * 4;
@@ -647,6 +651,60 @@ TEST(SnapshotDeterminism, FullSystemSgemmMultiWorker)
     runDeterminismScenario(rt::Mode::FullSystem, true, kSgemmSrc,
                            "sgemm", /*host_threads=*/8,
                            /*skew_slices=*/true);
+}
+
+TEST(SnapshotDeterminism, FullSystemSgemmInterpreterCpuTier)
+{
+    // Same headline property with the CPU's DBT tier off (interpreter
+    // oracle): restore/continue must still equal save/continue.
+    runDeterminismScenario(rt::Mode::FullSystem, true, kSgemmSrc,
+                           "sgemm", 0, /*skew_slices=*/false,
+                           /*cpu_dbt=*/false);
+}
+
+TEST(SnapshotDeterminism, FullSystemCpuTierInvariant)
+{
+    // Whole-system lockstep: the threaded-code DBT tier and the
+    // interpreter must produce bit-identical fingerprints (RAM digest,
+    // CPU state, retired instructions, timer, UART, kernel statistics)
+    // for the same guest-driver workload.
+    Fingerprint dbt = runDeterminismScenario(rt::Mode::FullSystem, true,
+                                             kSgemmSrc, "sgemm");
+    Fingerprint interp = runDeterminismScenario(
+        rt::Mode::FullSystem, true, kSgemmSrc, "sgemm", 0,
+        /*skew_slices=*/false, /*cpu_dbt=*/false);
+    expectEqual(dbt, interp);
+}
+
+TEST(SystemSnapshot, RestoreDiscardsDbtTranslations)
+{
+    rt::SystemConfig cfg = smallCfg();
+    rt::System sys(cfg);
+    sa32::Program p = sa32::assemble(R"(
+        .org 0x80000000
+        li   t0, 1000
+loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        wfi
+    )");
+    p.loadInto(sys.mem());
+    sys.cpu().reset();
+    sys.cpu().run(500);   // Parks mid-loop with the loop translated.
+    sa32::Dbt *dbt = sys.cpu().dbt();
+    ASSERT_NE(dbt, nullptr);
+    EXPECT_GT(dbt->liveBlocks(), 0u);
+
+    Writer w;
+    sys.saveSnapshot(w);
+    Image img = Image::fromBytes(w.finish());
+    sys.restoreSnapshot(img);
+
+    // No translation survives a restore (the image carries no code
+    // cache; everything is rebuilt from the restored RAM).
+    EXPECT_EQ(dbt->liveBlocks(), 0u);
+    EXPECT_EQ(sys.cpu().run(5000), sa32::StopReason::Wfi);
+    EXPECT_EQ(sys.cpu().reg(5), 0u);   // Loop completed post-restore.
 }
 
 TEST(SnapshotDeterminism, FullSystemSgemmWorkerCountInvariant)
