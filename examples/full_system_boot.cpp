@@ -11,6 +11,14 @@
  *                           quiescent point, before the GPU job
  *   --restore=<file>        skip boot entirely: restore the image and
  *                           go straight to the GPU job
+ *
+ * Record/replay support (DESIGN.md §5h):
+ *   --record=<file>         record the CPU<->GPU boundary of the GPU
+ *                           job into a BRPL log (composes with
+ *                           --restore and --save-snapshot)
+ *   --replay=<file>         replay a BRPL log into a standalone GPU —
+ *                           no boot, no guest OS, no CPU — and verify
+ *                           it reproduces the recorded fingerprints
  */
 
 #include <cstdio>
@@ -21,6 +29,7 @@
 #include "common/logging.h"
 #include "cpu/asm/assembler.h"
 #include "cpu/mmu.h"
+#include "replay/replay.h"
 #include "runtime/session.h"
 
 namespace {
@@ -110,23 +119,66 @@ main(int argc, char **argv)
 {
     using namespace bifsim;
 
-    std::string save_path, restore_path;
+    std::string save_path, restore_path, record_path, replay_path;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--save-snapshot=", 16) == 0) {
             save_path = a + 16;
         } else if (std::strncmp(a, "--restore=", 10) == 0) {
             restore_path = a + 10;
+        } else if (std::strncmp(a, "--record=", 9) == 0) {
+            record_path = a + 9;
+        } else if (std::strncmp(a, "--replay=", 9) == 0) {
+            replay_path = a + 9;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--save-snapshot=<file>] "
-                         "[--restore=<file>]\n",
+                         "[--restore=<file>] [--record=<file>] "
+                         "[--replay=<file>]\n",
                          argv[0]);
             return 2;
         }
     }
 
+    // ---- Replay: drive the GPU from a log, no system at all ----
+    if (!replay_path.empty()) {
+        try {
+            replay::Log log = replay::Log::load(replay_path);
+            replay::ReplayResult r = replay::replay(log);
+            std::printf("replayed %llu events / %llu chains from %s\n",
+                        static_cast<unsigned long long>(log.eventCount()),
+                        static_cast<unsigned long long>(r.chains),
+                        replay_path.c_str());
+            if (!r.ok) {
+                std::fprintf(stderr, "DIVERGED at event %llu: %s\n",
+                             static_cast<unsigned long long>(
+                                 r.divergenceEvent),
+                             r.divergence.c_str());
+                return 1;
+            }
+            std::printf("replay verified: fingerprints match\n");
+            return 0;
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
+
     rt::SystemConfig cfg;
+    if (!record_path.empty())
+        cfg.gpu.syncSubmit = true;   // The recording contract.
+
+    auto runAndMaybeRecord = [&](rt::Session &s) {
+        if (!record_path.empty())
+            s.startRecording();
+        int rc = runGpuJob(s);
+        if (!record_path.empty()) {
+            s.stopRecordingToFile(record_path);
+            std::printf("recorded CPU<->GPU boundary to %s\n",
+                        record_path.c_str());
+        }
+        return rc;
+    };
 
     // ---- Warm boot: restore the machine instead of booting it ----
     if (!restore_path.empty()) {
@@ -136,7 +188,7 @@ main(int argc, char **argv)
                         restore_path.c_str());
             std::printf("guest console output: %s",
                         session->system().uart().output().c_str());
-            return runGpuJob(*session);
+            return runAndMaybeRecord(*session);
         } catch (const snapshot::SnapshotError &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
@@ -192,5 +244,5 @@ main(int argc, char **argv)
     }
 
     // ---- Part 2: a GPU job through the guest driver ----
-    return runGpuJob(session);
+    return runAndMaybeRecord(session);
 }

@@ -85,6 +85,16 @@ class Histogram
             counts_[i] += other.counts_[i];
     }
 
+    /** Subtracts a previously merged baseline of the same shape
+     *  (counts are monotone, so @p other must be bucket-wise <=). */
+    void
+    subtract(const Histogram &other)
+    {
+        for (size_t i = 0; i < other.counts_.size() && i < counts_.size();
+             ++i)
+            counts_[i] -= other.counts_[i];
+    }
+
     /** Resets all buckets to zero. */
     void
     reset()

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "replay/replay.h"
 
 namespace bifsim::gpu {
 
@@ -93,6 +94,8 @@ GpuDevice::raiseIrqLocked(uint32_t bits)
     sys_.irqsAsserted++;
     if (devBuf_)
         devBuf_->instant("irq_raise", "irq", "bits", bits);
+    if (recorder_)
+        recorder_->onIrqRaise(bits, irqRaw_);
     updateIrqOutput();
 }
 
@@ -127,6 +130,10 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
 {
     std::unique_lock<std::mutex> g(lock_);
     sys_.ctrlRegWrites++;
+    // JS_SUBMIT is captured by onSubmit() below, after the pre-chain
+    // RAM delta, so the log preserves the delta -> submit ordering.
+    if (recorder_ && offset != kRegJsSubmit)
+        recorder_->onMmioWrite(static_cast<uint32_t>(offset), value);
     switch (offset) {
       case kRegIrqClear:
         irqRaw_ &= ~value;
@@ -153,8 +160,13 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
             // the submitting thread.  The completion IRQ is pending by
             // the time this MMIO write retires.
             chainActive_ = true;
+            replay::Recorder *rec = recorder_;
             g.unlock();
+            if (rec)
+                rec->onSubmit(value);
             runChain(value);
+            if (rec)
+                rec->onChainComplete();
             g.lock();
             chainActive_ = false;
             cv_.notify_all();
@@ -356,6 +368,33 @@ GpuDevice::lastJob() const
 {
     std::lock_guard<std::mutex> g(lock_);
     return lastJob_;
+}
+
+GpuDevice::RegState
+GpuDevice::regState() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return RegState{irqRaw_, jsStatus_, jobCount_, faultStatus_,
+                    faultAddress_};
+}
+
+void
+GpuDevice::setRecorder(replay::Recorder *rec)
+{
+    if (rec) {
+        if (!cfg_.syncSubmit)
+            simError("recording requires GpuConfig::syncSubmit "
+                     "(deterministic inline chains)");
+        if (!idle())
+            simError("cannot attach a recorder while the GPU is busy");
+    }
+    std::lock_guard<std::mutex> g(lock_);
+    if (rec && irqRaw_ != 0)
+        simError("cannot attach a recorder with unacknowledged IRQs "
+                 "(raw 0x%x): clear them first so replayed IRQ state "
+                 "is a pure function of the recorded inputs",
+                 irqRaw_);
+    recorder_ = rec;
 }
 
 KernelStats

@@ -63,6 +63,10 @@
 #include "mem/phys_mem.h"
 #include "trace/trace.h"
 
+namespace bifsim::replay {
+class Recorder;
+}
+
 namespace bifsim::gpu {
 
 /** GPU model configuration. */
@@ -290,6 +294,31 @@ class GpuDevice : public Device
      *  Threading: per the trace::Tracer contract (trace.h). */
     trace::Tracer &tracer() { return tracer_; }
 
+    /** Raw guest-visible register state for replay fingerprints.
+     *  Unlike mmioRead() this does not count into SystemStats — a
+     *  recorder probe must not perturb the guest-visible
+     *  control-register counters.
+     *  Threading: any thread (copied under the device lock). */
+    struct RegState
+    {
+        uint32_t irqRaw;
+        uint32_t jsStatus;
+        uint32_t jobCount;
+        uint32_t faultStatus;
+        uint32_t faultAddress;
+    };
+    RegState regState() const;
+
+    /**
+     * Attaches (or, with nullptr, detaches) a CPU<->GPU boundary
+     * recorder (src/replay/).  Attaching requires GpuConfig::syncSubmit
+     * — the chain then runs inline on the submitting thread, so every
+     * hook fires in causal order on one thread — and an idle device;
+     * throws SimError otherwise.
+     * Threading: simulation thread only, no concurrent MMIO.
+     */
+    void setRecorder(replay::Recorder *rec);
+
   private:
     PhysMem &mem_;
     GpuConfig cfg_;
@@ -299,6 +328,8 @@ class GpuDevice : public Device
     trace::TraceBuffer *devBuf_ = nullptr;   ///< MMIO/IRQ events; all
                                              ///< writes under lock_.
     trace::TraceBuffer *jmBuf_ = nullptr;    ///< Job Manager thread.
+    replay::Recorder *recorder_ = nullptr;   ///< Boundary capture hooks
+                                             ///< (null = not recording).
 
     mutable std::mutex lock_;
     std::condition_variable cv_;        ///< JM wakeup / waitIdle.

@@ -122,11 +122,17 @@ JobDescriptor::readFrom(const uint8_t *src)
 }
 
 void
-JobContext::raiseFault(JobFaultKind kind, uint32_t va,
+JobContext::raiseFault(uint32_t group, JobFaultKind kind, uint32_t va,
                        const std::string &detail)
 {
     std::lock_guard<std::mutex> g(faultLock);
-    if (fault.kind == JobFaultKind::None) {
+    // Lowest-group-wins, not first-to-arrive: with several workers the
+    // arrival order of faults from different groups is a race, but the
+    // lowest faulting group is a pure function of the guest inputs.
+    // (Within one group, execution is sequential on one worker, so the
+    // first latch for that group is also its sequentially-first fault.)
+    if (fault.kind == JobFaultKind::None || group < faultGroup) {
+        faultGroup = group;
         fault.kind = kind;
         fault.va = va;
         fault.detail = detail;
@@ -246,12 +252,20 @@ WorkgroupExecutor::notePage(uint32_t vpn)
     }
 }
 
+void
+WorkgroupExecutor::raiseFault(JobFaultKind kind, uint32_t va,
+                              const std::string &detail)
+{
+    groupFault_ = true;
+    job_->raiseFault(curGroup_, kind, va, detail);
+}
+
 bool
 WorkgroupExecutor::memAccess(uint32_t va, unsigned size, bool write,
                              uint32_t &val)
 {
     if (va & (size - 1)) [[unlikely]] {
-        job_->raiseFault(JobFaultKind::BadAccess, va,
+        raiseFault(JobFaultKind::BadAccess, va,
                          "misaligned global access");
         return false;
     }
@@ -265,7 +279,7 @@ WorkgroupExecutor::memAccess(uint32_t va, unsigned size, bool write,
             if (traceBuf_)
                 traceBuf_->instant("mmu_fault", "fault", "va", va,
                                    "write", write ? 1 : 0);
-            job_->raiseFault(JobFaultKind::MmuFault, va,
+            raiseFault(JobFaultKind::MmuFault, va,
                              write ? "store translation fault"
                                    : "load translation fault");
             return false;
@@ -293,7 +307,7 @@ WorkgroupExecutor::memAccess(uint32_t va, unsigned size, bool write,
     Addr pa = (static_cast<Addr>(e->ppn) << kGpuPageShift) |
               (va & (kGpuPageBytes - 1));
     if (!job_->mem->contains(pa, size)) {
-        job_->raiseFault(JobFaultKind::BadAccess, va,
+        raiseFault(JobFaultKind::BadAccess, va,
                          "physical address outside RAM");
         return false;
     }
@@ -314,13 +328,13 @@ WorkgroupExecutor::memAccessLegacy(uint32_t va, unsigned size, bool write,
                                    uint32_t &val)
 {
     if (!isAligned(va, size)) {
-        job_->raiseFault(JobFaultKind::BadAccess, va,
+        raiseFault(JobFaultKind::BadAccess, va,
                          "misaligned global access");
         return false;
     }
     Addr pa = 0;
     if (!job_->mmu->translate(va, write, tlb_, pa)) {
-        job_->raiseFault(JobFaultKind::MmuFault, va,
+        raiseFault(JobFaultKind::MmuFault, va,
                          write ? "store translation fault"
                                : "load translation fault");
         return false;
@@ -328,7 +342,7 @@ WorkgroupExecutor::memAccessLegacy(uint32_t va, unsigned size, bool write,
     if (job_->collect)
         coll_.pages.insert(va >> 12);
     if (!job_->mem->contains(pa, size)) {
-        job_->raiseFault(JobFaultKind::BadAccess, va,
+        raiseFault(JobFaultKind::BadAccess, va,
                          "physical address outside RAM");
         return false;
     }
@@ -348,7 +362,7 @@ uint32_t *
 WorkgroupExecutor::atomicHostPtr(uint32_t va, bool fast)
 {
     if (va & 3u) {
-        job_->raiseFault(JobFaultKind::BadAccess, va, "misaligned atomic");
+        raiseFault(JobFaultKind::BadAccess, va, "misaligned atomic");
         return nullptr;
     }
     if (fast) {
@@ -359,7 +373,7 @@ WorkgroupExecutor::atomicHostPtr(uint32_t va, bool fast)
         } else {
             e = job_->mmu->lookup(va, true, tlb_);
             if (!e) {
-                job_->raiseFault(JobFaultKind::MmuFault, va,
+                raiseFault(JobFaultKind::MmuFault, va,
                                  "atomic translation fault");
                 return nullptr;
             }
@@ -372,7 +386,7 @@ WorkgroupExecutor::atomicHostPtr(uint32_t va, bool fast)
         Addr pa = (static_cast<Addr>(e->ppn) << kGpuPageShift) |
                   (va & (kGpuPageBytes - 1));
         if (!job_->mem->contains(pa, 4)) {
-            job_->raiseFault(JobFaultKind::MmuFault, va,
+            raiseFault(JobFaultKind::MmuFault, va,
                              "atomic translation fault");
             return nullptr;
         }
@@ -381,7 +395,7 @@ WorkgroupExecutor::atomicHostPtr(uint32_t va, bool fast)
     Addr pa = 0;
     if (!job_->mmu->translate(va, true, tlb_, pa) ||
         !job_->mem->contains(pa, 4)) {
-        job_->raiseFault(JobFaultKind::MmuFault, va,
+        raiseFault(JobFaultKind::MmuFault, va,
                          "atomic translation fault");
         return nullptr;
     }
@@ -400,7 +414,7 @@ WorkgroupExecutor::localAccess(uint32_t offset, bool write, uint32_t &val)
         offset > local_.size() - 4) {
         if (traceBuf_)
             traceBuf_->instant("bad_access", "fault", "offset", offset);
-        job_->raiseFault(JobFaultKind::BadAccess, offset,
+        raiseFault(JobFaultKind::BadAccess, offset,
                          "local access out of range");
         return false;
     }
@@ -863,7 +877,11 @@ WorkgroupExecutor::runWarp(Warp &warp)
 {
     const bool fast = job_->fastPath;
     for (;;) {
-        if (job_->faulted.load(std::memory_order_acquire)) [[unlikely]]
+        // Stop only for *this group's* fault.  Aborting on any other
+        // group's fault would make this group's side effects (stores,
+        // statistics) depend on cross-worker timing — the determinism
+        // bug record/replay bring-up flushed out.
+        if (groupFault_) [[unlikely]]
             return WarpStop::Fault;
         // Lazy TLB shootdown (epoch compare at clause boundaries).
         tlb_.syncEpoch(*job_->mmu);
@@ -892,7 +910,7 @@ WorkgroupExecutor::runWarp(Warp &warp)
             for (unsigned t = 0; t < warp.numThreads; ++t) {
                 const Thread &th = warp.threads[t];
                 if (!th.done && th.pc != minpc) {
-                    job_->raiseFault(JobFaultKind::DivergentBarrier,
+                    raiseFault(JobFaultKind::DivergentBarrier,
                                      minpc, "divergent barrier");
                     return WarpStop::Fault;
                 }
@@ -1024,6 +1042,8 @@ void
 WorkgroupExecutor::runGroup(uint32_t linear_group)
 {
     const JobDescriptor &d = job_->desc;
+    curGroup_ = linear_group;
+    groupFault_ = false;
     groupId_[0] = linear_group % job_->groups[0];
     groupId_[1] = (linear_group / job_->groups[0]) % job_->groups[1];
     groupId_[2] = linear_group / (job_->groups[0] * job_->groups[1]);
@@ -1094,9 +1114,10 @@ void
 WorkgroupExecutor::runSlice(const GroupSlice &s)
 {
     sched_.slicesRun++;
+    // No early-out on job_->faulted: every group always runs, so RAM
+    // contents, pagesAccessed and merged kernel statistics are the
+    // same whether a fault in another group landed early or late.
     for (uint32_t g = s.begin; g < s.end; ++g) {
-        if (job_->faulted.load(std::memory_order_acquire))
-            return;
         if (traceBuf_) [[unlikely]] {
             uint64_t t0 = trace::nowNs();
             runGroup(g);
@@ -1116,8 +1137,6 @@ WorkgroupExecutor::runUntilDone()
     const unsigned n = job_->numWorkers;
     GroupSlice s;
     for (;;) {
-        if (job_->faulted.load(std::memory_order_acquire))
-            return;
         // Drain our own deque first (LIFO pop: best locality).
         if (deques[index_].pop(s)) {
             runSlice(s);

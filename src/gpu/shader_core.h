@@ -155,9 +155,17 @@ struct JobContext
     std::atomic<bool> faulted{false};
     std::mutex faultLock;
     JobFault fault;
+    uint32_t faultGroup = 0xffffffffu;   ///< Lowest faulting group.
 
-    /** Records the first fault (thread-safe; any worker). */
-    void raiseFault(JobFaultKind kind, uint32_t va,
+    /**
+     * Records a fault raised by workgroup @p group (thread-safe; any
+     * worker).  The lowest-numbered faulting workgroup wins, not the
+     * first to arrive: every group always executes (a fault stops only
+     * its own group), so the reported fault — and every guest-visible
+     * side effect of the job — is independent of worker count and
+     * steal timing.
+     */
+    void raiseFault(uint32_t group, JobFaultKind kind, uint32_t va,
                     const std::string &detail);
 };
 
@@ -235,6 +243,8 @@ class WorkgroupExecutor
     ShaderCacheL1 shaderL1_;       ///< Worker-private decode cache.
     std::shared_ptr<DecodedShader> shaderRef_;  ///< Job-duration pin.
     uint32_t groupId_[3] = {0, 0, 0};
+    uint32_t curGroup_ = 0;        ///< Linear index of running group.
+    bool groupFault_ = false;      ///< Current group raised a fault.
 
     trace::TraceBuffer *traceBuf_ = nullptr;   ///< Null = tracing off.
     uint64_t jobStartTs_ = 0;      ///< beginJob timestamp (trace only).
@@ -267,6 +277,11 @@ class WorkgroupExecutor
 
     uint32_t readOperand(const Thread &t, uint8_t op) const;
     void writeOperand(Thread &t, uint8_t op, uint32_t value);
+
+    /** Raises @p kind against the current workgroup: latches it into
+     *  the job (lowest group wins) and stops this group's warps. */
+    void raiseFault(JobFaultKind kind, uint32_t va,
+                    const std::string &detail);
 
     bool memAccess(uint32_t va, unsigned size, bool write, uint32_t &val);
     bool memAccessLegacy(uint32_t va, unsigned size, bool write,

@@ -92,6 +92,34 @@ KernelStats::merge(const KernelStats &other)
 }
 
 void
+KernelStats::subtract(const KernelStats &base)
+{
+    arithInstrs -= base.arithInstrs;
+    lsInstrs -= base.lsInstrs;
+    cfInstrs -= base.cfInstrs;
+    nopSlots -= base.nopSlots;
+    grfReads -= base.grfReads;
+    grfWrites -= base.grfWrites;
+    tempAccesses -= base.tempAccesses;
+    constReads -= base.constReads;
+    romReads -= base.romReads;
+    globalLdSt -= base.globalLdSt;
+    localLdSt -= base.localLdSt;
+    clausesExecuted -= base.clausesExecuted;
+    threadsLaunched -= base.threadsLaunched;
+    warpsLaunched -= base.warpsLaunched;
+    workgroups -= base.workgroups;
+    divergentBranches -= base.divergentBranches;
+    clauseSizes.subtract(base.clauseSizes);
+    for (const auto &[k, v] : base.cfgEdges) {
+        auto it = cfgEdges.find(k);
+        it->second -= v;
+        if (it->second == 0)
+            cfgEdges.erase(it);
+    }
+}
+
+void
 saveStats(snapshot::ChunkWriter &w, const KernelStats &k)
 {
     w.u64(k.arithInstrs);

@@ -97,6 +97,12 @@ struct KernelStats
 
     /** Accumulates another collector's counts into this one. */
     void merge(const KernelStats &other);
+
+    /** Subtracts a previously merged baseline (all counters are
+     *  monotone accumulators, so this recovers "counts since the
+     *  baseline was taken"; zeroed CFG edges are dropped so the result
+     *  compares equal to a freshly accumulated delta). */
+    void subtract(const KernelStats &base);
 };
 
 /** Encodes a CFG edge key. */

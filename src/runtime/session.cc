@@ -284,6 +284,38 @@ Session::mailboxCommand(uint32_t cmd, uint32_t desc_va)
     }
 }
 
+replay::Recorder &
+Session::startRecording()
+{
+    if (recorder_)
+        simError("a boundary recording is already in progress");
+    replay::RecordInfo info;
+    info.cpuDbt = sys_.config().cpuDbt;
+    info.fullSystem = mode_ == Mode::FullSystem;
+    recorder_ = std::make_unique<replay::Recorder>(sys_.mem(),
+                                                   sys_.gpu(), info);
+    return *recorder_;
+}
+
+std::vector<uint8_t>
+Session::stopRecording()
+{
+    if (!recorder_)
+        simError("no boundary recording in progress");
+    std::vector<uint8_t> bytes = recorder_->finish();
+    recorder_.reset();
+    return bytes;
+}
+
+void
+Session::stopRecordingToFile(const std::string &path)
+{
+    if (!recorder_)
+        simError("no boundary recording in progress");
+    recorder_->writeFile(path);
+    recorder_.reset();
+}
+
 gpu::JobResult
 Session::submitDirect(uint32_t desc_va)
 {

@@ -40,6 +40,7 @@
 #include "gpu/shader_core.h"
 #include "guestos/guest_os.h"
 #include "kclc/compiler.h"
+#include "replay/replay.h"
 #include "runtime/system.h"
 #include "snapshot/snapshot.h"
 
@@ -143,6 +144,29 @@ class Session
      *  trace.h for which Tracer operations require quiescence. */
     trace::Tracer &tracer() { return sys_.gpu().tracer(); }
 
+    /**
+     * Starts recording the CPU<->GPU boundary into a BRPL log
+     * (DESIGN.md §5h): subsequent enqueues — direct or through the
+     * guest driver — are captured with their RAM inputs, MMIO writes,
+     * IRQs and result fingerprints, replayable later with no
+     * Session/CPU attached (replay::replay()).  Requires
+     * GpuConfig::syncSubmit; one recording at a time.  Works on
+     * freshly built and snapshot-restored sessions alike (the first
+     * delta snapshots all non-zero RAM).
+     * Threading: simulation thread only.
+     */
+    replay::Recorder &startRecording();
+
+    /** Stops recording and returns the sealed log bytes.
+     *  Threading: simulation thread only. */
+    std::vector<uint8_t> stopRecording();
+
+    /** Stops recording and writes the log to @p path. */
+    void stopRecordingToFile(const std::string &path);
+
+    /** True while a recording is attached. */
+    bool recording() const { return recorder_ != nullptr; }
+
     /** Allocates a device buffer (page-aligned, zero-initialised). */
     Buffer alloc(size_t bytes);
 
@@ -226,6 +250,8 @@ class Session
     bool osBooted_ = false;
     trace::TraceBuffer *trcBuf_ = nullptr;   ///< "cpu-driver" buffer
                                              ///< (null = tracing off).
+    std::unique_ptr<replay::Recorder> recorder_;   ///< Active boundary
+                                                   ///< recording.
 
     std::vector<KernelHandle> kernels_;   ///< Load-order registry.
     std::vector<Buffer> buffers_;         ///< Alloc-order registry.

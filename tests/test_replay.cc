@@ -1,0 +1,692 @@
+/** @file Record/replay of the CPU<->GPU boundary (DESIGN.md §5h):
+ *  BRPL round trips across interpreter tiers and worker counts,
+ *  faulting-workload replay, restore-then-trace/record, the
+ *  worker-count fault-determinism regression, and log-mutation fuzz
+ *  (truncation, bit flips, hostile counts). */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "gpu/gpu.h"
+#include "gpu/isa/bif.h"
+#include "replay/replay.h"
+#include "runtime/session.h"
+
+namespace bifsim {
+namespace {
+
+namespace snap = snapshot;
+
+// ------------------------------------------------------------ Helpers
+
+/** Decoded scalar prefix of one RFPR event. */
+struct Fp
+{
+    uint32_t jobCount, jsStatus, irqRaw, faultStatus, faultAddress;
+    uint32_t ramCrc;
+    uint8_t faulted, faultKind;
+    uint32_t faultVa;
+};
+
+std::vector<Fp>
+fingerprints(const replay::Log &log)
+{
+    std::vector<Fp> out;
+    for (size_t i = 0; i < log.eventCount(); ++i) {
+        if (log.kind(i) != replay::kEvFingerprint)
+            continue;
+        snap::ChunkReader r = log.reader(i);
+        Fp f;
+        f.jobCount = r.u32();
+        f.jsStatus = r.u32();
+        f.irqRaw = r.u32();
+        f.faultStatus = r.u32();
+        f.faultAddress = r.u32();
+        f.ramCrc = r.u32();
+        f.faulted = r.u8();
+        f.faultKind = r.u8();
+        f.faultVa = r.u32();
+        out.push_back(f);
+    }
+    return out;
+}
+
+/** Union of all RIRQ bits in the log. */
+uint32_t
+irqBits(const replay::Log &log)
+{
+    uint32_t bits = 0;
+    for (size_t i = 0; i < log.eventCount(); ++i) {
+        if (log.kind(i) != replay::kEvIrq)
+            continue;
+        snap::ChunkReader r = log.reader(i);
+        bits |= r.u32();
+    }
+    return bits;
+}
+
+/** Replays @p log across fast/legacy x worker counts; every run must
+ *  validate cleanly. */
+void
+expectReplaysEverywhere(const replay::Log &log)
+{
+    for (bool fast : {true, false}) {
+        for (unsigned threads : {1u, 2u, 4u}) {
+            replay::ReplayOptions opt;
+            opt.fastPath = fast;
+            opt.hostThreads = threads;
+            replay::ReplayResult r = replay::replay(log, opt);
+            EXPECT_TRUE(r.ok)
+                << "fast=" << fast << " threads=" << threads << ": "
+                << r.divergence;
+        }
+    }
+}
+
+rt::SystemConfig
+recordableConfig(size_t ram_bytes = 16u << 20, unsigned threads = 2)
+{
+    rt::SystemConfig cfg;
+    cfg.ramBytes = ram_bytes;
+    cfg.gpu.hostThreads = threads;
+    cfg.gpu.syncSubmit = true;
+    return cfg;
+}
+
+const char *kScaleSrc = R"(
+kernel void scale(global const int* in, global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = in[i] * 3 + 1;
+    }
+}
+)";
+
+/** Builds a minimal raw BIF module (one clause per instruction list),
+ *  mirroring the test_gpu_exec idiom. */
+bif::Instr
+mk(bif::Op op, uint8_t dst, uint8_t s0, uint8_t s1, uint8_t s2,
+   int32_t imm)
+{
+    bif::Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = s0;
+    i.src1 = s1;
+    i.src2 = s2;
+    i.imm = imm;
+    return i;
+}
+
+rt::KernelHandle
+loadRawModule(rt::Session &s, const std::vector<bif::Instr> &instrs,
+              std::vector<uint32_t> rom, uint32_t reg_count)
+{
+    bif::Module m;
+    bif::Clause cl;
+    for (const bif::Instr &in : instrs) {
+        bif::Tuple t;
+        if (bif::legalInSlot0(in.op))
+            t.slot[0] = in;
+        else
+            t.slot[1] = in;
+        cl.tuples.push_back(t);
+    }
+    m.clauses.push_back(cl);
+    m.rom = std::move(rom);
+    m.regCount = reg_count;
+
+    kclc::CompiledKernel ck;
+    ck.name = "raw";
+    ck.mod = m;
+    ck.binary = bif::encode(m);
+    ck.regCount = m.regCount;
+    return s.load(ck);
+}
+
+// -------------------------------------------------- Basic round trips
+
+TEST(Replay, DirectRecordReplaysAcrossTiersAndWorkerCounts)
+{
+    rt::Session s(recordableConfig(), rt::Mode::Direct);
+    rt::KernelHandle k = s.compile(kScaleSrc, "scale");
+    rt::Buffer in = s.alloc(256 * 4);
+    rt::Buffer out = s.alloc(256 * 4);
+    for (uint32_t i = 0; i < 256; ++i) {
+        int32_t v = static_cast<int32_t>(i * 7 + 3);
+        s.write(in, &v, 4, i * 4);
+    }
+
+    s.startRecording();
+    gpu::JobResult r1 =
+        s.enqueue(k, rt::NDRange{256, 1, 1}, rt::NDRange{64, 1, 1},
+                  {rt::Arg::buf(in), rt::Arg::buf(out),
+                   rt::Arg::i32(256)});
+    ASSERT_FALSE(r1.faulted);
+    // Rewrite the input between chains so the second delta is a real
+    // incremental one (not the initial full snapshot).
+    for (uint32_t i = 0; i < 256; ++i) {
+        int32_t v = static_cast<int32_t>(1000 - i);
+        s.write(in, &v, 4, i * 4);
+    }
+    gpu::JobResult r2 =
+        s.enqueue(k, rt::NDRange{256, 1, 1}, rt::NDRange{64, 1, 1},
+                  {rt::Arg::buf(in), rt::Arg::buf(out),
+                   rt::Arg::i32(256)});
+    ASSERT_FALSE(r2.faulted);
+
+    replay::Log log = replay::Log::fromBytes(s.stopRecording());
+    EXPECT_EQ(fingerprints(log).size(), 2u);
+    EXPECT_FALSE(log.config().fullSystem);
+
+    expectReplaysEverywhere(log);
+
+    // The replayed device reproduces the final job result without any
+    // Session attached.
+    replay::ReplayResult rep = replay::replay(log, {});
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_EQ(rep.chains, 2u);
+    EXPECT_EQ(rep.lastJob.kernel.threadsLaunched,
+              r2.kernel.threadsLaunched);
+
+    // The fast path (no re-record, no per-chain RAM scans) still runs
+    // every chain and lands in the same final state.
+    replay::ReplayOptions fast;
+    fast.validate = false;
+    replay::ReplayResult frep = replay::replay(log, fast);
+    EXPECT_TRUE(frep.ok);
+    EXPECT_EQ(frep.chains, 2u);
+    EXPECT_EQ(frep.lastJob.kernel.threadsLaunched,
+              r2.kernel.threadsLaunched);
+}
+
+TEST(Replay, FullSystemRecordReplaysWithoutCpu)
+{
+    rt::SystemConfig cfg = recordableConfig(32u << 20);
+    rt::Session s(cfg, rt::Mode::FullSystem);
+    rt::KernelHandle k = s.compile(kScaleSrc, "scale");
+    rt::Buffer in = s.alloc(64 * 4);
+    rt::Buffer out = s.alloc(64 * 4);
+    for (uint32_t i = 0; i < 64; ++i) {
+        int32_t v = static_cast<int32_t>(i);
+        s.write(in, &v, 4, i * 4);
+    }
+
+    s.startRecording();
+    gpu::JobResult r =
+        s.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+                  {rt::Arg::buf(in), rt::Arg::buf(out),
+                   rt::Arg::i32(64)});
+    ASSERT_FALSE(r.faulted);
+    EXPECT_GT(s.driverInstructions(), 0u);
+    replay::Log log = replay::Log::fromBytes(s.stopRecording());
+    EXPECT_TRUE(log.config().fullSystem);
+
+    // The acceptance bar: a FullSystem recording replays bit-identical
+    // with no CPU/guest OS, across interpreter tiers and >=2 worker
+    // counts.
+    expectReplaysEverywhere(log);
+}
+
+TEST(Replay, RecordingRequiresSyncSubmit)
+{
+    rt::SystemConfig cfg = recordableConfig();
+    cfg.gpu.syncSubmit = false;
+    rt::Session s(cfg, rt::Mode::Direct);
+    EXPECT_THROW(s.startRecording(), SimError);
+}
+
+// ------------------------------------- Worker-count fault determinism
+
+/** Every group stores its slot, then groups 0 (late, after a long
+ *  delay loop) and n-1 (immediately) store through unmapped VAs.  With
+ *  the old global fault early-stop, multi-worker runs latched whichever
+ *  group's fault arrived first (group n-1, microseconds before slow
+ *  group 0) and silently skipped the remaining groups' stores; the
+ *  reported AS_FAULTADDRESS and the output buffer depended on worker
+ *  count.  Now every group runs, a fault stops only its own group, and
+ *  the lowest faulting group wins. */
+const char *kDeterministicFaultSrc = R"(
+kernel void dfault(global int* out, int n) {
+    int g = get_group_id(0);
+    int acc = 0;
+    if (g == 0) {
+        for (int k = 0; k < 2000000; k += 1) {
+            acc += (k & 7) + 1;
+        }
+    }
+    out[g] = g + 1 + (acc & 1);
+    if (g == 0) {
+        out[1048576 + g] = 7;
+    }
+    if (g == n - 1) {
+        out[1048576 + g] = 7;
+    }
+}
+)";
+
+TEST(Replay, FaultStateIsWorkerCountInvariant)
+{
+    constexpr uint32_t kGroups = 64;
+    gpu::JobResult results[2];
+    std::vector<int32_t> outs[2];
+    unsigned counts[2] = {1, 4};
+    uint32_t out_va = 0;
+    for (int run = 0; run < 2; ++run) {
+        rt::SystemConfig cfg;
+        cfg.ramBytes = 16u << 20;
+        cfg.gpu.hostThreads = counts[run];
+        rt::Session s(cfg, rt::Mode::Direct);
+        rt::KernelHandle k = s.compile(kDeterministicFaultSrc, "dfault");
+        rt::Buffer out = s.alloc(kGroups * 4);
+        out_va = out.gpuVa;
+        gpu::JobResult r = s.enqueue(
+            k, rt::NDRange{kGroups, 1, 1}, rt::NDRange{1, 1, 1},
+            {rt::Arg::buf(out), rt::Arg::i32(kGroups)});
+        results[run] = r;
+        outs[run].resize(kGroups);
+        s.read(out, outs[run].data(), kGroups * 4);
+    }
+
+    ASSERT_TRUE(results[0].faulted);
+    ASSERT_TRUE(results[1].faulted);
+    EXPECT_EQ(results[0].fault.kind, gpu::JobFaultKind::MmuFault);
+    // Lowest faulting group (0) wins regardless of arrival order; the
+    // old first-to-arrive latch reported group 63's VA on multi-worker
+    // runs because group 0 faults last.
+    uint32_t group0_va = out_va + 4u * 1048576u;
+    EXPECT_EQ(results[0].fault.va, group0_va);
+    EXPECT_EQ(results[1].fault.va, group0_va);
+    EXPECT_EQ(results[0].fault.kind, results[1].fault.kind);
+    // Every group's store landed on both runs: no early-stop skipped
+    // work on the 1-worker run, no cross-group abort on the 4-worker
+    // run.
+    EXPECT_EQ(outs[0], outs[1]);
+    for (uint32_t g = 1; g < kGroups; ++g)
+        EXPECT_EQ(outs[0][g], static_cast<int32_t>(g + 1)) << g;
+}
+
+// -------------------------------------------------- Faulting replays
+
+TEST(Replay, MmuFaultReplaysExactly)
+{
+    rt::Session s(recordableConfig(), rt::Mode::Direct);
+    rt::KernelHandle k = s.compile(kDeterministicFaultSrc, "dfault");
+    rt::Buffer out = s.alloc(64 * 4);
+
+    s.startRecording();
+    gpu::JobResult r =
+        s.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{1, 1, 1},
+                  {rt::Arg::buf(out), rt::Arg::i32(64)});
+    ASSERT_TRUE(r.faulted);
+    ASSERT_EQ(r.fault.kind, gpu::JobFaultKind::MmuFault);
+    replay::Log log = replay::Log::fromBytes(s.stopRecording());
+
+    std::vector<Fp> fps = fingerprints(log);
+    ASSERT_EQ(fps.size(), 1u);
+    EXPECT_EQ(fps[0].faultStatus,
+              static_cast<uint32_t>(gpu::JobFaultKind::MmuFault));
+    EXPECT_EQ(fps[0].faultAddress, out.gpuVa + 4u * 1048576u);
+    EXPECT_EQ(fps[0].jsStatus, gpu::kJsFault);
+    EXPECT_TRUE(irqBits(log) & gpu::kIrqMmuFault);
+
+    expectReplaysEverywhere(log);
+}
+
+TEST(Replay, CyclicChainBadDescriptorReplaysExactly)
+{
+    rt::SystemConfig cfg = recordableConfig();
+    rt::Session s(cfg, rt::Mode::Direct);
+    // Prime with one clean enqueue so the GPU MMU root is installed,
+    // then hand-submit a self-linked null descriptor: the chain walk
+    // must fault (BadDescriptor) instead of hanging, and the recording
+    // must reproduce that.
+    rt::KernelHandle k = s.compile(kScaleSrc, "scale");
+    rt::Buffer in = s.alloc(64 * 4);
+    rt::Buffer out = s.alloc(64 * 4);
+    gpu::JobResult prime =
+        s.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+                  {rt::Arg::buf(in), rt::Arg::buf(out),
+                   rt::Arg::i32(64)});
+    ASSERT_FALSE(prime.faulted);
+
+    rt::Buffer b = s.alloc(4096);
+    gpu::JobDescriptor d;
+    d.jobType = gpu::JobDescriptor::kTypeNull;
+    d.next = b.gpuVa;
+    uint8_t raw[gpu::JobDescriptor::kSizeBytes];
+    d.writeTo(raw);
+    s.write(b, raw, sizeof(raw));
+
+    s.startRecording();
+    rt::System &sys = s.system();
+    Addr base = rt::System::kGpuBase;
+    sys.bus().write(base + gpu::kRegIrqMask, 4, 7);
+    sys.bus().write(base + gpu::kRegJsSubmit, 4, b.gpuVa);
+    sys.gpu().waitIdle();
+    replay::Log log = replay::Log::fromBytes(s.stopRecording());
+
+    std::vector<Fp> fps = fingerprints(log);
+    ASSERT_EQ(fps.size(), 1u);
+    EXPECT_EQ(fps[0].jsStatus, gpu::kJsFault);
+    EXPECT_EQ(fps[0].faultStatus,
+              static_cast<uint32_t>(gpu::JobFaultKind::BadDescriptor));
+    EXPECT_TRUE(irqBits(log) & gpu::kIrqJobFault);
+
+    expectReplaysEverywhere(log);
+}
+
+TEST(Replay, ShaderVerifyRejectionReplaysExactly)
+{
+    rt::Session s(recordableConfig(), rt::Mode::Direct);
+    // Out-of-bounds ROM index: an unsafe-severity defect the
+    // decode-time verifier rejects at the default strictness.
+    rt::KernelHandle k = loadRawModule(
+        s,
+        {mk(bif::Op::LdRom, 1, bif::kOperandNone, bif::kOperandNone,
+            bif::kOperandNone, 4),
+         mk(bif::Op::Ret, bif::kOperandNone, bif::kOperandNone,
+            bif::kOperandNone, bif::kOperandNone, 0)},
+        /*rom=*/{42u}, /*reg_count=*/8);
+
+    s.startRecording();
+    gpu::JobResult r = s.enqueue(k, rt::NDRange{4, 1, 1},
+                                 rt::NDRange{4, 1, 1}, {});
+    ASSERT_TRUE(r.faulted);
+    ASSERT_EQ(r.fault.kind, gpu::JobFaultKind::ShaderVerify);
+    replay::Log log = replay::Log::fromBytes(s.stopRecording());
+
+    std::vector<Fp> fps = fingerprints(log);
+    ASSERT_EQ(fps.size(), 1u);
+    EXPECT_EQ(fps[0].faultStatus,
+              static_cast<uint32_t>(gpu::JobFaultKind::ShaderVerify));
+    EXPECT_TRUE(irqBits(log) & gpu::kIrqJobFault);
+
+    expectReplaysEverywhere(log);
+}
+
+// ------------------------------------------------------ Tier crossing
+
+/** Records the same FullSystem workload under both CPU tiers and
+ *  checks the boundary streams are byte-identical; each log must then
+ *  replay cleanly into either GPU interpreter at any worker count. */
+TEST(Replay, CpuTierCrossingIsInvariant)
+{
+    std::vector<replay::Log> logs;
+    for (int tier = 0; tier < 2; ++tier) {
+        rt::SystemConfig cfg = recordableConfig(32u << 20);
+        cfg.cpuDbt = tier == 1;
+        rt::Session s(cfg, rt::Mode::FullSystem);
+        rt::KernelHandle k = s.compile(kScaleSrc, "scale");
+        rt::Buffer in = s.alloc(64 * 4);
+        rt::Buffer out = s.alloc(64 * 4);
+        for (uint32_t i = 0; i < 64; ++i) {
+            int32_t v = static_cast<int32_t>(i * 13);
+            s.write(in, &v, 4, i * 4);
+        }
+        s.startRecording();
+        gpu::JobResult r =
+            s.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+                      {rt::Arg::buf(in), rt::Arg::buf(out),
+                       rt::Arg::i32(64)});
+        ASSERT_FALSE(r.faulted);
+        logs.push_back(replay::Log::fromBytes(s.stopRecording()));
+    }
+    EXPECT_TRUE(logs[0].config().cpuDbt !=
+                logs[1].config().cpuDbt);
+
+    // The boundary must not know which CPU tier drove it.
+    std::optional<replay::Divergence> d =
+        replay::diffLogs(logs[0], logs[1]);
+    EXPECT_FALSE(d.has_value())
+        << "event " << d->event << ": " << d->what;
+
+    // A log recorded under either tier replays into both GPU
+    // interpreters at any worker count.
+    expectReplaysEverywhere(logs[0]);
+    expectReplaysEverywhere(logs[1]);
+}
+
+// --------------------------------------------- Restore-then-trace/record
+
+TEST(Replay, RestoredSessionStillTraces)
+{
+    rt::SystemConfig cfg = recordableConfig();
+    cfg.gpu.trace = true;
+    rt::Session s(cfg, rt::Mode::Direct);
+    rt::KernelHandle k = s.compile(kScaleSrc, "scale");
+    rt::Buffer in = s.alloc(64 * 4);
+    rt::Buffer out = s.alloc(64 * 4);
+    s.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+              {rt::Arg::buf(in), rt::Arg::buf(out), rt::Arg::i32(64)});
+
+    snap::Writer w;
+    s.saveSnapshot(w);
+    snap::Image img = snap::Image::fromBytes(w.finish());
+
+    // The restored session must re-register its trace buffers: driver
+    // spans and device instants from post-restore enqueues must land
+    // in the export.
+    std::unique_ptr<rt::Session> s2 = rt::Session::fromSnapshot(img, cfg);
+    size_t before = s2->tracer().eventCount();
+    ASSERT_FALSE(s2->kernels().empty());
+    ASSERT_GE(s2->buffers().size(), 2u);
+    gpu::JobResult r = s2->enqueue(
+        s2->kernels()[0], rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+        {rt::Arg::buf(s2->buffers()[0]), rt::Arg::buf(s2->buffers()[1]),
+         rt::Arg::i32(64)});
+    ASSERT_FALSE(r.faulted);
+    EXPECT_GT(s2->tracer().eventCount(), before);
+
+    std::ostringstream os;
+    s2->tracer().exportChromeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"enqueue\""), std::string::npos);
+    EXPECT_NE(json.find("\"js_submit\""), std::string::npos);
+}
+
+TEST(Replay, RestoredSessionRecordsSelfContainedLog)
+{
+    rt::SystemConfig cfg = recordableConfig();
+    rt::Session s(cfg, rt::Mode::Direct);
+    rt::KernelHandle k = s.compile(kScaleSrc, "scale");
+    rt::Buffer in = s.alloc(64 * 4);
+    rt::Buffer out = s.alloc(64 * 4);
+    for (uint32_t i = 0; i < 64; ++i) {
+        int32_t v = static_cast<int32_t>(i + 5);
+        s.write(in, &v, 4, i * 4);
+    }
+    s.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+              {rt::Arg::buf(in), rt::Arg::buf(out), rt::Arg::i32(64)});
+    snap::Writer w;
+    s.saveSnapshot(w);
+    snap::Image img = snap::Image::fromBytes(w.finish());
+
+    // Recording that starts on a warm-booted session must emit a full
+    // first delta (restored RAM is nothing like a cold boot), so the
+    // log stays self-contained.
+    std::unique_ptr<rt::Session> s2 = rt::Session::fromSnapshot(img, cfg);
+    s2->startRecording();
+    gpu::JobResult r = s2->enqueue(
+        s2->kernels()[0], rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+        {rt::Arg::buf(s2->buffers()[0]), rt::Arg::buf(s2->buffers()[1]),
+         rt::Arg::i32(64)});
+    ASSERT_FALSE(r.faulted);
+    replay::Log log = replay::Log::fromBytes(s2->stopRecording());
+    expectReplaysEverywhere(log);
+}
+
+// ------------------------------------------------------- Mutation fuzz
+
+std::vector<uint8_t>
+smallValidLog()
+{
+    rt::Session s(recordableConfig(4u << 20, 1), rt::Mode::Direct);
+    rt::KernelHandle k = s.compile(kScaleSrc, "scale");
+    rt::Buffer in = s.alloc(64 * 4);
+    rt::Buffer out = s.alloc(64 * 4);
+    s.startRecording();
+    s.enqueue(k, rt::NDRange{64, 1, 1}, rt::NDRange{16, 1, 1},
+              {rt::Arg::buf(in), rt::Arg::buf(out), rt::Arg::i32(64)});
+    return s.stopRecording();
+}
+
+TEST(ReplayFuzz, TruncationsAlwaysFailLocated)
+{
+    std::vector<uint8_t> valid = smallValidLog();
+    ASSERT_TRUE(replay::Log::fromBytes(valid).eventCount() > 0);
+    for (size_t len : {size_t(0), size_t(1), size_t(8), size_t(15),
+                       size_t(16), size_t(24), size_t(40),
+                       valid.size() / 2, valid.size() - 1}) {
+        std::vector<uint8_t> cut(valid.begin(), valid.begin() + len);
+        EXPECT_THROW(replay::Log::fromBytes(std::move(cut)),
+                     replay::ReplayError)
+            << "len=" << len;
+    }
+}
+
+TEST(ReplayFuzz, BitFlipsNeverCrash)
+{
+    std::vector<uint8_t> valid = smallValidLog();
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    int parsed = 0, rejected = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        std::vector<uint8_t> bytes = valid;
+        size_t pos = next() % bytes.size();
+        bytes[pos] ^= static_cast<uint8_t>(1u << (next() % 8));
+        try {
+            replay::Log log = replay::Log::fromBytes(std::move(bytes));
+            replay::ReplayOptions opt;
+            opt.hostThreads = 1;
+            replay::ReplayResult r = replay::replay(log, opt);
+            (void)r;   // ok or divergence: both are acceptable.
+            parsed++;
+        } catch (const SimError &) {
+            rejected++;   // ReplayError or SnapshotError: located.
+        }
+    }
+    // The per-event CRC catches almost every flip.
+    EXPECT_GT(rejected, 0);
+    EXPECT_EQ(parsed + rejected, 300);
+}
+
+TEST(ReplayFuzz, HostileCountsFailLocatedNeverCrash)
+{
+    // Build structurally valid logs whose payloads carry hostile
+    // counts and sizes; every one must fail with a located error.
+    auto configEvent = [](replay::LogWriter &w) {
+        snap::ChunkWriter &c = w.event(replay::kEvConfig);
+        c.u64(0x80000000ull);   // ramBase
+        c.u64(1u << 20);        // ramBytes: 256 pages
+        c.u32(8);               // numCores
+        c.u32(2);               // hostThreads
+        c.u8(1);                // verify
+        c.u8(1);                // instrument
+        c.u8(1);                // fastPath
+        c.u8(0);                // cpuDbt
+        c.u8(0);                // fullSystem
+        c.u8(0);                // reserved
+    };
+
+    {
+        // MemDelta claiming 2^32-1 pages.
+        replay::LogWriter w;
+        configEvent(w);
+        snap::ChunkWriter &m = w.event(replay::kEvMemDelta);
+        m.u8(1);
+        m.u32(0xffffffffu);
+        replay::Log log = replay::Log::fromBytes(w.finish());
+        EXPECT_THROW(replay::replay(log, {}), replay::ReplayError);
+    }
+    {
+        // MemDelta with an out-of-range page index.
+        replay::LogWriter w;
+        configEvent(w);
+        snap::ChunkWriter &m = w.event(replay::kEvMemDelta);
+        m.u8(1);
+        m.u32(1);
+        m.u32(100000);   // >> 256 pages
+        std::vector<uint8_t> page(4096, 0xab);
+        m.bytes(page.data(), page.size());
+        replay::Log log = replay::Log::fromBytes(w.finish());
+        EXPECT_THROW(replay::replay(log, {}), replay::ReplayError);
+    }
+    {
+        // RCFG with an implausible RAM size.
+        replay::LogWriter w;
+        snap::ChunkWriter &c = w.event(replay::kEvConfig);
+        c.u64(0x80000000ull);
+        c.u64(1ull << 40);
+        c.u32(8);
+        c.u32(2);
+        c.u8(1);
+        c.u8(1);
+        c.u8(1);
+        c.u8(0);
+        c.u8(0);
+        c.u8(0);
+        EXPECT_THROW(replay::Log::fromBytes(w.finish()),
+                     replay::ReplayError);
+    }
+    {
+        // Unknown event kind.
+        replay::LogWriter w;
+        configEvent(w);
+        w.event(snap::makeTag("EVIL")).u32(1);
+        EXPECT_THROW(replay::Log::fromBytes(w.finish()),
+                     replay::ReplayError);
+    }
+    {
+        // Truncated MMIO payload: located error at replay time.
+        replay::LogWriter w;
+        configEvent(w);
+        w.event(replay::kEvMmio).u32(gpu::kRegIrqMask);
+        replay::Log log = replay::Log::fromBytes(w.finish());
+        EXPECT_THROW(replay::replay(log, {}), replay::ReplayError);
+    }
+}
+
+// ----------------------------------------------------------- Plumbing
+
+TEST(Replay, DescribeAndDiffLocateDivergence)
+{
+    std::vector<uint8_t> valid = smallValidLog();
+    replay::Log a = replay::Log::fromBytes(valid);
+    EXPECT_NE(replay::describeEvent(a, 0).find("RCFG"),
+              std::string::npos);
+
+    // Self-diff is clean.
+    EXPECT_FALSE(replay::diffLogs(a, a).has_value());
+
+    // Flip one RAM byte inside the first delta: the diff names the
+    // event and the page.
+    for (size_t i = 0; i < a.eventCount(); ++i) {
+        if (a.kind(i) != replay::kEvMemDelta)
+            continue;
+        std::vector<uint8_t> mutated = valid;
+        // payload: u8 full | u32 count | u32 idx | page bytes...
+        size_t off = static_cast<size_t>(a.payload(i) - a.bytes().data());
+        size_t page_off = off + 1 + 4 + 4 + 100;
+        mutated[page_off] ^= 0xff;
+        // Recompute the event CRC so only the content differs.
+        uint32_t crc = snap::crc32(&mutated[off], a.payloadSize(i));
+        std::memcpy(&mutated[off - 4], &crc, 4);
+        replay::Log b = replay::Log::fromBytes(std::move(mutated));
+        std::optional<replay::Divergence> d = replay::diffLogs(a, b);
+        ASSERT_TRUE(d.has_value());
+        EXPECT_EQ(d->event, i);
+        EXPECT_NE(d->what.find("content differs"), std::string::npos);
+        break;
+    }
+}
+
+} // namespace
+} // namespace bifsim
