@@ -46,7 +46,9 @@
  * simulation thread that owns the Core; nothing here is touched by
  * device threads (they only drive Core::setIrqLine, which remains an
  * atomic the dispatch loop polls at block boundaries).  No handler,
- * translation, or invalidation path takes a lock.
+ * translation, or invalidation path takes a lock, so nothing here
+ * carries a sim::Mutex or GUARDED_BY annotation (DESIGN.md §5i:
+ * single-owner structures are exempt by contract, not by accident).
  */
 
 #include <cstdint>

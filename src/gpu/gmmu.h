@@ -33,6 +33,10 @@
  * GpuTlb, which must never be shared between threads.  Counters are
  * folded into the job result once at job completion, so the
  * translation fast path performs no shared-memory writes at all.
+ *
+ * Static-contract note (§5i): atomics-only — no sim::Mutex here, so
+ * nothing carries GUARDED_BY; the epoch protocol is the contract and
+ * TSan/the replay differ are its checkers.
  */
 
 #include <atomic>

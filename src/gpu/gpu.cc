@@ -63,12 +63,12 @@ GpuDevice::GpuDevice(PhysMem &mem, GpuConfig cfg, IrqFn irq)
 GpuDevice::~GpuDevice()
 {
     {
-        std::lock_guard<std::mutex> g(lock_);
+        sim::LockGuard g(lock_);
         shutdown_ = true;
         cv_.notify_all();
     }
     {
-        std::lock_guard<std::mutex> g(poolLock_);
+        sim::LockGuard g(poolLock_);
         poolCv_.notify_all();
     }
     jmThread_.join();
@@ -102,7 +102,7 @@ GpuDevice::raiseIrqLocked(uint32_t bits)
 uint32_t
 GpuDevice::mmioRead(Addr offset)
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     sys_.ctrlRegReads++;
     switch (offset) {
       case kRegGpuId:          return 0x47310000u | cfg_.numCores;
@@ -128,7 +128,7 @@ GpuDevice::mmioRead(Addr offset)
 void
 GpuDevice::mmioWrite(Addr offset, uint32_t value)
 {
-    std::unique_lock<std::mutex> g(lock_);
+    sim::UniqueLock g(lock_);
     sys_.ctrlRegWrites++;
     // JS_SUBMIT is captured by onSubmit() below, after the pre-chain
     // RAM delta, so the log preserves the delta -> submit ordering.
@@ -206,16 +206,15 @@ GpuDevice::mmioWrite(Addr offset, uint32_t value)
 void
 GpuDevice::waitIdle()
 {
-    std::unique_lock<std::mutex> l(lock_);
-    cv_.wait(l, [&] {
-        return submitQueue_.empty() && !chainActive_;
-    });
+    sim::UniqueLock l(lock_);
+    while (!submitQueue_.empty() || chainActive_)
+        cv_.wait(l);
 }
 
 bool
 GpuDevice::idle() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return submitQueue_.empty() && !chainActive_;
 }
 
@@ -223,7 +222,7 @@ void
 GpuDevice::reset()
 {
     waitIdle();
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     irqRaw_ = 0;
     irqMask_ = 0;
     jsStatus_ = kJsIdle;
@@ -290,7 +289,7 @@ restoreJobResult(snapshot::ChunkReader &r, JobResult &out)
 void
 GpuDevice::saveState(snapshot::ChunkWriter &w) const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     // Quiescence rule: job-slot state mid-chain lives on the JM thread
     // stack and in worker executors; it is not capturable.  Callers
     // must waitIdle() first.
@@ -338,7 +337,7 @@ GpuDevice::restoreState(snapshot::ChunkReader &r)
     cache_stats.hits = r.u64();
     r.expectEnd();
 
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     if (!submitQueue_.empty() || chainActive_)
         snapshot::snapshotError("cannot restore into a non-quiescent GPU");
     irqRaw_ = irq_raw;
@@ -366,14 +365,14 @@ GpuDevice::restoreState(snapshot::ChunkReader &r)
 JobResult
 GpuDevice::lastJob() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return lastJob_;
 }
 
 GpuDevice::RegState
 GpuDevice::regState() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return RegState{irqRaw_, jsStatus_, jobCount_, faultStatus_,
                     faultAddress_};
 }
@@ -388,7 +387,7 @@ GpuDevice::setRecorder(replay::Recorder *rec)
         if (!idle())
             simError("cannot attach a recorder while the GPU is busy");
     }
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     if (rec && irqRaw_ != 0)
         simError("cannot attach a recorder with unacknowledged IRQs "
                  "(raw 0x%x): clear them first so replayed IRQ state "
@@ -400,35 +399,35 @@ GpuDevice::setRecorder(replay::Recorder *rec)
 KernelStats
 GpuDevice::totalKernelStats() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return total_;
 }
 
 SystemStats
 GpuDevice::systemStats() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return sys_;
 }
 
 ShaderCacheStats
 GpuDevice::shaderCacheStats() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return cacheStats_;
 }
 
 SchedStats
 GpuDevice::schedulerStats() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return sched_;
 }
 
 void
 GpuDevice::resetStats()
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     sys_ = SystemStats{};
     total_ = KernelStats{};
     lastJob_ = JobResult{};
@@ -474,7 +473,7 @@ GpuDevice::getShader(uint32_t binary_va, std::string &error,
     // takes the device lock, once per job rather than per access.
     if (std::shared_ptr<DecodedShader> s =
             jmL1_.get(shaderCache_, binary_va)) {
-        std::lock_guard<std::mutex> g(lock_);
+        sim::LockGuard g(lock_);
         cacheStats_.hits++;
         if (jmBuf_)
             jmBuf_->span("decode", "shader", t0, "hit", 1, "va",
@@ -544,7 +543,7 @@ GpuDevice::getShader(uint32_t binary_va, std::string &error,
     auto shader =
         std::make_shared<DecodedShader>(DecodedShader::build(std::move(mod)));
     shaderCache_.insert(binary_va, shader, decode_epoch);
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     cacheStats_.decodes++;
     if (jmBuf_)
         jmBuf_->span("decode", "shader", t0, "hit", 0, "va", binary_va);
@@ -555,7 +554,7 @@ bool
 GpuDevice::runJob(const JobDescriptor &desc)
 {
     auto fail = [&](JobFaultKind kind, uint32_t va, std::string detail) {
-        std::lock_guard<std::mutex> g(lock_);
+        sim::LockGuard g(lock_);
         lastJob_ = JobResult{};
         lastJob_.faulted = true;
         lastJob_.fault = JobFault{kind, va, std::move(detail)};
@@ -625,14 +624,13 @@ GpuDevice::runJob(const JobDescriptor &desc)
 
     // Dispatch to the worker pool.
     {
-        std::unique_lock<std::mutex> l(poolLock_);
+        sim::UniqueLock l(poolLock_);
         activeJob_ = &ctx;
         workersDone_ = 0;
         jobSeq_++;
         poolCv_.notify_all();
-        poolDoneCv_.wait(l, [&] {
-            return workersDone_ == workers_.size();
-        });
+        while (workersDone_ != workers_.size())
+            poolDoneCv_.wait(l);
         activeJob_ = nullptr;
     }
 
@@ -656,10 +654,19 @@ GpuDevice::runJob(const JobDescriptor &desc)
     result.pagesAccessed = pages.size();
 
     if (ctx.faulted.load()) {
-        return fail(ctx.fault.kind, ctx.fault.va, ctx.fault.detail);
+        // Copy the winning fault out under its own lock, then release it
+        // before fail() takes the device lock — faultLock and lock_ are
+        // never held together.  (The completion barrier already ordered
+        // the write, but the contract is per-lock, not per-barrier.)
+        JobFault f;
+        {
+            sim::LockGuard g(ctx.faultLock);
+            f = ctx.fault;
+        }
+        return fail(f.kind, f.va, std::move(f.detail));
     }
 
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     lastJob_ = result;
     total_.merge(result.kernel);
     sched_.merge(jobSched);
@@ -724,7 +731,7 @@ GpuDevice::runChain(uint32_t desc_va)
     while (va != 0) {
         if (!visited.insert(va).second ||
             ++walked > kMaxChainDescriptors) {
-            std::lock_guard<std::mutex> g(lock_);
+            sim::LockGuard g(lock_);
             faultStatus_ =
                 static_cast<uint32_t>(JobFaultKind::BadDescriptor);
             faultAddress_ = va;
@@ -734,7 +741,7 @@ GpuDevice::runChain(uint32_t desc_va)
         }
         std::vector<uint8_t> raw;
         if (!readVaRange(va, JobDescriptor::kSizeBytes, raw)) {
-            std::lock_guard<std::mutex> g(lock_);
+            sim::LockGuard g(lock_);
             faultStatus_ =
                 static_cast<uint32_t>(JobFaultKind::BadDescriptor);
             faultAddress_ = va;
@@ -764,7 +771,7 @@ GpuDevice::runChain(uint32_t desc_va)
     if (jmBuf_)
         jmBuf_->span("chain", "jm", chain_t0, "jobs", jobs_run, "ok",
                      ok ? 1 : 0);
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     jsStatus_ = ok ? kJsDone : kJsFault;
     // Chain-complete interrupt: raised *after* the status update so a
     // driver woken by the last per-job IRQ can never observe a stale
@@ -778,10 +785,9 @@ GpuDevice::jmMain()
     for (;;) {
         uint32_t va = 0;
         {
-            std::unique_lock<std::mutex> l(lock_);
-            cv_.wait(l, [&] {
-                return shutdown_ || !submitQueue_.empty();
-            });
+            sim::UniqueLock l(lock_);
+            while (!shutdown_ && submitQueue_.empty())
+                cv_.wait(l);
             if (shutdown_)
                 return;
             va = submitQueue_.front();
@@ -791,7 +797,7 @@ GpuDevice::jmMain()
         }
         runChain(va);
         {
-            std::lock_guard<std::mutex> g(lock_);
+            sim::LockGuard g(lock_);
             chainActive_ = false;
             cv_.notify_all();
         }
@@ -806,11 +812,10 @@ GpuDevice::workerMain(unsigned idx)
             tracer_.registerThread(strfmt("gpu-worker-%u", idx)));
     }
     uint64_t my_seq = 0;
-    std::unique_lock<std::mutex> l(poolLock_);
+    sim::UniqueLock l(poolLock_);
     for (;;) {
-        poolCv_.wait(l, [&] {
-            return shutdown_ || (activeJob_ != nullptr && jobSeq_ != my_seq);
-        });
+        while (!shutdown_ && (activeJob_ == nullptr || jobSeq_ == my_seq))
+            poolCv_.wait(l);
         if (shutdown_)
             return;
         my_seq = jobSeq_;

@@ -34,24 +34,25 @@
  *                               (simulator detail; reflects auto
  *                               detection, not the configured value)
  *
- * Threading (full model in DESIGN.md §5f): MMIO handlers run on the
- * CPU/caller thread under lock_; the Job Manager chain loop runs on
- * its own thread (or inline on the submitting thread under
- * GpuConfig::syncSubmit); workgroups execute on the worker pool, which
- * parks on poolLock_ between jobs.  Lock order is lock_ -> poolLock_
- * (never the reverse); neither is ever held while executing guest
- * shader code.
+ * Threading (full model in DESIGN.md §5f, static contract §5i): MMIO
+ * handlers run on the CPU/caller thread under lock_; the Job Manager
+ * chain loop runs on its own thread (or inline on the submitting
+ * thread under GpuConfig::syncSubmit); workgroups execute on the
+ * worker pool, which parks on poolLock_ between jobs.  lock_ and
+ * poolLock_ are never held together (the job dispatch in runJob takes
+ * poolLock_ strictly after the chain walk released lock_); neither is
+ * ever held while executing guest shader code.
  */
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "analysis/analysis.h"
 #include "gpu/gmmu.h"
@@ -216,27 +217,28 @@ class GpuDevice : public Device
 
     /** Threading: any thread (normally the simulated CPU's); serialised
      *  internally by the device lock. */
-    uint32_t mmioRead(Addr offset) override;
+    uint32_t mmioRead(Addr offset) override EXCLUDES(lock_);
 
     /** Threading: any thread.  Under GpuConfig::syncSubmit a JS_SUBMIT
      *  write runs the whole chain inline before returning; otherwise it
      *  only enqueues for the Job Manager thread. */
-    void mmioWrite(Addr offset, uint32_t value) override;
+    void mmioWrite(Addr offset, uint32_t value) override
+        EXCLUDES(lock_, poolLock_);
 
     std::string name() const override { return "gpu"; }
 
     /** Blocks the calling host thread until all submitted chains have
      *  completed (host-side convenience for the direct runtime mode).
      *  Threading: any thread except the Job Manager itself. */
-    void waitIdle();
+    void waitIdle() EXCLUDES(lock_);
 
     /** True if no chain is queued or running (snapshot quiescence).
      *  Threading: any thread; instantaneous unless externally fenced. */
-    bool idle() const;
+    bool idle() const EXCLUDES(lock_);
 
     /** Returns the device to its power-on state (must be idle).
      *  Threading: any single thread, with no concurrent MMIO. */
-    void reset() override;
+    void reset() override EXCLUDES(lock_);
 
     /**
      * Serialises JM registers, AS/TRANSTAB configuration, job-slot
@@ -245,7 +247,7 @@ class GpuDevice : public Device
      * state mid-chain is not capturable.
      * Threading: any single thread, no concurrent MMIO/submits.
      */
-    void saveState(snapshot::ChunkWriter &w) const;
+    void saveState(snapshot::ChunkWriter &w) const EXCLUDES(lock_);
 
     /**
      * Restores from @p r.  Purges the shader decode cache and installs
@@ -255,30 +257,30 @@ class GpuDevice : public Device
      * Threading: any single thread, no concurrent MMIO/submits (the
      * cache purge requires the device to stay quiescent throughout).
      */
-    void restoreState(snapshot::ChunkReader &r);
+    void restoreState(snapshot::ChunkReader &r) EXCLUDES(lock_);
 
     /** Results of the most recently completed job.
      *  Threading: any thread (returns a copy taken under the lock). */
-    JobResult lastJob() const;
+    JobResult lastJob() const EXCLUDES(lock_);
 
     /** Kernel statistics accumulated over all jobs.
      *  Threading: any thread. */
-    KernelStats totalKernelStats() const;
+    KernelStats totalKernelStats() const EXCLUDES(lock_);
 
     /** System-level statistics (Table III).  Threading: any thread. */
-    SystemStats systemStats() const;
+    SystemStats systemStats() const EXCLUDES(lock_);
 
     /** Shader decode-cache statistics.  Threading: any thread. */
-    ShaderCacheStats shaderCacheStats() const;
+    ShaderCacheStats shaderCacheStats() const EXCLUDES(lock_);
 
     /** Work-stealing scheduler statistics accumulated over all jobs
      *  (host-side diagnostic; not snapshotted).
      *  Threading: any thread. */
-    SchedStats schedulerStats() const;
+    SchedStats schedulerStats() const EXCLUDES(lock_);
 
     /** Clears all statistics (not the decode cache).
      *  Threading: any thread. */
-    void resetStats();
+    void resetStats() EXCLUDES(lock_);
 
     /** The GPU MMU (used by host-side direct setup paths and tests).
      *  Threading: the returned reference is itself thread-safe per the
@@ -307,7 +309,7 @@ class GpuDevice : public Device
         uint32_t faultStatus;
         uint32_t faultAddress;
     };
-    RegState regState() const;
+    RegState regState() const EXCLUDES(lock_);
 
     /**
      * Attaches (or, with nullptr, detaches) a CPU<->GPU boundary
@@ -317,7 +319,7 @@ class GpuDevice : public Device
      * throws SimError otherwise.
      * Threading: simulation thread only, no concurrent MMIO.
      */
-    void setRecorder(replay::Recorder *rec);
+    void setRecorder(replay::Recorder *rec) EXCLUDES(lock_);
 
   private:
     PhysMem &mem_;
@@ -325,61 +327,68 @@ class GpuDevice : public Device
     IrqFn irq_;
     GpuMmu mmu_;
     trace::Tracer tracer_;
-    trace::TraceBuffer *devBuf_ = nullptr;   ///< MMIO/IRQ events; all
-                                             ///< writes under lock_.
+    trace::TraceBuffer *devBuf_ = nullptr;   ///< MMIO/IRQ events; the
+                                             ///< pointer is immutable
+                                             ///< after construction,
+                                             ///< all event writes
+                                             ///< happen under lock_.
     trace::TraceBuffer *jmBuf_ = nullptr;    ///< Job Manager thread.
-    replay::Recorder *recorder_ = nullptr;   ///< Boundary capture hooks
+    replay::Recorder *recorder_ GUARDED_BY(lock_) = nullptr;
+                                             ///< Boundary capture hooks
                                              ///< (null = not recording).
 
-    mutable std::mutex lock_;
-    std::condition_variable cv_;        ///< JM wakeup / waitIdle.
-    std::deque<uint32_t> submitQueue_;
+    /** Device lock: MMIO register file, IRQ lines, submit queue, and
+     *  the guest-visible statistics.  Never held together with
+     *  poolLock_ and never while guest shader code executes. */
+    mutable sim::Mutex lock_;
+    sim::CondVar cv_;                   ///< JM wakeup / waitIdle.
+    std::deque<uint32_t> submitQueue_ GUARDED_BY(lock_);
     std::atomic<bool> shutdown_{false};
-    bool chainActive_ = false;
+    bool chainActive_ GUARDED_BY(lock_) = false;
 
-    uint32_t irqRaw_ = 0;
-    uint32_t irqMask_ = 0;
-    uint32_t jsStatus_ = kJsIdle;
-    uint32_t jobCount_ = 0;
-    uint32_t faultStatus_ = 0;
-    uint32_t faultAddress_ = 0;
-    bool irqLevel_ = false;
+    uint32_t irqRaw_ GUARDED_BY(lock_) = 0;
+    uint32_t irqMask_ GUARDED_BY(lock_) = 0;
+    uint32_t jsStatus_ GUARDED_BY(lock_) = kJsIdle;
+    uint32_t jobCount_ GUARDED_BY(lock_) = 0;
+    uint32_t faultStatus_ GUARDED_BY(lock_) = 0;
+    uint32_t faultAddress_ GUARDED_BY(lock_) = 0;
+    bool irqLevel_ GUARDED_BY(lock_) = false;
 
-    SystemStats sys_;
-    KernelStats total_;
-    JobResult lastJob_;
-    SchedStats sched_;             ///< Accumulated over jobs (lock_).
+    SystemStats sys_ GUARDED_BY(lock_);
+    KernelStats total_ GUARDED_BY(lock_);
+    JobResult lastJob_ GUARDED_BY(lock_);
+    SchedStats sched_ GUARDED_BY(lock_);   ///< Accumulated over jobs.
 
     ShaderCacheL2 shaderCache_;    ///< Shared decode cache (own sync).
     ShaderCacheL1 jmL1_;           ///< Submit-path L1.  Serialised by
                                    ///< the one-chain-at-a-time rule,
                                    ///< like jmTlb_.
     GpuTlb jmTlb_;                 ///< Chain-walk TLB (readVaRange).
-    ShaderCacheStats cacheStats_;  ///< Guest-visible stats (lock_).
+    ShaderCacheStats cacheStats_ GUARDED_BY(lock_);   ///< Guest-visible.
 
     // Worker pool.  Parked workers wait on poolCv_; a job is published
     // by setting activeJob_ and bumping jobSeq_ under poolLock_, and
     // completion is the workersDone_ == workers barrier on poolDoneCv_.
     // The slice deques are (re)filled only while the pool is parked.
-    std::mutex poolLock_;
-    std::condition_variable poolCv_;
-    std::condition_variable poolDoneCv_;
-    JobContext *activeJob_ = nullptr;
-    uint64_t jobSeq_ = 0;
-    unsigned workersDone_ = 0;
+    sim::Mutex poolLock_;
+    sim::CondVar poolCv_;
+    sim::CondVar poolDoneCv_;
+    JobContext *activeJob_ GUARDED_BY(poolLock_) = nullptr;
+    uint64_t jobSeq_ GUARDED_BY(poolLock_) = 0;
+    unsigned workersDone_ GUARDED_BY(poolLock_) = 0;
     std::vector<WorkgroupExecutor> executors_;
     std::unique_ptr<SliceDeque[]> deques_;   ///< One per worker.
     std::vector<std::thread> workers_;
     std::thread jmThread_;
 
-    void jmMain();
-    void workerMain(unsigned idx);
+    void jmMain() EXCLUDES(lock_, poolLock_);
+    void workerMain(unsigned idx) EXCLUDES(lock_, poolLock_);
 
     /** Executes one chain of jobs starting at @p desc_va. */
-    void runChain(uint32_t desc_va);
+    void runChain(uint32_t desc_va) EXCLUDES(lock_, poolLock_);
 
     /** Executes one job; returns false on fault (chain stops). */
-    bool runJob(const JobDescriptor &desc);
+    bool runJob(const JobDescriptor &desc) EXCLUDES(lock_, poolLock_);
 
     /** Deals the grid into per-worker slice deques (pool parked). */
     void distributeSlices(uint32_t total_groups);
@@ -394,10 +403,12 @@ class GpuDevice : public Device
                                              std::string &error,
                                              JobFaultKind &kind);
 
-    /** Updates the IRQ output level; must be called with lock_ held,
-     *  fires the callback after dropping it via the returned action. */
-    void raiseIrqLocked(uint32_t bits);
-    void updateIrqOutput();   // lock_ held
+    /** Latches @p bits into IRQ_RAWSTAT and refreshes the output line.
+     *  Note the irq_ callback fires synchronously under lock_; the INTC
+     *  sink must therefore never call back into GPU MMIO (it doesn't —
+     *  it only latches its own pending bits; DESIGN.md §5f). */
+    void raiseIrqLocked(uint32_t bits) REQUIRES(lock_);
+    void updateIrqOutput() REQUIRES(lock_);
 };
 
 } // namespace bifsim::gpu

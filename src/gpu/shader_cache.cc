@@ -26,7 +26,7 @@ void
 ShaderCacheL2::insert(uint32_t va, std::shared_ptr<DecodedShader> shader,
                       uint64_t decode_epoch)
 {
-    std::lock_guard<std::mutex> g(writeLock_);
+    sim::LockGuard g(writeLock_);
     std::atomic<Node *> &head = buckets_[bucketOf(va)];
     Node *n = new Node{va, decode_epoch, std::move(shader),
                        head.load(std::memory_order_relaxed)};

@@ -48,7 +48,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace bifsim::gpu {
 
@@ -79,7 +80,7 @@ class ShaderCacheL2
      * Any thread; inserts are serialised internally.
      */
     void insert(uint32_t va, std::shared_ptr<DecodedShader> shader,
-                uint64_t decode_epoch);
+                uint64_t decode_epoch) EXCLUDES(writeLock_);
 
     /** Makes every current node stale (single atomic bump; nodes are
      *  reclaimed later by purge()).  Any thread. */
@@ -120,9 +121,13 @@ class ShaderCacheL2
         return (va * 2654435761u) >> 26 & (kBuckets - 1);
     }
 
+    // The bucket heads and epoch are deliberately NOT guarded by
+    // writeLock_: the read path is lock-free by design (acquire loads
+    // pairing with insert()'s release publish; §5i lock-free exemption).
+    // writeLock_ only serialises concurrent inserts against each other.
     std::atomic<Node *> buckets_[kBuckets] = {};
     std::atomic<uint64_t> epoch_{1};
-    std::mutex writeLock_;   ///< Serialises insert(); purge() needs
+    sim::Mutex writeLock_;   ///< Serialises insert(); purge() needs
                              ///< quiescence instead (see above).
 };
 

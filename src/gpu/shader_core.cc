@@ -125,7 +125,7 @@ void
 JobContext::raiseFault(uint32_t group, JobFaultKind kind, uint32_t va,
                        const std::string &detail)
 {
-    std::lock_guard<std::mutex> g(faultLock);
+    sim::LockGuard g(faultLock);
     // Lowest-group-wins, not first-to-arrive: with several workers the
     // arrival order of faults from different groups is a race, but the
     // lowest faulting group is a pure function of the guest inputs.

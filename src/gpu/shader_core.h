@@ -30,9 +30,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "gpu/gmmu.h"
 #include "gpu/isa/bif.h"
@@ -153,9 +154,14 @@ struct JobContext
                                         ///< TLB (false = legacy loop).
 
     std::atomic<bool> faulted{false};
-    std::mutex faultLock;
-    JobFault fault;
-    uint32_t faultGroup = 0xffffffffu;   ///< Lowest faulting group.
+
+    /** Fault latch lock.  Never held together with the GPU device lock
+     *  (runJob copies the fault out under faultLock, releases it, then
+     *  reports under lock_). */
+    sim::Mutex faultLock;
+    JobFault fault GUARDED_BY(faultLock);
+    uint32_t faultGroup GUARDED_BY(faultLock) = 0xffffffffu;
+                                         ///< Lowest faulting group.
 
     /**
      * Records a fault raised by workgroup @p group (thread-safe; any

@@ -35,6 +35,11 @@
  * Memory ordering follows Lê, Pop, Cohen & Zappa Nardelli, "Correct
  * and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13);
  * this is the TSan-clean formulation of the Chase-Lev deque.
+ *
+ * Static-contract note (DESIGN.md §5i): this structure is lock-free by
+ * design and therefore exempt from the sim::Mutex/GUARDED_BY rule —
+ * its invariants are the atomics' memory orderings above, which the
+ * thread-safety analysis cannot express.  TSan remains the checker.
  */
 
 #include <atomic>

@@ -195,7 +195,12 @@ struct RecordInfo
  *
  * Threading: all hooks fire on the submitting thread (guaranteed by
  * the syncSubmit requirement); construction, finish() and destruction
- * belong to that same simulation thread.
+ * belong to that same simulation thread.  Single-owner by contract,
+ * so the Recorder carries no sim::Mutex/GUARDED_BY (DESIGN.md §5i) —
+ * note the GPU-side hook *dispatch* does run under the device lock_:
+ * onMmioWrite/onIrqRaise fire inside GpuDevice's critical sections,
+ * while onSubmit/onChainComplete fire outside them (gpu.cc), all on
+ * the one submitting thread.
  */
 class Recorder
 {

@@ -29,7 +29,9 @@
  * work-stealing scheduler) and blocks until completion, so callers
  * never observe partial results.  The per-method "Threading:" lines
  * below only flag the few additional constraints (quiescence for
- * snapshot/trace export).
+ * snapshot/trace export).  Because exactly one thread may touch a
+ * Session, it carries no sim::Mutex and no GUARDED_BY annotations
+ * (DESIGN.md §5i single-owner exemption).
  */
 
 #include <cstdint>

@@ -22,13 +22,13 @@ System::System(SystemConfig cfg)
     timer_ = std::make_unique<soc::Timer>([this](bool level) {
         cpu_->setIrqLine(sa32::kIrqTimer, level);
         if (level)
-            wakeCv_.notify_all();
+            wake();
     });
 
     intc_ = std::make_unique<soc::Intc>([this](bool level) {
         cpu_->setIrqLine(sa32::kIrqExternal, level);
         if (level)
-            wakeCv_.notify_all();
+            wake();
     });
 
     gpu_ = std::make_unique<gpu::GpuDevice>(
@@ -39,6 +39,14 @@ System::System(SystemConfig cfg)
     bus_.attachDevice(kTimerBase, 0x1000, timer_.get());
     bus_.attachDevice(kIntcBase, 0x1000, intc_.get());
     bus_.attachDevice(kGpuBase, 0x10000, gpu_.get());
+}
+
+void
+System::wake()
+{
+    sim::LockGuard g(wakeLock_);
+    wakePending_ = true;
+    wakeCv_.notify_all();
 }
 
 sa32::StopReason
@@ -74,8 +82,19 @@ System::runCpu(uint64_t max_insts)
         if (++idle_spins > 50000)
             return sa32::StopReason::Wfi;
         {
-            std::unique_lock<std::mutex> l(wakeLock_);
-            wakeCv_.wait_for(l, std::chrono::microseconds(200));
+            // Predicate-checked sleep: a wake() that fired between the
+            // WFI stop above and this park is latched in wakePending_
+            // and skips the wait entirely — the IRQ-to-resume latency
+            // is then bounded by the lock handoff, not the 200 us
+            // timeout.  The old shape (bare notify_all from the device
+            // callbacks, no predicate here) is the lost-wakeup fixture
+            // in tests/test_annotations/: with wakePending_ declared
+            // GUARDED_BY(wakeLock_), the unlocked latch update no
+            // longer compiles under clang -Werror=thread-safety.
+            sim::UniqueLock l(wakeLock_);
+            if (!wakePending_)
+                wakeCv_.wait_for(l, std::chrono::microseconds(200));
+            wakePending_ = false;
         }
         timer_->tick(1000);   // Guest time passes while asleep.
     }

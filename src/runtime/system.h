@@ -18,10 +18,10 @@
  * instruction.
  */
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 #include "cpu/core.h"
 #include "gpu/gpu.h"
@@ -124,8 +124,17 @@ class System
     std::unique_ptr<sa32::Core> cpu_;
     std::unique_ptr<gpu::GpuDevice> gpu_;
 
-    std::mutex wakeLock_;
-    std::condition_variable wakeCv_;
+    /** Marks a device wakeup and notifies a sleeping runCpu().  Called
+     *  from device IRQ callbacks (timer on the CPU thread, INTC from
+     *  the GPU Job Manager thread).  The notify happens with wakeLock_
+     *  held and pairs with the wakePending_ predicate in runCpu(), so
+     *  a wakeup that lands between the CPU observing WFI and parking
+     *  on wakeCv_ is latched, not lost. */
+    void wake() EXCLUDES(wakeLock_);
+
+    sim::Mutex wakeLock_;
+    sim::CondVar wakeCv_;
+    bool wakePending_ GUARDED_BY(wakeLock_) = false;
 };
 
 } // namespace bifsim::rt

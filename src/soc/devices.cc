@@ -9,7 +9,7 @@ namespace bifsim::soc {
 void
 Intc::setLine(unsigned line, bool level)
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     uint32_t mask = 1u << (line & 31);
     if (level)
         pending_ |= mask;
@@ -21,7 +21,7 @@ Intc::setLine(unsigned line, bool level)
 uint32_t
 Intc::pending() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return pending_;
 }
 
@@ -39,7 +39,7 @@ Intc::updateOutput()
 uint32_t
 Intc::mmioRead(Addr offset)
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     switch (offset) {
       case kRegPending:
         return pending_;
@@ -61,7 +61,7 @@ Intc::mmioRead(Addr offset)
 void
 Intc::mmioWrite(Addr offset, uint32_t value)
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     if (offset == kRegEnable) {
         enable_ = value;
         updateOutput();
@@ -71,7 +71,7 @@ Intc::mmioWrite(Addr offset, uint32_t value)
 void
 Intc::reset()
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     pending_ = 0;
     enable_ = 0;
     updateOutput();
@@ -80,7 +80,7 @@ Intc::reset()
 void
 Intc::saveState(snapshot::ChunkWriter &w) const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     w.u32(pending_);
     w.u32(enable_);
 }
@@ -90,7 +90,7 @@ Intc::restoreState(snapshot::ChunkReader &r)
 {
     uint32_t pending = r.u32();
     uint32_t enable = r.u32();
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     pending_ = pending;
     enable_ = enable;
     updateOutput();
@@ -205,14 +205,24 @@ Timer::restoreState(snapshot::ChunkReader &r)
 std::string
 Uart::output() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     return output_;
+}
+
+void
+Uart::setEcho(bool echo)
+{
+    // mmioWrite reads echo_ under lock_ from whichever thread drives
+    // guest MMIO; toggling it unlocked was a data race (caught by the
+    // annotation migration; regression: test_soc.UartEchoToggleRace).
+    sim::LockGuard g(lock_);
+    echo_ = echo;
 }
 
 void
 Uart::clearOutput()
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     output_.clear();
 }
 
@@ -229,7 +239,7 @@ Uart::mmioWrite(Addr offset, uint32_t value)
 {
     if (offset != kRegThr)
         return;
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     char c = static_cast<char>(value & 0xff);
     output_ += c;
     if (echo_)
@@ -246,7 +256,7 @@ Uart::reset()
 void
 Uart::saveState(snapshot::ChunkWriter &w) const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     w.str(output_);
 }
 
@@ -254,7 +264,7 @@ void
 Uart::restoreState(snapshot::ChunkReader &r)
 {
     std::string out = r.str();
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     output_ = std::move(out);
 }
 

@@ -10,8 +10,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 #include "mem/device.h"
 #include "snapshot/snapshot.h"
@@ -37,35 +38,37 @@ class Intc : public Device
     /** @param output  Invoked whenever the aggregate output changes. */
     explicit Intc(OutputFn output) : output_(std::move(output)) {}
 
-    /** Drives device line @p line to @p level.  Thread-safe. */
-    void setLine(unsigned line, bool level);
+    /** Drives device line @p line to @p level.  Thread-safe (any
+     *  device thread; the GPU raises its line from the JM thread). */
+    void setLine(unsigned line, bool level) EXCLUDES(lock_);
 
     /** Current raw pending mask (for tests). */
-    uint32_t pending() const;
+    uint32_t pending() const EXCLUDES(lock_);
 
-    uint32_t mmioRead(Addr offset) override;
-    void mmioWrite(Addr offset, uint32_t value) override;
-    void reset() override;
+    uint32_t mmioRead(Addr offset) override EXCLUDES(lock_);
+    void mmioWrite(Addr offset, uint32_t value) override EXCLUDES(lock_);
+    void reset() override EXCLUDES(lock_);
     std::string name() const override { return "intc"; }
 
     /** Serialises pending/enable state into @p w. */
-    void saveState(snapshot::ChunkWriter &w) const;
+    void saveState(snapshot::ChunkWriter &w) const EXCLUDES(lock_);
 
     /** Restores from @p r and re-drives the output callback. */
-    void restoreState(snapshot::ChunkReader &r);
+    void restoreState(snapshot::ChunkReader &r) EXCLUDES(lock_);
 
     static constexpr Addr kRegPending = 0x00;
     static constexpr Addr kRegEnable = 0x04;
     static constexpr Addr kRegClaim = 0x08;
 
   private:
-    mutable std::mutex lock_;
-    OutputFn output_;
-    uint32_t pending_ = 0;
-    uint32_t enable_ = 0;
-    bool out_level_ = false;
+    mutable sim::Mutex lock_;
+    OutputFn output_;                         ///< Immutable after ctor;
+                                              ///< fired under lock_.
+    uint32_t pending_ GUARDED_BY(lock_) = 0;
+    uint32_t enable_ GUARDED_BY(lock_) = 0;
+    bool out_level_ GUARDED_BY(lock_) = false;
 
-    void updateOutput();   // lock_ held
+    void updateOutput() REQUIRES(lock_);
 };
 
 /**
@@ -77,6 +80,9 @@ class Intc : public Device
  *
  * Time is advanced explicitly by the platform (1 tick = 1 retired guest
  * instruction).  Raises the CPU timer interrupt while mtime >= mtimecmp.
+ *
+ * Threading: single-threaded by contract — tick() and MMIO both run on
+ * the CPU/simulation thread only, so the Timer carries no lock (§5i).
  *
  * 64-bit reads are tear-free: reading a LO register latches the
  * matching HI word, and the next HI read returns the latched value, so
@@ -139,32 +145,34 @@ class Uart : public Device
     Uart() = default;
 
     /** Everything the guest has printed so far. */
-    std::string output() const;
+    std::string output() const EXCLUDES(lock_);
 
     /** Clears the captured output. */
-    void clearOutput();
+    void clearOutput() EXCLUDES(lock_);
 
-    /** If true, echo guest output to the simulator's stderr. */
-    void setEcho(bool echo) { echo_ = echo; }
+    /** If true, echo guest output to the simulator's stderr.
+     *  Thread-safe: echo_ is read under lock_ by mmioWrite, so the
+     *  toggle takes the same lock. */
+    void setEcho(bool echo) EXCLUDES(lock_);
 
-    uint32_t mmioRead(Addr offset) override;
-    void mmioWrite(Addr offset, uint32_t value) override;
-    void reset() override;
+    uint32_t mmioRead(Addr offset) override EXCLUDES(lock_);
+    void mmioWrite(Addr offset, uint32_t value) override EXCLUDES(lock_);
+    void reset() override EXCLUDES(lock_);
     std::string name() const override { return "uart"; }
 
     /** Serialises the captured output into @p w. */
-    void saveState(snapshot::ChunkWriter &w) const;
+    void saveState(snapshot::ChunkWriter &w) const EXCLUDES(lock_);
 
     /** Restores the captured output from @p r. */
-    void restoreState(snapshot::ChunkReader &r);
+    void restoreState(snapshot::ChunkReader &r) EXCLUDES(lock_);
 
     static constexpr Addr kRegThr = 0x00;
     static constexpr Addr kRegLsr = 0x04;
 
   private:
-    mutable std::mutex lock_;
-    std::string output_;
-    bool echo_ = false;
+    mutable sim::Mutex lock_;
+    std::string output_ GUARDED_BY(lock_);
+    bool echo_ GUARDED_BY(lock_) = false;
 };
 
 } // namespace bifsim::soc

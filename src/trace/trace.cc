@@ -108,7 +108,7 @@ Tracer::registerThread(const std::string &name)
 {
     if (!enabled_)
         return nullptr;
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     buffers_.push_back(std::make_unique<TraceBuffer>(name, cap_));
     return buffers_.back().get();
 }
@@ -116,7 +116,7 @@ Tracer::registerThread(const std::string &name)
 size_t
 Tracer::eventCount() const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     size_t n = 0;
     for (const auto &b : buffers_)
         n += b->size();
@@ -127,7 +127,7 @@ std::vector<Tracer::TaggedEvent>
 Tracer::merged() const
 {
     std::vector<TaggedEvent> out;
-    std::lock_guard<std::mutex> g(lock_);
+    sim::LockGuard g(lock_);
     std::vector<Event> tmp;
     for (unsigned i = 0; i < buffers_.size(); ++i) {
         tmp.clear();
@@ -173,7 +173,7 @@ Tracer::exportChromeJson(std::ostream &os) const
     os << "{\"traceEvents\":[";
     bool first = true;
     {
-        std::lock_guard<std::mutex> g(lock_);
+        sim::LockGuard g(lock_);
         for (unsigned i = 0; i < buffers_.size(); ++i) {
             if (!first)
                 os << ",\n";

@@ -36,10 +36,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace bifsim::trace {
 
@@ -193,16 +194,17 @@ class Tracer
      * Threading: any thread (registration serialises on an internal
      * lock); typically called once from each thread at startup.
      */
-    TraceBuffer *registerThread(const std::string &name);
+    TraceBuffer *registerThread(const std::string &name)
+        EXCLUDES(lock_);
 
     /** Total events currently retained across all buffers.
      *  Threading: any thread; approximate while producers run. */
-    size_t eventCount() const;
+    size_t eventCount() const EXCLUDES(lock_);
 
     /** Writes Chrome trace_event JSON ({"traceEvents":[...]}).
      *  Threading: any thread, but producers must be quiescent (e.g.
      *  after GpuDevice::waitIdle) for a consistent snapshot. */
-    void exportChromeJson(std::ostream &os) const;
+    void exportChromeJson(std::ostream &os) const EXCLUDES(lock_);
 
     /** Writes the JSON to @p path; false on I/O failure.
      *  Threading: as exportChromeJson. */
@@ -220,12 +222,12 @@ class Tracer
         Event e;
         unsigned tid;
     };
-    std::vector<TaggedEvent> merged() const;
+    std::vector<TaggedEvent> merged() const EXCLUDES(lock_);
 
     bool enabled_;
     size_t cap_;
-    mutable std::mutex lock_;   ///< Guards buffers_ (registration).
-    std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+    mutable sim::Mutex lock_;   ///< Guards buffers_ (registration).
+    std::vector<std::unique_ptr<TraceBuffer>> buffers_ GUARDED_BY(lock_);
 };
 
 } // namespace bifsim::trace

@@ -1,0 +1,11 @@
+// Seeded-violation fixture (simlint check: tlv-tag).
+// "DUPE" is claimed here first; the duplicate lives in serial_b.h.
+#include <cstdint>
+
+constexpr uint32_t makeTag(const char (&n)[5])
+{
+    return n[0] | n[1] << 8 | n[2] << 16 | n[3] << 24;
+}
+
+constexpr uint32_t kTagAlpha = makeTag("ALPH");
+constexpr uint32_t kTagDupe = makeTag("DUPE");

@@ -1,0 +1,8 @@
+// Seeded-violation fixture (simlint check: tlv-tag).
+// Line 6 re-claims "DUPE" (first defined in serial_a.h) — the exact
+// file:line the test asserts.  Read-side uses (line 8) are legal.
+#include <cstdint>
+
+constexpr uint32_t kTagDupeAgain = makeTag("DUPE");
+
+inline uint32_t readSide() { return makeTag("DUPE"); }

@@ -1,0 +1,14 @@
+// Seeded-violation fixture (simlint check: dbt-parity).
+// The op list names Add, Sub and Foo; Foo (line 8) has no HANDLER
+// body, and Ghost (line 12) has a handler but no list entry — both
+// file:line pairs are asserted exactly by the test.
+
+#define DBT_OPS(X) \
+    X(Add) X(Sub) \
+    X(Foo)
+
+#define HANDLER(name) L_##name:
+
+HANDLER(Ghost) { }
+HANDLER(Add) { }
+HANDLER(Sub) { }

@@ -1,0 +1,11 @@
+// Seeded-violation fixture (simlint check: counters).
+// Line 8: orphan (emitted, never documented).  Line 9: duplicate of
+// line 7.  Line 10: breaks the prefix.lower_snake grammar.
+#include <string>
+void appendCounters()
+{
+    out.push_back({"sched.slices_run", 1});
+    out.push_back({"sched.bogus_counter", 2});
+    out.push_back({"sched.slices_run", 3});
+    out.push_back({"sched.CamelCase", 4});
+}

@@ -1,0 +1,15 @@
+// Seeded-violation fixture (simlint check: mutex-coverage).
+// Line 9: raw standard mutex member (banned in src/).  Line 11: a
+// sim::Mutex member no annotation in this file ever references.
+// Line 14's busy_ is properly guarded, so guarded_ must NOT be
+// flagged.
+class Widget
+{
+  private:
+    std::mutex raw_;
+
+    sim::Mutex lonely_;
+
+    sim::Mutex guarded_;
+    int busy_ GUARDED_BY(guarded_) = 0;
+};

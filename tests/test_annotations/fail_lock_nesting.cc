@@ -1,0 +1,29 @@
+// Negative-compile fixture: the repo encodes its no-nesting lock
+// discipline (DESIGN.md §5f/§5i) as EXCLUDES contracts — calling a
+// function that promises "caller must NOT hold lock_" while holding
+// it is exactly the self-deadlock class the GPU device guards
+// against, and must fail under clang ("while mutex").  Under GCC
+// this compiles.
+#include "common/thread_annotations.h"
+
+namespace bifsim {
+
+class Device
+{
+  public:
+    void submit() EXCLUDES(lock_)
+    {
+        sim::LockGuard g(lock_);
+        waitIdle();   // BUG: waitIdle() re-acquires lock_ itself.
+    }
+
+    void waitIdle() EXCLUDES(lock_)
+    {
+        sim::LockGuard g(lock_);
+    }
+
+  private:
+    sim::Mutex lock_;
+};
+
+} // namespace bifsim

@@ -1,0 +1,34 @@
+// Negative-compile fixture: acquiring two mutexes against their
+// declared ACQUIRED_BEFORE order must fail under clang
+// -Werror=thread-safety-beta ("must be acquired before" — ordering
+// checks live behind the -beta flag).  Under GCC this compiles.
+//
+// The production tree declares no ACQUIRED_BEFORE chain on purpose —
+// its discipline is *no nesting*, encoded as EXCLUDES (see
+// fail_lock_nesting.cc) — but the harness still proves the ordering
+// vocabulary works for any future component that needs a real chain.
+#include "common/thread_annotations.h"
+
+namespace bifsim {
+
+class Ordered
+{
+  public:
+    void good()
+    {
+        sim::LockGuard a(first_);
+        sim::LockGuard b(second_);
+    }
+
+    void bad()
+    {
+        sim::LockGuard b(second_);
+        sim::LockGuard a(first_);   // BUG: inverts the declared order.
+    }
+
+  private:
+    sim::Mutex first_ ACQUIRED_BEFORE(second_);
+    sim::Mutex second_;
+};
+
+} // namespace bifsim

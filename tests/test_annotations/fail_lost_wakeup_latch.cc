@@ -1,0 +1,34 @@
+// Negative-compile fixture: the lost-wakeup shape System::wake()
+// fixed in this PR.  The wake-pending latch is GUARDED_BY the wake
+// lock; updating it before notify without holding the lock — the
+// pre-fix bug, where a wake between the sleeper's predicate check
+// and its wait was dropped — must fail under clang ("requires
+// holding mutex").  Under GCC this compiles.
+#include "common/thread_annotations.h"
+
+namespace bifsim {
+
+class SleepWake
+{
+  public:
+    void wake()
+    {
+        wakePending_ = true;   // BUG: wakeLock_ is not held.
+        wakeCv_.notify_all();
+    }
+
+    void sleep()
+    {
+        sim::UniqueLock l(wakeLock_);
+        while (!wakePending_)
+            wakeCv_.wait(l);
+        wakePending_ = false;
+    }
+
+  private:
+    sim::Mutex wakeLock_;
+    sim::CondVar wakeCv_;
+    bool wakePending_ GUARDED_BY(wakeLock_) = false;
+};
+
+} // namespace bifsim

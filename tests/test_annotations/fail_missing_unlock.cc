@@ -1,0 +1,26 @@
+// Negative-compile fixture: a path that acquires a mutex and returns
+// without releasing it must fail under clang -Werror=thread-safety
+// ("still held at the end of function").  Under GCC this compiles.
+#include "common/thread_annotations.h"
+
+namespace bifsim {
+
+class Box
+{
+  public:
+    int poke(bool fast)
+    {
+        lock_.lock();
+        if (fast)
+            return value_;   // BUG: early return leaks the lock.
+        ++value_;
+        lock_.unlock();
+        return 0;
+    }
+
+  private:
+    sim::Mutex lock_;
+    int value_ GUARDED_BY(lock_) = 0;
+};
+
+} // namespace bifsim

@@ -1,0 +1,28 @@
+// Negative-compile fixture: writing a GUARDED_BY member without
+// holding its mutex must fail under clang -Werror=thread-safety
+// ("requires holding mutex").  Under GCC the annotations expand to
+// nothing and this file must compile cleanly.
+#include "common/thread_annotations.h"
+
+namespace bifsim {
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        ++value_;   // BUG: lock_ is not held here.
+    }
+
+    int read()
+    {
+        sim::LockGuard g(lock_);
+        return value_;
+    }
+
+  private:
+    sim::Mutex lock_;
+    int value_ GUARDED_BY(lock_) = 0;
+};
+
+} // namespace bifsim

@@ -1,0 +1,50 @@
+// Positive control: a correctly-annotated component exercising every
+// wrapper (Mutex, LockGuard, UniqueLock, CondVar) and contract kind
+// (GUARDED_BY, REQUIRES, EXCLUDES).  Must compile under clang
+// -Werror=thread-safety AND under GCC — if this fails, the harness
+// flags are broken, not the annotations.
+#include "common/thread_annotations.h"
+
+namespace bifsim {
+
+class Mailbox
+{
+  public:
+    void post(int v) EXCLUDES(lock_)
+    {
+        sim::LockGuard g(lock_);
+        value_ = v;
+        ready_ = true;
+        cv_.notify_all();
+    }
+
+    int take() EXCLUDES(lock_)
+    {
+        sim::UniqueLock l(wakeRef());
+        while (!ready_)
+            cv_.wait(l);
+        ready_ = false;
+        return drain();
+    }
+
+  private:
+    // RETURN_CAPABILITY lets the analysis see through the accessor.
+    sim::Mutex &wakeRef() RETURN_CAPABILITY(lock_) { return lock_; }
+
+    int drain() REQUIRES(lock_) { return value_; }
+
+    sim::Mutex lock_;
+    sim::CondVar cv_;
+    int value_ GUARDED_BY(lock_) = 0;
+    bool ready_ GUARDED_BY(lock_) = false;
+};
+
+} // namespace bifsim
+
+int
+main()
+{
+    bifsim::Mailbox m;
+    m.post(7);
+    return m.take() == 7 ? 0 : 1;
+}
