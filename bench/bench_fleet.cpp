@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Fleet benchmark (DESIGN.md §5j): what serving simulations from one
+ * shared CoW warm-boot image buys over booting per tenant.
+ *
+ * Three measurements:
+ *
+ *  1. Spawn cost — cold FullSystem bring-up (guest boot, buffer setup,
+ *     JIT of the six-kernel SGEMM library) versus a pool spawn from
+ *     the shared parsed image, versus a recycle of an already-live
+ *     session.  Gate: warm spawn must be >= 5x cheaper than cold boot.
+ *  2. Fleet scale — 64 sessions live at once over one image (the
+ *     acceptance floor for simulation-as-a-service density).
+ *  3. Job latency — p50/p99 of submitSync round trips with concurrent
+ *     tenants hammering the scheduler.
+ *
+ * Writes BENCH_fleet.json.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "fleet/fleet.h"
+#include "workloads/sgemm_variants.h"
+
+using namespace bifsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv, 1.0);
+    bench::banner("fleet",
+                  "session fleet: cold boot vs CoW warm spawn vs "
+                  "recycle, 64-session density, job latency");
+
+    const uint32_t n = opt.full ? 64 : 32;
+    const size_t ram_bytes = 32u << 20;
+    const unsigned spawn_iters = opt.full ? 8 : 4;
+
+    // ---- The shared warm image, parsed and CRC-checked once ----
+    bench::Timer t;
+    std::vector<uint8_t> bytes = fleet::buildSgemmWarmImage(n, ram_bytes);
+    double build_s = t.seconds();
+    size_t image_bytes = bytes.size();
+    t.reset();
+    auto image = std::make_shared<const snapshot::Image>(
+        snapshot::Image::fromBytes(std::move(bytes)));
+    double parse_s = t.seconds();
+
+    rt::SystemConfig base;
+    base.gpu.hostThreads = 1;
+    base.gpu.syncSubmit = true;
+
+    // ---- 1a. Cold boot to job-ready (what every tenant would pay
+    // without the fleet: boot the guest, alloc A/B/C, JIT the library)
+    const std::string lib = workloads::sgemmVariantsSource();
+    size_t variants = workloads::sgemmVariantNames().size();
+    double cold_s = 0;
+    for (unsigned i = 0; i < spawn_iters; ++i) {
+        rt::SystemConfig cfg = base;
+        cfg.ramBytes = ram_bytes;
+        t.reset();
+        rt::Session s(cfg, rt::Mode::FullSystem);
+        size_t buf_bytes = static_cast<size_t>(n) * n * 4;
+        s.alloc(buf_bytes);
+        s.alloc(buf_bytes);
+        s.alloc(buf_bytes);
+        for (size_t k = 1; k <= variants; ++k)
+            s.compile(lib, "sgemm" + std::to_string(k));
+        cold_s += t.seconds();
+    }
+    cold_s /= spawn_iters;
+
+    // ---- 1b. Warm spawn from the shared image (the pool's cold path)
+    fleet::PoolConfig pcfg;
+    pcfg.maxSessions = 64;
+    pcfg.base = base;
+    fleet::SessionPool pool(image, pcfg);
+    double spawn_s = 0;
+    {
+        std::vector<fleet::SessionPool::Lease> held;
+        t.reset();
+        for (unsigned i = 0; i < spawn_iters; ++i)
+            held.push_back(pool.acquire());
+        spawn_s = t.seconds() / spawn_iters;
+    }
+    // ---- 1c. Recycle cost: one release of a dirty session ----
+    double recycle_s;
+    {
+        fleet::SessionPool::Lease lease = pool.acquire();
+        lease->write(lease->buffers()[0], lib.data(),
+                     std::min(lib.size(), static_cast<size_t>(n) * n * 4));
+        t.reset();
+        lease = fleet::SessionPool::Lease();   // release -> reset
+        recycle_s = t.seconds();
+    }
+    double speedup = spawn_s > 0 ? cold_s / spawn_s : 0;
+
+    // ---- 2. Density: 64 sessions live at once over one image ----
+    size_t max_live = 0;
+    {
+        std::vector<fleet::SessionPool::Lease> herd;
+        for (unsigned i = 0; i < 64; ++i)
+            herd.push_back(pool.acquire());
+        max_live = pool.stats().live;
+    }
+
+    // ---- 3. Job latency under concurrent tenants ----
+    const unsigned tenants = 4;
+    const unsigned jobs_per_tenant = opt.full ? 16 : 4;
+    fleet::FleetConfig fcfg;
+    fcfg.pool.maxSessions = tenants;
+    fcfg.pool.base = base;
+    fcfg.workers = tenants;
+    fleet::FleetServer server(image, fcfg);
+
+    fleet::JobRequest req;
+    req.kernel = 0;
+    req.gx = req.gy = n;
+    req.gz = 1;
+    req.lx = req.ly = 8;
+    req.lz = 1;
+    req.args = {{fleet::ArgSpec::Kind::BufIndex, 0},
+                {fleet::ArgSpec::Kind::BufIndex, 1},
+                {fleet::ArgSpec::Kind::BufIndex, 2},
+                {fleet::ArgSpec::Kind::I32, n}};
+
+    std::vector<double> lat_ms(tenants * jobs_per_tenant);
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < tenants; ++c) {
+        clients.emplace_back([&, c] {
+            fleet::JobRequest mine = req;
+            mine.tenant = "bench-" + std::to_string(c);
+            for (unsigned j = 0; j < jobs_per_tenant; ++j) {
+                bench::Timer jt;
+                fleet::JobResultMsg m = server.submitSync(mine);
+                lat_ms[c * jobs_per_tenant + j] = jt.seconds() * 1e3;
+                if (m.status != fleet::JobStatus::Ok)
+                    std::fprintf(stderr, "job failed: %s\n",
+                                 m.detail.c_str());
+            }
+        });
+    }
+    for (std::thread &th : clients)
+        th.join();
+    std::sort(lat_ms.begin(), lat_ms.end());
+    double p50 = lat_ms[lat_ms.size() / 2];
+    double p99 = lat_ms[std::min(lat_ms.size() - 1,
+                                 lat_ms.size() * 99 / 100)];
+    fleet::FleetStats fs = server.stats();
+    fleet::PoolStats ps = pool.stats();
+
+    std::printf("%-34s %10.2f ms (%zu-byte image)\n",
+                "image build+seal (once):",
+                (build_s + parse_s) * 1e3, image_bytes);
+    std::printf("%-34s %10.2f ms\n", "cold boot to job-ready:",
+                cold_s * 1e3);
+    std::printf("%-34s %10.2f ms\n", "warm spawn from shared image:",
+                spawn_s * 1e3);
+    std::printf("%-34s %10.2f ms\n", "recycle (dirty session):",
+                recycle_s * 1e3);
+    std::printf("%-34s %10.1fx (target >= 5x)\n", "warm-spawn speedup:",
+                speedup);
+    std::printf("%-34s %10zu (CoW %s)\n", "max live sessions:",
+                max_live, pool.cowShared() ? "shared" : "off");
+    std::printf("%-34s %7.2f / %.2f ms (%zu jobs, %u tenants)\n",
+                "job latency p50 / p99:", p50, p99, lat_ms.size(),
+                tenants);
+
+    char json[1024];
+    std::snprintf(
+        json, sizeof json,
+        "{\n  \"bench\": \"fleet\",\n  \"scale\": %.3f,\n"
+        "  \"sgemm_n\": %u,\n  \"image_bytes\": %zu,\n"
+        "  \"ram_bytes\": %zu,\n  \"cow_shared\": %s,\n"
+        "  \"cold_boot_secs\": %.6f,\n  \"warm_spawn_secs\": %.6f,\n"
+        "  \"recycle_secs\": %.6f,\n  \"warm_spawn_speedup\": %.3f,\n"
+        "  \"max_live_sessions\": %zu,\n  \"jobs_run\": %llu,\n"
+        "  \"job_p50_ms\": %.3f,\n  \"job_p99_ms\": %.3f,\n"
+        "  \"pool_spawns\": %llu,\n  \"pool_recycles\": %llu\n}\n",
+        opt.scale, n, image_bytes, ram_bytes,
+        pool.cowShared() ? "true" : "false", cold_s, spawn_s, recycle_s,
+        speedup, max_live,
+        static_cast<unsigned long long>(fs.jobsCompleted), p50, p99,
+        static_cast<unsigned long long>(ps.spawns),
+        static_cast<unsigned long long>(ps.recycles));
+    std::FILE *f = std::fopen("BENCH_fleet.json", "w");
+    if (f) {
+        std::fputs(json, f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_fleet.json\n");
+    }
+
+    if (max_live < 64) {
+        std::fprintf(stderr, "FAIL: could not hold 64 live sessions\n");
+        return 1;
+    }
+    if (speedup < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm-spawn speedup below 5x target\n");
+        return 1;
+    }
+    return 0;
+}

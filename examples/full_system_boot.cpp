@@ -126,6 +126,10 @@ main(int argc, char **argv)
             save_path = a + 16;
         } else if (std::strncmp(a, "--restore=", 10) == 0) {
             restore_path = a + 10;
+            if (restore_path.empty()) {
+                std::fprintf(stderr, "--restore needs a file path\n");
+                return 2;
+            }
         } else if (std::strncmp(a, "--record=", 9) == 0) {
             record_path = a + 9;
         } else if (std::strncmp(a, "--replay=", 9) == 0) {
@@ -182,6 +186,10 @@ main(int argc, char **argv)
 
     // ---- Warm boot: restore the machine instead of booting it ----
     if (!restore_path.empty()) {
+        // Catch SimError, not just SnapshotError: a missing file, a
+        // corrupt image and a config mismatch must all exit 1 with a
+        // located message, never abort (the WILL_FAIL regression test
+        // in tests/CMakeLists.txt pins this).
         try {
             auto session = rt::Session::fromSnapshot(restore_path, cfg);
             std::printf("restored warm-boot image %s\n",
@@ -189,7 +197,7 @@ main(int argc, char **argv)
             std::printf("guest console output: %s",
                         session->system().uart().output().c_str());
             return runAndMaybeRecord(*session);
-        } catch (const snapshot::SnapshotError &e) {
+        } catch (const SimError &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
         }

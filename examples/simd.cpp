@@ -1,0 +1,145 @@
+/**
+ * @file
+ * simd: the session-fleet daemon (DESIGN.md §5j).
+ *
+ * Serves simulation jobs over a Unix socket from a pool of warm-boot
+ * sessions sharing one CoW image:
+ *
+ *   # build the warm image once (six SGEMM kernels, 64x64 matrices)
+ *   simd --make-image=warm.bsnp --n=64
+ *
+ *   # serve it
+ *   simd --image=warm.bsnp --socket=/tmp/simd.sock --sessions=64
+ *
+ *   # talk to it
+ *   simctl --socket=/tmp/simd.sock info
+ *   simctl --socket=/tmp/simd.sock sgemm --jobs=8 --verify
+ *   simctl --socket=/tmp/simd.sock shutdown
+ *
+ * The daemon runs in the foreground and exits 0 on a clean drain
+ * (simctl shutdown / FLTX frame).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/logging.h"
+#include "fleet/fleet.h"
+#include "fleet/warm_image.h"
+#include "snapshot/snapshot.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --make-image=<file> [--n=<size>] [--ram-mb=<mb>]\n"
+        "       %s --image=<file> --socket=<path> [--sessions=<max>]\n"
+        "          [--workers=<n>] [--queue=<max>] [--tenant-queue=<max>]\n"
+        "          [--host-threads=<n>] [--trace=<json>]\n",
+        argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bifsim;
+
+    std::string make_image, image_path, socket_path, trace_path;
+    uint32_t n = 64;
+    size_t ram_mb = 64;
+    fleet::FleetConfig cfg;
+    cfg.pool.maxSessions = 64;
+    cfg.pool.base.gpu.hostThreads = 1;
+    cfg.workers = 4;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--make-image=", 13) == 0)
+            make_image = a + 13;
+        else if (std::strncmp(a, "--image=", 8) == 0)
+            image_path = a + 8;
+        else if (std::strncmp(a, "--socket=", 9) == 0)
+            socket_path = a + 9;
+        else if (std::strncmp(a, "--n=", 4) == 0)
+            n = static_cast<uint32_t>(std::atoi(a + 4));
+        else if (std::strncmp(a, "--ram-mb=", 9) == 0)
+            ram_mb = static_cast<size_t>(std::atoi(a + 9));
+        else if (std::strncmp(a, "--sessions=", 11) == 0)
+            cfg.pool.maxSessions =
+                static_cast<size_t>(std::atoi(a + 11));
+        else if (std::strncmp(a, "--workers=", 10) == 0)
+            cfg.workers = static_cast<unsigned>(std::atoi(a + 10));
+        else if (std::strncmp(a, "--queue=", 8) == 0)
+            cfg.maxQueuedTotal = static_cast<size_t>(std::atoi(a + 8));
+        else if (std::strncmp(a, "--tenant-queue=", 15) == 0)
+            cfg.maxQueuedPerTenant =
+                static_cast<size_t>(std::atoi(a + 15));
+        else if (std::strncmp(a, "--host-threads=", 15) == 0)
+            cfg.pool.base.gpu.hostThreads =
+                static_cast<unsigned>(std::atoi(a + 15));
+        else if (std::strncmp(a, "--trace=", 8) == 0)
+            trace_path = a + 8;
+        else
+            return usage(argv[0]);
+    }
+    cfg.trace = !trace_path.empty();
+
+    try {
+        if (!make_image.empty()) {
+            std::vector<uint8_t> bytes =
+                fleet::buildSgemmWarmImage(n, ram_mb << 20);
+            std::ofstream out(make_image, std::ios::binary);
+            out.write(reinterpret_cast<const char *>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+            if (!out) {
+                std::fprintf(stderr, "simd: cannot write %s\n",
+                             make_image.c_str());
+                return 1;
+            }
+            std::printf("simd: wrote %zu-byte warm image to %s "
+                        "(n=%u, %zu MiB RAM)\n",
+                        bytes.size(), make_image.c_str(), n, ram_mb);
+            return 0;
+        }
+
+        if (image_path.empty() || socket_path.empty())
+            return usage(argv[0]);
+
+        auto image = std::make_shared<const snapshot::Image>(
+            snapshot::Image::load(image_path));
+        fleet::FleetServer server(image, cfg);
+        const fleet::WarmImageInfo &info = server.imageInfo();
+        std::printf("simd: serving %s on %s (n=%u, %zu kernels, "
+                    "max %zu sessions, %u workers, CoW %s)\n",
+                    image_path.c_str(), socket_path.c_str(),
+                    info.matrixN, info.kernels.size(),
+                    cfg.pool.maxSessions, cfg.workers,
+                    server.pool().cowShared() ? "shared" : "off");
+        std::fflush(stdout);
+        int rc = server.serve(socket_path);
+
+        fleet::FleetStats s = server.stats();
+        std::printf("simd: drained; %llu jobs ok, %llu faulted, "
+                    "%llu rejected, %llu spawns, %llu recycles\n",
+                    static_cast<unsigned long long>(s.jobsCompleted),
+                    static_cast<unsigned long long>(s.jobsFaulted),
+                    static_cast<unsigned long long>(s.jobsRejected),
+                    static_cast<unsigned long long>(s.spawns),
+                    static_cast<unsigned long long>(s.recycles));
+        if (!trace_path.empty() &&
+            server.tracer().exportChromeJsonFile(trace_path))
+            std::printf("simd: wrote trace to %s\n", trace_path.c_str());
+        return rc;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "simd: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,142 @@
+#include "fleet/warm_image.h"
+
+#include "gpu/gpu.h"
+#include "workloads/sgemm_variants.h"
+
+namespace bifsim::fleet {
+
+namespace snap = snapshot;
+
+std::vector<uint8_t>
+buildSgemmWarmImage(uint32_t n, size_t ram_bytes, unsigned cores)
+{
+    if (n == 0 || n % 32 != 0)
+        snap::snapshotError("warm image matrix size %u must be a "
+                            "nonzero multiple of 32", n);
+
+    rt::SystemConfig cfg;
+    cfg.ramBytes = ram_bytes;
+    cfg.gpu.numCores = cores;
+    // The image is built once and served many times: a single worker
+    // with synchronous submission keeps the build deterministic, and
+    // serving sessions choose their own host-side knobs at spawn.
+    cfg.gpu.hostThreads = 1;
+    cfg.gpu.syncSubmit = true;
+
+    rt::Session s(cfg, rt::Mode::FullSystem);
+
+    // Buffer registry indices 0/1/2 = A/B/C, the contract clients and
+    // the welcome frame rely on.
+    size_t bytes = static_cast<size_t>(n) * n * 4;
+    rt::Buffer a = s.alloc(bytes);
+    rt::Buffer b = s.alloc(bytes);
+    rt::Buffer c = s.alloc(bytes);
+
+    // Kernel function names, not the display names: registry index i
+    // holds "sgemm<i+1>" (clients default to index 0, the naive
+    // one-thread-per-element variant whose launch geometry is just
+    // {n, n} / {8, 8}).
+    const char *src = workloads::sgemmVariantsSource();
+    std::vector<rt::KernelHandle> kernels;
+    size_t variants = workloads::sgemmVariantNames().size();
+    for (size_t i = 1; i <= variants; ++i)
+        kernels.push_back(s.compile(src, "sgemm" + std::to_string(i)));
+
+    // One throwaway launch (zero matrices, so C stays zero) drives the
+    // guest driver through a full submission: GPU page tables for the
+    // buffers are installed and the driver's arena state is resident,
+    // so serving sessions never pay a first-launch slow path.
+    gpu::JobResult r = s.enqueue(
+        kernels.front(), rt::NDRange{n, n, 1}, rt::NDRange{8, 8, 1},
+        {rt::Arg::buf(a), rt::Arg::buf(b), rt::Arg::buf(c),
+         rt::Arg::i32(static_cast<int32_t>(n))});
+    if (r.faulted)
+        snap::snapshotError("warm image shakedown launch faulted");
+
+    snap::Writer w;
+    s.saveSnapshot(w);
+    return w.finish();
+}
+
+WarmImageInfo
+inspectWarmImage(const snap::Image &image)
+{
+    // Skim the SESS chunk with the same layout Session::restoreFrom
+    // parses, keeping only the registries.  Full validation still
+    // happens at spawn; this only has to be bounds-safe, which the
+    // ChunkReader guarantees.
+    snap::ChunkReader c = image.chunk(snap::kTagSession);
+    c.u8();            // mode
+    c.u64();           // heap
+    c.u32();           // gpuVaNext
+    c.u64();           // ptRoot
+    c.u64();           // ptArena
+    c.u64();           // ptArenaEnd
+    c.u64();           // descPa
+    c.u32();           // descVa
+    c.u64();           // argsPa
+    c.u32();           // argsVa
+    c.u32();           // localArena.gpuVa
+    c.u64();           // localArena.pa
+    c.u64();           // localArena.bytes
+    c.u32();           // localArenaSize
+    c.u64();           // driverInstrs
+    c.u64();           // mappedPages
+    c.u8();            // osBooted
+
+    uint32_t n_maps = c.u32();
+    if (static_cast<uint64_t>(n_maps) * 16 > c.remaining())
+        c.fail("pending-map count exceeds chunk size");
+    for (uint32_t i = 0; i < n_maps; ++i) {
+        c.u32();
+        c.u32();
+        c.u32();
+        c.u32();
+    }
+
+    gpu::JobResult last;
+    gpu::restoreJobResult(c, last);
+
+    WarmImageInfo info;
+    uint32_t n_kernels = c.u32();
+    for (uint32_t i = 0; i < n_kernels; ++i) {
+        info.kernels.push_back(c.str());
+        uint32_t bin_len = c.u32();
+        if (bin_len > c.remaining())
+            c.fail("kernel binary length exceeds chunk size");
+        c.raw(bin_len);
+        uint32_t n_args = c.u32();
+        if (static_cast<uint64_t>(n_args) * 5 > c.remaining())
+            c.fail("kernel arg count exceeds chunk size");
+        for (uint32_t j = 0; j < n_args; ++j) {
+            c.str();
+            c.u8();
+        }
+        c.u32();       // regCount
+        c.u32();       // localBytes
+        c.u32();       // spills
+        c.u32();       // binaryVa
+        c.u64();       // binaryPa
+    }
+
+    uint32_t n_buffers = c.u32();
+    if (static_cast<uint64_t>(n_buffers) * 20 > c.remaining())
+        c.fail("buffer count exceeds chunk size");
+    for (uint32_t i = 0; i < n_buffers; ++i) {
+        c.u32();       // gpuVa
+        c.u64();       // pa
+        info.bufferBytes.push_back(c.u64());
+    }
+    c.expectEnd();
+
+    if (!info.bufferBytes.empty()) {
+        uint64_t elems = info.bufferBytes[0] / 4;
+        uint32_t n = 0;
+        while (static_cast<uint64_t>(n + 1) * (n + 1) <= elems)
+            ++n;
+        info.matrixN = n;
+    }
+    return info;
+}
+
+} // namespace bifsim::fleet

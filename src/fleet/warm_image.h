@@ -1,0 +1,59 @@
+#ifndef BIFSIM_FLEET_WARM_IMAGE_H
+#define BIFSIM_FLEET_WARM_IMAGE_H
+
+/**
+ * @file
+ * Warm-boot image builder for the fleet (DESIGN.md §5j).
+ *
+ * The fleet serves jobs against a *prepared* session: guest OS booted,
+ * kernels compiled and loaded, working buffers allocated.  This module
+ * cold-boots that session once and seals it into an ordinary BSNP
+ * snapshot; `simd`, the benchmarks and the tests all spawn their
+ * hundreds of tenants from the one image instead of paying the boot
+ * per session.
+ *
+ * The standard image carries the six SGEMM variants of Fig. 15 plus
+ * three n*n float buffers (registry indices 0 = A, 1 = B, 2 = C), so a
+ * job request is just {kernel index, writes into A/B, launch dims,
+ * readback of C}.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/session.h"
+#include "snapshot/snapshot.h"
+
+namespace bifsim::fleet {
+
+/** What buildSgemmWarmImage() prepared, for welcome frames and spawn
+ *  configuration. */
+struct WarmImageInfo
+{
+    uint32_t matrixN = 0;                  ///< Square size of A/B/C.
+    std::vector<std::string> kernels;      ///< Registry order.
+    std::vector<uint64_t> bufferBytes;     ///< Registry order.
+};
+
+/**
+ * Cold-boots a FullSystem session (guest OS up, driver resident),
+ * compiles and loads the six SGEMM variants, allocates the A/B/C
+ * buffers for @p n x @p n matrices and snapshots the lot.
+ * @p ram_bytes sizes guest DRAM; @p cores sets the shader-core count
+ * baked into the image.  @return the sealed image bytes (feed to
+ * snapshot::Image::fromBytes or write to disk).
+ */
+std::vector<uint8_t> buildSgemmWarmImage(uint32_t n,
+                                         size_t ram_bytes = 64u << 20,
+                                         unsigned cores = 4);
+
+/** Describes a warm image: kernel names and buffer sizes from its
+ *  SESS chunk, matrixN inferred from buffer 0 (sqrt(bytes/4)).
+ *  @throws snapshot::SnapshotError on images without a SESS chunk. */
+WarmImageInfo inspectWarmImage(const snapshot::Image &image);
+
+} // namespace bifsim::fleet
+
+#endif // BIFSIM_FLEET_WARM_IMAGE_H

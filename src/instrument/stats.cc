@@ -1,6 +1,7 @@
 #include "instrument/stats.h"
 
 #include "cpu/core.h"
+#include "fleet/fleet_stats.h"
 
 namespace bifsim::gpu {
 
@@ -293,6 +294,28 @@ appendCounters(std::vector<NamedCounter> &out, const sa32::CoreStats &c)
     out.push_back({"cpu.dbt_chain_follows", c.dbtChainFollows});
     out.push_back({"cpu.dbt_chain_breaks", c.dbtChainBreaks});
     out.push_back({"cpu.dbt_retires", c.dbtRetires});
+}
+
+void
+appendCounters(std::vector<NamedCounter> &out, const fleet::FleetStats &f)
+{
+    out.push_back({"fleet.jobs_submitted", f.jobsSubmitted});
+    out.push_back({"fleet.jobs_completed", f.jobsCompleted});
+    out.push_back({"fleet.jobs_faulted", f.jobsFaulted});
+    out.push_back({"fleet.jobs_rejected", f.jobsRejected});
+    out.push_back({"fleet.jobs_bad_request", f.jobsBadRequest});
+    out.push_back({"fleet.queue_ns_total", f.queueNsTotal});
+    out.push_back({"fleet.exec_ns_total", f.execNsTotal});
+    out.push_back({"fleet.queue_peak", f.queuePeak});
+    out.push_back({"fleet.tenants_seen", f.tenantsSeen});
+    out.push_back({"fleet.bytes_in", f.bytesIn});
+    out.push_back({"fleet.bytes_out", f.bytesOut});
+    out.push_back({"fleet.spawns", f.spawns});
+    out.push_back({"fleet.recycles", f.recycles});
+    out.push_back({"fleet.recycle_failures", f.recycleFailures});
+    out.push_back({"fleet.acquire_waits", f.acquireWaits});
+    out.push_back({"fleet.sessions_live", f.sessionsLive});
+    out.push_back({"fleet.sessions_idle", f.sessionsIdle});
 }
 
 } // namespace bifsim::gpu

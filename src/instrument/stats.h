@@ -24,6 +24,10 @@ namespace bifsim::sa32 {
 struct CoreStats;
 }
 
+namespace bifsim::fleet {
+struct FleetStats;
+}
+
 namespace bifsim::gpu {
 
 /** Decode-time static metrics for one clause. */
@@ -219,6 +223,11 @@ void appendCounters(std::vector<NamedCounter> &out, const SchedStats &s);
  *  translation activity) under the "cpu." prefix. */
 void appendCounters(std::vector<NamedCounter> &out,
                     const sa32::CoreStats &c);
+
+/** Appends every fleet server counter (job outcomes, queueing, pool
+ *  spawn/recycle activity) under the "fleet." prefix. */
+void appendCounters(std::vector<NamedCounter> &out,
+                    const fleet::FleetStats &f);
 
 /** Per-worker collector, merged into the job totals at completion. */
 struct WorkerCollector

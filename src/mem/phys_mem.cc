@@ -5,7 +5,9 @@
 #include <new>
 
 #if defined(__linux__)
+#include <fcntl.h>
 #include <sys/mman.h>
+#include <unistd.h>
 #endif
 
 namespace bifsim {
@@ -24,12 +26,159 @@ pageIsZero(const uint8_t *p, size_t len)
            0;
 }
 
+/** One validated run of non-zero pages from a MEM chunk. */
+struct ParsedRun
+{
+    size_t off;
+    size_t len;
+    const uint8_t *payload;
+};
+
+/**
+ * Parses and fully validates a MEM chunk (geometry header + run
+ * table) against the expected RAM shape without touching any
+ * destination byte — the shared parse half of parse-then-commit,
+ * used by both restoreState and RamImage::sealFromSnapshot.
+ */
+std::vector<ParsedRun>
+parseMemChunk(snapshot::ChunkReader &r, Addr expect_base,
+              size_t expect_size)
+{
+    uint64_t base = r.u64();
+    uint64_t size = r.u64();
+    uint32_t page = r.u32();
+    if (base != expect_base || size != expect_size)
+        r.fail(strfmt("RAM geometry mismatch: image has base 0x%llx "
+                      "size %llu, system has base 0x%llx size %zu",
+                      static_cast<unsigned long long>(base),
+                      static_cast<unsigned long long>(size),
+                      static_cast<unsigned long long>(expect_base),
+                      expect_size));
+    if (page != PhysMem::kPageBytes)
+        r.fail(strfmt("unsupported page size %u", page));
+
+    const size_t n_pages =
+        (expect_size + PhysMem::kPageBytes - 1) / PhysMem::kPageBytes;
+    uint32_t n_runs = r.u32();
+    // Every run carries an 8-byte header, so a count the payload could
+    // not possibly back is hostile; reject before allocating anything.
+    if (static_cast<uint64_t>(n_runs) * 8 > r.remaining())
+        r.fail(strfmt("run count %u exceeds chunk size", n_runs));
+
+    std::vector<ParsedRun> runs;
+    runs.reserve(n_runs);
+    uint64_t next_page = 0;
+    for (uint32_t i = 0; i < n_runs; ++i) {
+        uint32_t start = r.u32();
+        uint32_t count = r.u32();
+        if (count == 0)
+            r.fail(strfmt("run %u is empty", i));
+        if (start < next_page)
+            r.fail(strfmt("run %u (page %u) overlaps or is unordered",
+                          i, start));
+        uint64_t end_page = static_cast<uint64_t>(start) + count;
+        if (end_page > n_pages)
+            r.fail(strfmt("run %u spans pages [%u, %llu) past RAM end "
+                          "(%zu pages)",
+                          i, start,
+                          static_cast<unsigned long long>(end_page),
+                          n_pages));
+        size_t off = static_cast<size_t>(start) * PhysMem::kPageBytes;
+        size_t end =
+            std::min(static_cast<size_t>(end_page) * PhysMem::kPageBytes,
+                     expect_size);
+        runs.push_back(ParsedRun{off, end - off, r.raw(end - off)});
+        next_page = end_page;
+    }
+    r.expectEnd();
+    return runs;
+}
+
 } // namespace
 
-PhysMem::PhysMem(Addr base, size_t size) : base_(base), size_(size)
+// ------------------------------------------------------------ RamImage
+
+RamImage::~RamImage()
+{
+#if defined(__linux__)
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+}
+
+std::shared_ptr<RamImage>
+RamImage::sealFromSnapshot(const snapshot::Image &image)
+{
+#if defined(__linux__)
+    namespace snap = snapshot;
+    snap::ChunkReader hdr = image.chunk(snap::kTagMem);
+    uint64_t base = hdr.u64();
+    uint64_t size = hdr.u64();
+    if (size == 0 || size > (1ull << 40))
+        hdr.fail(strfmt("implausible RAM size %llu",
+                        static_cast<unsigned long long>(size)));
+
+    // Validate the complete run table before creating anything.
+    snap::ChunkReader r = image.chunk(snap::kTagMem);
+    std::vector<ParsedRun> runs =
+        parseMemChunk(r, static_cast<Addr>(base),
+                      static_cast<size_t>(size));
+
+    int fd = static_cast<int>(
+        ::memfd_create("bifsim-warm-ram", MFD_CLOEXEC | MFD_ALLOW_SEALING));
+    if (fd < 0)
+        return nullptr;
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    void *p = ::mmap(nullptr, static_cast<size_t>(size),
+                     PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) {
+        ::close(fd);
+        return nullptr;
+    }
+    uint8_t *data = static_cast<uint8_t *>(p);
+    for (const ParsedRun &run : runs)
+        std::memcpy(data + run.off, run.payload, run.len);
+    ::munmap(p, static_cast<size_t>(size));
+
+    // Seal: the content is now immutable for the file's lifetime, so
+    // every MAP_PRIVATE view is a faithful copy of the snapshot RAM.
+    ::fcntl(fd, F_ADD_SEALS,
+            F_SEAL_WRITE | F_SEAL_SHRINK | F_SEAL_GROW);
+
+    snap::ChunkReader crc_r = image.chunk(snap::kTagMem);
+    size_t mem_len = crc_r.remaining();
+    return std::shared_ptr<RamImage>(
+        new RamImage(static_cast<Addr>(base), static_cast<size_t>(size),
+                     fd, image.chunkCrc(snap::kTagMem), mem_len));
+#else
+    (void)image;
+    return nullptr;
+#endif
+}
+
+// ------------------------------------------------------------- PhysMem
+
+PhysMem::PhysMem(Addr base, size_t size,
+                 std::shared_ptr<const RamImage> image)
+    : base_(base), size_(size)
 {
     const size_t alloc = size_ ? size_ : 1;
 #if defined(__linux__)
+    if (image && image->base() == base_ && image->size() == size_ &&
+        size_ != 0) {
+        void *p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE, image->fd(), 0);
+        if (p != MAP_FAILED) {
+            data_ = static_cast<uint8_t *>(p);
+            mmapped_ = true;
+            cowMapped_ = true;
+            image_ = std::move(image);
+            return;
+        }
+    }
     void *p = ::mmap(nullptr, alloc, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
     if (p != MAP_FAILED) {
@@ -37,6 +186,8 @@ PhysMem::PhysMem(Addr base, size_t size) : base_(base), size_(size)
         mmapped_ = true;
         return;
     }
+#else
+    (void)image;
 #endif
     data_ = static_cast<uint8_t *>(std::calloc(alloc, 1));
     if (!data_)
@@ -58,14 +209,47 @@ void
 PhysMem::clear()
 {
 #if defined(__linux__)
+    if (cowMapped_) {
+        // MADV_DONTNEED on a private file mapping would repopulate
+        // from the *file*, not with zeroes; replace the view with a
+        // fresh anonymous mapping instead.  resetToImage() re-attaches
+        // the image later if wanted.
+        void *p = ::mmap(data_, size_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+        if (p != MAP_FAILED) {
+            cowMapped_ = false;
+            return;
+        }
+        // MAP_FIXED failed (shouldn't happen); fall through to memset.
+    }
     // Drop the materialised pages instead of writing zeroes: untouched
     // pages stay unmapped and re-fault as zero on next access, so the
     // cost tracks the guest's working set, not the RAM size.
-    if (mmapped_ && size_ &&
+    if (!cowMapped_ && mmapped_ && size_ &&
         ::madvise(data_, size_, MADV_DONTNEED) == 0)
         return;
 #endif
     std::memset(data_, 0, size_);
+}
+
+bool
+PhysMem::resetToImage()
+{
+#if defined(__linux__)
+    if (image_ && mmapped_ && size_) {
+        // Remapping the sealed file over the same range drops every
+        // private (dirtied) page and re-establishes the shared view:
+        // O(dirtied pages) page-table work, no RAM copy.
+        void *p = ::mmap(data_, size_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_FIXED, image_->fd(), 0);
+        if (p != MAP_FAILED) {
+            cowMapped_ = true;
+            return true;
+        }
+    }
+#endif
+    clear();
+    return false;
 }
 
 void
@@ -114,63 +298,12 @@ PhysMem::saveState(snapshot::ChunkWriter &w) const
 void
 PhysMem::restoreState(snapshot::ChunkReader &r)
 {
-    uint64_t base = r.u64();
-    uint64_t size = r.u64();
-    uint32_t page = r.u32();
-    if (base != base_ || size != size_)
-        r.fail(strfmt("RAM geometry mismatch: image has base 0x%llx "
-                      "size %llu, system has base 0x%llx size %zu",
-                      static_cast<unsigned long long>(base),
-                      static_cast<unsigned long long>(size),
-                      static_cast<unsigned long long>(base_),
-                      size_));
-    if (page != kPageBytes)
-        r.fail(strfmt("unsupported page size %u", page));
-
-    const size_t n_pages =
-        (size_ + kPageBytes - 1) / kPageBytes;
-    uint32_t n_runs = r.u32();
-    // Every run carries an 8-byte header, so a count the payload could
-    // not possibly back is hostile; reject before allocating anything.
-    if (static_cast<uint64_t>(n_runs) * 8 > r.remaining())
-        r.fail(strfmt("run count %u exceeds chunk size", n_runs));
-
     // Parse-then-commit: validate every run header and claim its
     // payload bytes (bounds-checked by raw()) before touching RAM.
-    struct Run
-    {
-        size_t off;
-        size_t len;
-        const uint8_t *payload;
-    };
-    std::vector<Run> runs;
-    runs.reserve(n_runs);
-    uint64_t next_page = 0;
-    for (uint32_t i = 0; i < n_runs; ++i) {
-        uint32_t start = r.u32();
-        uint32_t count = r.u32();
-        if (count == 0)
-            r.fail(strfmt("run %u is empty", i));
-        if (start < next_page)
-            r.fail(strfmt("run %u (page %u) overlaps or is unordered",
-                          i, start));
-        uint64_t end_page = static_cast<uint64_t>(start) + count;
-        if (end_page > n_pages)
-            r.fail(strfmt("run %u spans pages [%u, %llu) past RAM end "
-                          "(%zu pages)",
-                          i, start,
-                          static_cast<unsigned long long>(end_page),
-                          n_pages));
-        size_t off = static_cast<size_t>(start) * kPageBytes;
-        size_t end = std::min(static_cast<size_t>(end_page) * kPageBytes,
-                              size_);
-        runs.push_back(Run{off, end - off, r.raw(end - off)});
-        next_page = end_page;
-    }
-    r.expectEnd();
+    std::vector<ParsedRun> runs = parseMemChunk(r, base_, size_);
 
     clear();
-    for (const Run &run : runs)
+    for (const ParsedRun &run : runs)
         std::memcpy(data_ + run.off, run.payload, run.len);
 }
 

@@ -9,11 +9,71 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 
 #include "mem/device.h"
 #include "snapshot/snapshot.h"
 
 namespace bifsim {
+
+/**
+ * A sealed, read-only RAM image backing many PhysMem instances at once
+ * (DESIGN.md §5j).
+ *
+ * Built once from the MEM chunk of a validated snapshot image: the
+ * sparse run table is expanded into an anonymous memfd, which is then
+ * sealed (F_SEAL_WRITE | F_SEAL_SHRINK | F_SEAL_GROW) so no path —
+ * not even this process — can mutate the bytes afterwards.  Every
+ * fleet session maps the file MAP_PRIVATE: clean pages are shared
+ * through the page cache across all sessions, and only pages a
+ * session actually dirties fault in a private copy.  `memCrc`/`memLen`
+ * identify the exact MEM chunk the image was sealed from, so a
+ * restore can prove the fast path applies before skipping the chunk.
+ *
+ * Threading: immutable after sealFromSnapshot returns; share freely.
+ */
+class RamImage
+{
+  public:
+    ~RamImage();
+
+    RamImage(const RamImage &) = delete;
+    RamImage &operator=(const RamImage &) = delete;
+
+    /**
+     * Expands @p image's MEM chunk into a sealed memfd.  Returns
+     * nullptr when the platform cannot provide sealed shared memory
+     * (non-Linux hosts) — callers fall back to the ordinary sparse
+     * restore path.  Throws snapshot::SnapshotError on a malformed
+     * MEM chunk.
+     */
+    static std::shared_ptr<RamImage>
+    sealFromSnapshot(const snapshot::Image &image);
+
+    Addr base() const { return base_; }
+    size_t size() const { return size_; }
+    int fd() const { return fd_; }
+
+    /** CRC-32 of the MEM chunk payload this image was sealed from. */
+    uint32_t memCrc() const { return memCrc_; }
+
+    /** Length of that MEM chunk payload. */
+    size_t memLen() const { return memLen_; }
+
+  private:
+    RamImage(Addr base, size_t size, int fd, uint32_t mem_crc,
+             size_t mem_len)
+        : base_(base), size_(size), fd_(fd), memCrc_(mem_crc),
+          memLen_(mem_len)
+    {
+    }
+
+    Addr base_;
+    size_t size_;
+    int fd_ = -1;
+    uint32_t memCrc_;
+    size_t memLen_;
+};
 
 /**
  * A contiguous block of guest physical memory.
@@ -27,12 +87,23 @@ namespace bifsim {
  * with madvise(MADV_DONTNEED) instead of writing zeroes, so
  * constructing, cold-booting and snapshot-restoring a machine cost
  * O(pages actually used), not O(configured RAM).
+ *
+ * Fleet mode (DESIGN.md §5j): constructed over a RamImage, the backing
+ * becomes a MAP_PRIVATE mapping of the sealed image file.  All
+ * sessions spawned from one warm-boot image then share every clean
+ * RAM page, and resetToImage() recycles a dirty session back to the
+ * image content by remapping — O(dirtied pages), no copy of RAM.
  */
 class PhysMem
 {
   public:
-    /** Creates @p size bytes of RAM based at physical address @p base. */
-    PhysMem(Addr base, size_t size);
+    /** Creates @p size bytes of RAM based at physical address @p base.
+     *  When @p image is non-null and matches the geometry, the RAM is
+     *  a copy-on-write view of the sealed image content; otherwise an
+     *  anonymous zero-filled mapping (image content then arrives via
+     *  restoreState). */
+    PhysMem(Addr base, size_t size,
+            std::shared_ptr<const RamImage> image = nullptr);
     ~PhysMem();
 
     PhysMem(const PhysMem &) = delete;
@@ -102,8 +173,25 @@ class PhysMem
         std::memset(hostPtr(addr), byte, len);
     }
 
-    /** Zeroes all of RAM (cold boot / restore baseline). */
+    /** Zeroes all of RAM (cold boot / restore baseline).  In CoW mode
+     *  the file backing is replaced by a fresh anonymous mapping; a
+     *  later resetToImage() re-attaches the image. */
     void clear();
+
+    /** True when this RAM is a copy-on-write view of a RamImage. */
+    bool hasImage() const { return image_ != nullptr; }
+
+    /** The backing image, or nullptr. */
+    const RamImage *image() const { return image_.get(); }
+
+    /**
+     * Resets RAM content to the backing image: private (dirtied) pages
+     * are dropped and the CoW mapping is re-established, so the cost
+     * tracks the session's dirtied working set.  Falls back to clear()
+     * when there is no backing image (callers must then restore RAM
+     * by other means).  @return true when image content was restored.
+     */
+    bool resetToImage();
 
     /** Snapshot page granule. */
     static constexpr size_t kPageBytes = 4096;
@@ -127,6 +215,9 @@ class PhysMem
     size_t size_;
     uint8_t *data_ = nullptr;
     bool mmapped_ = false;
+    bool cowMapped_ = false;   ///< Current mapping is MAP_PRIVATE
+                               ///< over image_'s fd.
+    std::shared_ptr<const RamImage> image_;
 };
 
 } // namespace bifsim

@@ -608,6 +608,16 @@ Session::restoreFrom(const snap::Image &image)
     buffers_ = std::move(buffers);
 }
 
+void
+Session::resetFromSnapshot(const snap::Image &image)
+{
+    if (recorder_)
+        simError("cannot recycle a session while a boundary recording "
+                 "is in progress");
+    sys_.gpu().waitIdle();
+    restoreFrom(image);
+}
+
 std::unique_ptr<Session>
 Session::fromSnapshot(const snap::Image &image, SystemConfig base)
 {

@@ -115,6 +115,22 @@ class Session
                  SystemConfig base = SystemConfig());
 
     /**
+     * Re-restores this *live* session in place from @p image: the
+     * machine and the runtime registries return to the image state,
+     * but the System — and with it the GPU worker pool, its threads
+     * and the tracer — is reused rather than rebuilt.  This is the
+     * fleet recycle path (DESIGN.md §5j): with a CoW RAM backing
+     * sealed from the same image, the RAM restore is a remap and the
+     * whole call costs O(dirtied state), not O(machine).
+     * Image geometry must match this machine (same RAM size and
+     * shader-core count); a mismatched or malformed image throws
+     * snapshot::SnapshotError and leaves the machine reset, never
+     * half-restored.
+     * Threading: simulation thread only; no recording may be active.
+     */
+    void resetFromSnapshot(const snapshot::Image &image);
+
+    /**
      * Saves the whole session — machine state plus the runtime's
      * allocator, mapping, kernel and buffer registries — into @p w.
      * Waits for GPU quiescence first (between enqueues any point is

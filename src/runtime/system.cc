@@ -6,7 +6,7 @@
 namespace bifsim::rt {
 
 System::System(SystemConfig cfg)
-    : cfg_(cfg), mem_(kRamBase, cfg.ramBytes)
+    : cfg_(cfg), mem_(kRamBase, cfg.ramBytes, cfg.ramImage)
 {
     bus_.attachMemory(&mem_);
 
@@ -184,8 +184,21 @@ System::restoreSnapshot(const snapshot::Image &image)
             cpu_->restoreState(r);
         }
         {
-            snap::ChunkReader r = image.chunk(snap::kTagMem);
-            mem_.restoreState(r);
+            // Fleet fast path (DESIGN.md §5j): when RAM is a CoW view
+            // of a sealed image file built from this very MEM chunk
+            // (same payload CRC + length), restoring RAM is a remap —
+            // no parse, no copy.  Any other image falls through to the
+            // ordinary validated sparse restore.
+            const RamImage *ram = mem_.image();
+            bool remapped =
+                ram &&
+                ram->memCrc() == image.chunkCrc(snap::kTagMem) &&
+                ram->memLen() == image.chunkLength(snap::kTagMem) &&
+                mem_.resetToImage();
+            if (!remapped) {
+                snap::ChunkReader r = image.chunk(snap::kTagMem);
+                mem_.restoreState(r);
+            }
         }
         {
             snap::ChunkReader r = image.chunk(snap::kTagUart);

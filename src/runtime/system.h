@@ -42,6 +42,18 @@ struct SystemConfig
     bool cpuDbt = true;             ///< Threaded-code DBT tier (off =
                                     ///< interpreter oracle).
     bool uartEcho = false;          ///< Echo guest console to stderr.
+
+    /**
+     * Shared warm-boot RAM backing (DESIGN.md §5j).  When set, guest
+     * RAM is a copy-on-write view of this sealed image file: clean
+     * pages are shared with every other System built over the same
+     * RamImage, and restoreSnapshot() restores RAM by remapping
+     * instead of copying whenever the image being restored carries
+     * the exact MEM chunk the backing was sealed from (proved by
+     * CRC, so an unrelated snapshot still restores correctly through
+     * the ordinary sparse path).
+     */
+    std::shared_ptr<const RamImage> ramImage;
 };
 
 /**

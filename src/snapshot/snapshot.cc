@@ -271,7 +271,7 @@ Image::fromBytes(std::vector<uint8_t> bytes)
             snapshotError("chunk %s CRC mismatch at offset %zu "
                           "(stored 0x%08x, computed 0x%08x)",
                           tagName(tag).c_str(), pos, want_crc, got_crc);
-        if (!img.chunks_.emplace(tag, Extent{pos, len}).second)
+        if (!img.chunks_.emplace(tag, Extent{pos, len, got_crc}).second)
             snapshotError("duplicate chunk %s at offset %zu",
                           tagName(tag).c_str(), pos);
         pos += len;
@@ -307,6 +307,24 @@ Image::chunk(uint32_t tag) const
         snapshotError("missing chunk %s", tagName(tag).c_str());
     return ChunkReader(tag, bytes_.data() + it->second.offset,
                        it->second.length);
+}
+
+uint32_t
+Image::chunkCrc(uint32_t tag) const
+{
+    auto it = chunks_.find(tag);
+    if (it == chunks_.end())
+        snapshotError("missing chunk %s", tagName(tag).c_str());
+    return it->second.crc;
+}
+
+size_t
+Image::chunkLength(uint32_t tag) const
+{
+    auto it = chunks_.find(tag);
+    if (it == chunks_.end())
+        snapshotError("missing chunk %s", tagName(tag).c_str());
+    return it->second.length;
 }
 
 } // namespace bifsim::snapshot

@@ -197,6 +197,16 @@ class Image
     /** Returns a reader over chunk @p tag; throws if absent. */
     ChunkReader chunk(uint32_t tag) const;
 
+    /** CRC-32 of chunk @p tag's payload, retained from the validation
+     *  pass (no re-hash); throws if absent.  Identifies a chunk's
+     *  exact content — e.g. the fleet restore fast path proves a
+     *  System's CoW RAM backing matches the image's MEM chunk by CRC
+     *  before skipping the chunk (DESIGN.md §5j). */
+    uint32_t chunkCrc(uint32_t tag) const;
+
+    /** Payload length of chunk @p tag in bytes; throws if absent. */
+    size_t chunkLength(uint32_t tag) const;
+
     /** Total image size in bytes. */
     size_t sizeBytes() const { return bytes_.size(); }
 
@@ -207,6 +217,7 @@ class Image
     {
         size_t offset;
         size_t length;
+        uint32_t crc;
     };
 
     std::vector<uint8_t> bytes_;

@@ -1,0 +1,11 @@
+// Seeded-violation fixture (simlint check: tlv-tag): fleet frame
+// kinds share the snapshot tag namespace, so a duplicated FLT* 4CC
+// must be caught too.  "FLTZ" is claimed here first.
+#include <cstdint>
+
+constexpr uint32_t makeTag(const char (&n)[5])
+{
+    return n[0] | n[1] << 8 | n[2] << 16 | n[3] << 24;
+}
+
+constexpr uint32_t kMsgExtension = makeTag("FLTZ");

@@ -1,0 +1,8 @@
+// Seeded-violation fixture (simlint check: tlv-tag).
+// Line 6 re-claims "FLTZ" (first defined in fleet_a.h) — the exact
+// file:line the test asserts.  Read-side uses (line 8) are legal.
+#include <cstdint>
+
+constexpr uint32_t kMsgExtensionDupe = makeTag("FLTZ");
+
+inline uint32_t frameKind() { return makeTag("FLTZ"); }

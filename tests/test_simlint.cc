@@ -49,6 +49,21 @@ TEST(Simlint, DuplicateTlvTagReportedAtSecondDefinition)
         EXPECT_FALSE(contains(diag.message, "ALPH"));
 }
 
+TEST(Simlint, DuplicateFleetFrameTagReported)
+{
+    // Fleet frame kinds (FLT*) are minted with makeTag like snapshot
+    // chunk tags, so the same check must catch a duplicated 4CC in
+    // fleet protocol code.
+    std::vector<Diag> d =
+        bifsim::lint::checkTagUniqueness(fixture("dup_tag_fleet"));
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].file, "src/fleet_b.h");
+    EXPECT_EQ(d[0].line, 6);
+    EXPECT_EQ(d[0].check, "tlv-tag");
+    EXPECT_TRUE(contains(d[0].message, "\"FLTZ\""));
+    EXPECT_TRUE(contains(d[0].message, "src/fleet_a.h:11"));
+}
+
 TEST(Simlint, DbtParityFindsMissingAndOrphanHandlers)
 {
     std::vector<Diag> d =
