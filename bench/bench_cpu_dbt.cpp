@@ -276,35 +276,27 @@ main(int argc, char **argv)
     std::printf("\nguest_boot DBT speedup: %.2fx (gate >= 3x: %s)\n",
                 boot_speedup, gate ? "enforced" : "not requested");
 
-    std::FILE *f = std::fopen("BENCH_cpu_dbt.json", "w");
-    if (f) {
-        std::fprintf(
-            f,
-            "{\n  \"bench\": \"cpu_dbt\",\n"
-            "  \"scale\": %.3f,\n"
-            "  \"guest_boot\": {\n"
-            "    \"instret\": %llu,\n"
-            "    \"interp\": {\"secs\": %.4f, \"mips\": %.1f},\n"
-            "    \"dbt\": {\"secs\": %.4f, \"mips\": %.1f},\n"
-            "    \"speedup\": %.3f\n  },\n"
-            "  \"driver_loop\": {\n"
-            "    \"driver_instret\": %llu,\n"
-            "    \"interp\": {\"secs\": %.4f, \"mips\": %.1f},\n"
-            "    \"dbt\": {\"secs\": %.4f, \"mips\": %.1f},\n"
-            "    \"speedup\": %.3f\n  },\n"
-            "  \"gate_threshold\": 3.0,\n"
-            "  \"gate_enforced\": %s,\n"
-            "  \"guest_boot_speedup\": %.3f\n}\n",
-            opt.scale,
-            static_cast<unsigned long long>(boot_dbt.instret),
-            boot_interp.secs, boot_interp.mips, boot_dbt.secs,
-            boot_dbt.mips, boot_speedup,
-            static_cast<unsigned long long>(drv_dbt.instret),
-            drv_interp.secs, drv_interp.mips, drv_dbt.secs, drv_dbt.mips,
-            drv_speedup, gate ? "true" : "false", boot_speedup);
-        std::fclose(f);
-        std::printf("wrote BENCH_cpu_dbt.json\n");
-    }
+    bench::Report report("cpu_dbt", opt.scale);
+    auto tier = [](const TierMetrics &tm) {
+        json::Value t = json::Value::object();
+        t.set("secs", json::Value(tm.secs));
+        t.set("mips", json::Value(tm.mips));
+        return t;
+    };
+    json::Value gb = json::Value::object();
+    gb.set("instret", json::Value(boot_dbt.instret));
+    gb.set("interp", tier(boot_interp));
+    gb.set("dbt", tier(boot_dbt));
+    gb.set("speedup", json::Value(boot_speedup));
+    report.metrics().set("guest_boot", std::move(gb));
+    json::Value dl = json::Value::object();
+    dl.set("driver_instret", json::Value(drv_dbt.instret));
+    dl.set("interp", tier(drv_interp));
+    dl.set("dbt", tier(drv_dbt));
+    dl.set("speedup", json::Value(drv_speedup));
+    report.metrics().set("driver_loop", std::move(dl));
+    report.gate("guest_boot.speedup", 3.0, boot_speedup, gate);
+    report.write();
 
     if (gate && boot_speedup < 3.0) {
         std::fprintf(stderr,

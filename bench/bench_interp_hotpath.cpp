@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "runtime/session.h"
 
@@ -154,10 +155,10 @@ main(int argc, char **argv)
                 "legacy MIPS", "fast MIPS", "speedup", "ns/access",
                 "TLB hit%");
 
-    std::string json = "{\n  \"bench\": \"interp_hotpath\",\n"
-                       "  \"scale\": " + std::to_string(opt.scale) +
-                       ",\n  \"kernels\": [\n";
+    bench::Report report("interp_hotpath", opt.scale);
+    json::Value kernels = json::Value::array();
     bool ok = true;
+    double gate_speedup = 0;
     for (size_t i = 0; i < cases.size(); ++i) {
         const KernelCase &kc = cases[i];
         RunMetrics legacy = runCase(kc, false);
@@ -169,31 +170,31 @@ main(int argc, char **argv)
                     kc.name, legacy.mips, fast.mips, speedup,
                     legacy.nsPerAccess, fast.nsPerAccess,
                     100.0 * fast.tlbHitRate);
-        char buf[512];
-        std::snprintf(
-            buf, sizeof buf,
-            "    {\"name\": \"%s\", \"instrs\": %llu,\n"
-            "     \"legacy\": {\"secs\": %.4f, \"mips\": %.1f, "
-            "\"ns_per_access\": %.2f},\n"
-            "     \"fast\": {\"secs\": %.4f, \"mips\": %.1f, "
-            "\"ns_per_access\": %.2f, \"tlb_hit_rate\": %.6f},\n"
-            "     \"speedup\": %.3f}%s\n",
-            kc.name, static_cast<unsigned long long>(fast.instrs),
-            legacy.secs, legacy.mips, legacy.nsPerAccess, fast.secs,
-            fast.mips, fast.nsPerAccess, fast.tlbHitRate, speedup,
-            i + 1 < cases.size() ? "," : "");
-        json += buf;
-        if (kc.iters > 0 && speedup < 2.0)
-            ok = false;
+        json::Value k = json::Value::object();
+        k.set("name", json::Value(kc.name));
+        k.set("instrs", json::Value(fast.instrs));
+        json::Value leg = json::Value::object();
+        leg.set("secs", json::Value(legacy.secs));
+        leg.set("mips", json::Value(legacy.mips));
+        leg.set("ns_per_access", json::Value(legacy.nsPerAccess));
+        k.set("legacy", std::move(leg));
+        json::Value fst = json::Value::object();
+        fst.set("secs", json::Value(fast.secs));
+        fst.set("mips", json::Value(fast.mips));
+        fst.set("ns_per_access", json::Value(fast.nsPerAccess));
+        fst.set("tlb_hit_rate", json::Value(fast.tlbHitRate));
+        k.set("fast", std::move(fst));
+        k.set("speedup", json::Value(speedup));
+        kernels.push(std::move(k));
+        if (kc.iters > 0) {
+            gate_speedup = speedup;
+            if (speedup < 2.0)
+                ok = false;
+        }
     }
-    json += "  ]\n}\n";
-
-    std::FILE *f = std::fopen("BENCH_interp_hotpath.json", "w");
-    if (f) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        std::printf("\nwrote BENCH_interp_hotpath.json\n");
-    }
+    report.metrics().set("kernels", std::move(kernels));
+    report.gate("kernels.mad_loop.speedup", 2.0, gate_speedup, true);
+    report.write();
 
     if (!ok) {
         std::fprintf(stderr,

@@ -198,24 +198,20 @@ main(int argc, char **argv)
     std::printf("%-36s %10.1fx (target >= 5x)\n", "replay speedup:",
                 speedup);
 
-    char json[1024];
-    std::snprintf(
-        json, sizeof json,
-        "{\n  \"bench\": \"replay\",\n  \"scale\": %.3f,\n"
-        "  \"chains\": %d,\n  \"guest_words_per_chain\": %u,\n"
-        "  \"full_system_secs\": %.6f,\n"
-        "  \"log_load_secs\": %.6f,\n  \"replay_secs\": %.6f,\n"
-        "  \"replay_validated_secs\": %.6f,\n  \"log_bytes\": %zu,\n"
-        "  \"ram_bytes\": %zu,\n  \"replay_speedup\": %.3f\n}\n",
-        opt.scale, chains, kWords, full_s, load_s, replay_s,
-        replay_val_s, log_bytes, static_cast<size_t>(32u << 20),
-        speedup);
-    std::FILE *f = std::fopen("BENCH_replay.json", "w");
-    if (f) {
-        std::fputs(json, f);
-        std::fclose(f);
-        std::printf("\nwrote BENCH_replay.json\n");
-    }
+    bench::Report report("replay", opt.scale);
+    json::Value &m = report.metrics();
+    m.set("chains", json::Value(chains));
+    m.set("guest_words_per_chain",
+          json::Value(static_cast<uint64_t>(kWords)));
+    m.set("full_system_secs", json::Value(full_s));
+    m.set("log_load_secs", json::Value(load_s));
+    m.set("replay_secs", json::Value(replay_s));
+    m.set("replay_validated_secs", json::Value(replay_val_s));
+    m.set("log_bytes", json::Value(static_cast<uint64_t>(log_bytes)));
+    m.set("ram_bytes", json::Value(static_cast<uint64_t>(32u << 20)));
+    m.set("replay_speedup", json::Value(speedup));
+    report.gate("replay_speedup", 5.0, speedup, true);
+    report.write();
 
     if (speedup < 5.0) {
         std::fprintf(stderr,

@@ -13,6 +13,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+
+#include "common/json.h"
 
 namespace bifsim::bench {
 
@@ -66,6 +69,83 @@ banner(const char *figure, const char *description)
 {
     std::printf("==== %s ====\n%s\n\n", figure, description);
 }
+
+/**
+ * The one BENCH_*.json writer (docs/METRICS.md).  Every bench fills
+ * its numbers into metrics() and calls write(); the envelope —
+ * identity, scale, host shape, gate outcome — is uniform so the
+ * simsweep baseline differ (src/metrics/sweep.h) can flatten any
+ * bench file with one set of tolerance rules:
+ *
+ *   {
+ *     "bench": "<name>", "schema": 2, "scale": S,
+ *     "host": {"hw_threads": N},
+ *     "gate": {"enforced": b, "metric": "...", "threshold": t,
+ *              "value": v},
+ *     "metrics": { ...bench-specific... }
+ *   }
+ *
+ * `gate` reports what the bench's own pass/fail check did (enforced
+ * false = self-disarmed, e.g. a thread-scaling gate on a 1-core
+ * host); the differ never gates on it, it is provenance.
+ */
+class Report
+{
+  public:
+    Report(std::string bench, double scale)
+        : bench_(std::move(bench)), scale_(scale),
+          metrics_(json::Value::object())
+    {
+    }
+
+    /** The bench-specific metrics object; fill freely. */
+    json::Value &metrics() { return metrics_; }
+
+    /** Records the bench's own gate check (call at most once). */
+    void
+    gate(const char *metric, double threshold, double value,
+         bool enforced)
+    {
+        gate_ = json::Value::object();
+        gate_.set("enforced", json::Value(enforced));
+        gate_.set("metric", json::Value(metric));
+        gate_.set("threshold", json::Value(threshold));
+        gate_.set("value", json::Value(value));
+    }
+
+    /** Writes BENCH_<bench>.json into the current directory. */
+    bool
+    write() const
+    {
+        json::Value doc = json::Value::object();
+        doc.set("bench", json::Value(bench_));
+        doc.set("schema", json::Value(2));
+        doc.set("scale", json::Value(scale_));
+        json::Value host = json::Value::object();
+        host.set("hw_threads",
+                 json::Value(static_cast<uint64_t>(
+                     std::thread::hardware_concurrency())));
+        doc.set("host", std::move(host));
+        if (!gate_.isNull())
+            doc.set("gate", gate_);
+        doc.set("metrics", metrics_);
+        std::string path = "BENCH_" + bench_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+        std::string text = doc.dump();
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::string bench_;
+    double scale_;
+    json::Value metrics_;
+    json::Value gate_;
+};
 
 } // namespace bifsim::bench
 

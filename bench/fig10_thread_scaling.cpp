@@ -105,36 +105,31 @@ main(int argc, char **argv)
     std::printf("(paper, 32-core host: sobel 20.88x at 64 threads, "
                 "binarysearch flat ~1x)\n");
 
-    std::FILE *f = std::fopen("BENCH_thread_scaling.json", "w");
-    if (f) {
-        std::fprintf(f,
-                     "{\n  \"bench\": \"thread_scaling\",\n"
-                     "  \"scale\": %.3f,\n"
-                     "  \"host_hw_threads\": %u,\n"
-                     "  \"threads\": [1, 2, 4, 8],\n",
-                     opt.scale, hw);
-        for (const Series &s : series) {
-            std::fprintf(f, "  \"%s_secs\": [", s.name);
-            for (size_t i = 0; i < s.secs.size(); ++i)
-                std::fprintf(f, "%s%.6f", i ? ", " : "", s.secs[i]);
-            std::fprintf(f, "],\n  \"%s_speedup\": [", s.name);
-            for (size_t i = 0; i < s.speedup.size(); ++i)
-                std::fprintf(f, "%s%.3f", i ? ", " : "", s.speedup[i]);
-            std::fprintf(f, "],\n  \"%s_steals\": [", s.name);
-            for (size_t i = 0; i < s.steals.size(); ++i)
-                std::fprintf(f, "%s%llu", i ? ", " : "",
-                             static_cast<unsigned long long>(
-                                 s.steals[i]));
-            std::fprintf(f, "],\n");
-        }
-        std::fprintf(f,
-                     "  \"gate_threshold\": 3.0,\n"
-                     "  \"gate_enforced\": %s,\n"
-                     "  \"sgemm_speedup_at_8\": %.3f\n}\n",
-                     gate_armed ? "true" : "false", sgemm8);
-        std::fclose(f);
-        std::printf("\nwrote BENCH_thread_scaling.json\n");
+    bench::Report report("thread_scaling", opt.scale);
+    json::Value th = json::Value::array();
+    for (unsigned nt : threads)
+        th.push(json::Value(static_cast<uint64_t>(nt)));
+    report.metrics().set("threads", std::move(th));
+    for (const Series &s : series) {
+        json::Value secs = json::Value::array();
+        for (double v : s.secs)
+            secs.push(json::Value(v));
+        report.metrics().set(std::string(s.name) + "_secs",
+                             std::move(secs));
+        json::Value sp = json::Value::array();
+        for (double v : s.speedup)
+            sp.push(json::Value(v));
+        report.metrics().set(std::string(s.name) + "_speedup",
+                             std::move(sp));
+        json::Value st = json::Value::array();
+        for (uint64_t v : s.steals)
+            st.push(json::Value(v));
+        report.metrics().set(std::string(s.name) + "_steals",
+                             std::move(st));
     }
+    report.metrics().set("sgemm_speedup_at_8", json::Value(sgemm8));
+    report.gate("sgemm_speedup_at_8", 3.0, sgemm8, gate_armed);
+    report.write();
 
     if (gate_armed && sgemm8 < 3.0) {
         std::fprintf(stderr,

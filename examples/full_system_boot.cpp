@@ -19,16 +19,31 @@
  *   --replay=<file>         replay a BRPL log into a standalone GPU —
  *                           no boot, no guest OS, no CPU — and verify
  *                           it reproduces the recorded fingerprints
+ *
+ * Live metrics HUD (DESIGN.md §5k, docs/METRICS.md):
+ *   --hud[=<seconds>]       after boot, drive GPU jobs continuously
+ *                           for <seconds> (default 5) while rendering
+ *                           refresh-in-place rates (MIPS, jobs/s,
+ *                           TLB hit %, steal ratio) from the
+ *                           always-on metrics registry
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
 #include "common/logging.h"
 #include "cpu/asm/assembler.h"
 #include "cpu/mmu.h"
+#include "metrics/hud.h"
+#include "metrics/metrics.h"
 #include "replay/replay.h"
 #include "runtime/session.h"
 
@@ -112,6 +127,79 @@ runGpuJob(bifsim::rt::Session &session)
     return errors == 0 ? 0 : 1;
 }
 
+/**
+ * --hud: drive the scale kernel through the guest driver in a loop
+ * for @p seconds, sampling the metrics registry ~20x/s and rewriting
+ * the HUD block in place (plain periodic lines when stdout is not a
+ * terminal).  Returns nonzero if any job faults or misverifies.
+ */
+int
+runHudLoop(bifsim::rt::Session &session, double seconds)
+{
+    using namespace bifsim;
+    namespace chrono = std::chrono;
+
+    constexpr int kN = 1024;
+    std::vector<float> in(kN), out(kN);
+    for (int i = 0; i < kN; ++i)
+        in[i] = static_cast<float>(i);
+    rt::Buffer din = session.alloc(kN * 4);
+    rt::Buffer dout = session.alloc(kN * 4);
+    session.write(din, in.data(), kN * 4);
+    rt::KernelHandle k = session.compile(kKernel, "scale");
+
+    bool tty = false;
+#ifdef __unix__
+    tty = isatty(fileno(stdout)) != 0;
+#endif
+    metrics::Registry &reg = metrics::registry();
+    metrics::HudOptions hopt;
+
+    auto t0 = chrono::steady_clock::now();
+    auto next_render = t0;
+    int rendered_lines = 0;
+    uint64_t jobs = 0;
+    while (chrono::duration<double>(chrono::steady_clock::now() - t0)
+               .count() < seconds) {
+        gpu::JobResult r = session.enqueue(
+            k, rt::NDRange{kN, 1, 1}, rt::NDRange{64, 1, 1},
+            {rt::Arg::buf(din), rt::Arg::buf(dout), rt::Arg::i32(kN),
+             rt::Arg::f32(3.0f)});
+        if (r.faulted) {
+            std::fprintf(stderr, "GPU fault: %s\n",
+                         r.fault.detail.c_str());
+            return 1;
+        }
+        ++jobs;
+        // Sample every job (cheap: one totals() sum); render at most
+        // ~10x/s so the terminal isn't the bottleneck.
+        reg.sample();
+        auto now = chrono::steady_clock::now();
+        if (now >= next_render) {
+            next_render = now + chrono::milliseconds(tty ? 100 : 1000);
+            std::string frame = renderHud(reg, hopt);
+            if (tty && rendered_lines > 0)
+                std::printf("\x1b[%dA", rendered_lines);
+            fputs(frame.c_str(), stdout);
+            std::fflush(stdout);
+            rendered_lines = 0;
+            for (char c : frame)
+                rendered_lines += c == '\n';
+        }
+    }
+
+    session.read(dout, out.data(), kN * 4);
+    int errors = 0;
+    for (int i = 0; i < kN; ++i) {
+        if (out[i] != in[i] * 3.0f)
+            errors++;
+    }
+    std::printf("hud run: %llu jobs in %.1fs, verify %s\n",
+                static_cast<unsigned long long>(jobs), seconds,
+                errors == 0 ? "PASS" : "FAIL");
+    return errors == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -120,6 +208,7 @@ main(int argc, char **argv)
     using namespace bifsim;
 
     std::string save_path, restore_path, record_path, replay_path;
+    double hud_seconds = 0;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--save-snapshot=", 16) == 0) {
@@ -134,11 +223,20 @@ main(int argc, char **argv)
             record_path = a + 9;
         } else if (std::strncmp(a, "--replay=", 9) == 0) {
             replay_path = a + 9;
+        } else if (std::strcmp(a, "--hud") == 0) {
+            hud_seconds = 5;
+        } else if (std::strncmp(a, "--hud=", 6) == 0) {
+            hud_seconds = std::atof(a + 6);
+            if (hud_seconds <= 0) {
+                std::fprintf(stderr,
+                             "--hud needs a positive duration\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--save-snapshot=<file>] "
                          "[--restore=<file>] [--record=<file>] "
-                         "[--replay=<file>]\n",
+                         "[--replay=<file>] [--hud[=<seconds>]]\n",
                          argv[0]);
             return 2;
         }
@@ -175,7 +273,8 @@ main(int argc, char **argv)
     auto runAndMaybeRecord = [&](rt::Session &s) {
         if (!record_path.empty())
             s.startRecording();
-        int rc = runGpuJob(s);
+        int rc = hud_seconds > 0 ? runHudLoop(s, hud_seconds)
+                                 : runGpuJob(s);
         if (!record_path.empty()) {
             s.stopRecordingToFile(record_path);
             std::printf("recorded CPU<->GPU boundary to %s\n",

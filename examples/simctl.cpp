@@ -262,6 +262,34 @@ main(int argc, char **argv)
                 for (const auto &[name, value] : reply.counters)
                     std::printf("%-28s %llu\n", name.c_str(),
                                 static_cast<unsigned long long>(value));
+                // v2 extension: uptime and per-tenant rates.  A v1
+                // daemon's reply simply has no rows.
+                double up = static_cast<double>(reply.uptimeNs) * 1e-9;
+                if (reply.uptimeNs)
+                    std::printf("%-28s %.1f\n", "uptime_secs", up);
+                if (!reply.tenants.empty()) {
+                    std::printf("\n%-16s %10s %10s %8s %9s %11s\n",
+                                "tenant", "submitted", "completed",
+                                "faulted", "jobs/s", "avg_exec_ms");
+                    for (const auto &t : reply.tenants) {
+                        double rate =
+                            up > 0 ? static_cast<double>(t.completed) /
+                                         up
+                                   : 0;
+                        double avg_ms =
+                            t.completed
+                                ? static_cast<double>(t.execNs) * 1e-6 /
+                                      static_cast<double>(t.completed)
+                                : 0;
+                        std::printf(
+                            "%-16s %10llu %10llu %8llu %9.2f %11.3f\n",
+                            t.name.c_str(),
+                            static_cast<unsigned long long>(t.submitted),
+                            static_cast<unsigned long long>(t.completed),
+                            static_cast<unsigned long long>(t.faulted),
+                            rate, avg_ms);
+                    }
+                }
                 rc = 0;
             }
         } else if (command == "shutdown") {

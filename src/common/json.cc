@@ -1,0 +1,463 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bifsim::json {
+
+namespace {
+
+/** Hostile-input backstop: deeper nesting than any bench file needs
+ *  is a malformed document, not a reason to exhaust the stack. */
+constexpr int kMaxDepth = 64;
+
+struct Parser
+{
+    const std::string &text;
+    const std::string &where;
+    size_t pos = 0;
+    int line = 1;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        simError("%s:%d: %s", where.c_str(), line, msg.c_str());
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '\n')
+                ++line;
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strfmt("expected '%c', got '%c'", c, text[pos]));
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        size_t n = std::strlen(w);
+        if (text.compare(pos, n, w) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\n')
+                fail("raw newline in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                // Enough unicode for our own files: decode the four
+                // hex digits and emit the code point as UTF-8 (no
+                // surrogate-pair handling — the writer never emits
+                // them).
+                if (pos + 4 > text.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fail(strfmt("unknown escape '\\%c'", e));
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        std::string tok = text.substr(start, pos - start);
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || tok.empty())
+            fail("malformed number \"" + tok + "\"");
+        return Value(d);
+    }
+
+    Value
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting deeper than the document cap");
+        skipWs();
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            Value v = Value::object();
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                v.set(key, parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Value v = Value::array();
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                v.push(parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"')
+            return Value(parseString());
+        if (c == 't') {
+            if (!consumeWord("true"))
+                fail("bad literal");
+            return Value(true);
+        }
+        if (c == 'f') {
+            if (!consumeWord("false"))
+                fail("bad literal");
+            return Value(false);
+        }
+        if (c == 'n') {
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return Value();
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber();
+        fail(strfmt("unexpected character '%c'", c));
+    }
+};
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    out.push_back('"');
+}
+
+void
+writeNumber(std::string &out, double d, bool whole_hint)
+{
+    if (std::isnan(d) || std::isinf(d)) {
+        out += "null";   // JSON has no NaN/Inf; absent beats invalid.
+        return;
+    }
+    double r = std::floor(d);
+    if (r == d && std::fabs(d) < 1e15) {
+        out += strfmt("%lld", static_cast<long long>(d));
+        return;
+    }
+    (void)whole_hint;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", d);
+    out += buf;
+}
+
+} // namespace
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Obj;
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Arr;
+    return v;
+}
+
+bool
+Value::boolean() const
+{
+    if (kind_ != Kind::Bool)
+        simError("json: boolean() on a non-bool value");
+    return bool_;
+}
+
+double
+Value::num() const
+{
+    if (kind_ != Kind::Num)
+        simError("json: num() on a non-number value");
+    return num_;
+}
+
+const std::string &
+Value::str() const
+{
+    if (kind_ != Kind::Str)
+        simError("json: str() on a non-string value");
+    return str_;
+}
+
+const std::vector<Value> &
+Value::arr() const
+{
+    if (kind_ != Kind::Arr)
+        simError("json: arr() on a non-array value");
+    return arr_;
+}
+
+const Members &
+Value::obj() const
+{
+    if (kind_ != Kind::Obj)
+        simError("json: obj() on a non-object value");
+    return obj_;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Obj)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Obj;
+    if (kind_ != Kind::Obj)
+        simError("json: set() on a non-object value");
+    for (auto &[k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+void
+Value::push(Value v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Arr;
+    if (kind_ != Kind::Arr)
+        simError("json: push() on a non-array value");
+    arr_.push_back(std::move(v));
+}
+
+void
+Value::write(std::string &out, int indent) const
+{
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    std::string inner(static_cast<size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::Null: out += "null"; break;
+      case Kind::Bool: out += bool_ ? "true" : "false"; break;
+      case Kind::Num: writeNumber(out, num_, wholeHint_); break;
+      case Kind::Str: writeEscaped(out, str_); break;
+      case Kind::Arr: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        // Scalar-only arrays print on one line (the thread-scaling
+        // series read better that way); nested ones go multi-line.
+        bool scalar = true;
+        for (const Value &v : arr_)
+            if (v.isArr() || v.isObj())
+                scalar = false;
+        if (scalar) {
+            out += "[";
+            for (size_t i = 0; i < arr_.size(); ++i) {
+                if (i)
+                    out += ", ";
+                arr_[i].write(out, indent);
+            }
+            out += "]";
+            break;
+        }
+        out += "[\n";
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            out += inner;
+            arr_[i].write(out, indent + 1);
+            if (i + 1 < arr_.size())
+                out += ",";
+            out += "\n";
+        }
+        out += pad + "]";
+        break;
+      }
+      case Kind::Obj: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            out += inner;
+            writeEscaped(out, obj_[i].first);
+            out += ": ";
+            obj_[i].second.write(out, indent + 1);
+            if (i + 1 < obj_.size())
+                out += ",";
+            out += "\n";
+        }
+        out += pad + "}";
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    write(out, 0);
+    out += "\n";
+    return out;
+}
+
+Value
+Value::parse(const std::string &text, const std::string &where)
+{
+    Parser p{text, where};
+    Value v = p.parseValue(0);
+    p.skipWs();
+    if (p.pos != text.size())
+        p.fail("trailing garbage after the document");
+    return v;
+}
+
+Value
+Value::parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        simError("json: cannot open %s", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str(), path);
+}
+
+} // namespace bifsim::json

@@ -14,6 +14,7 @@
 #endif
 
 #include "instrument/stats.h"
+#include "metrics/metrics.h"
 
 namespace bifsim::fleet {
 
@@ -21,7 +22,8 @@ FleetServer::FleetServer(std::shared_ptr<const snapshot::Image> image,
                          FleetConfig cfg)
     : cfg_(std::move(cfg)), info_(inspectWarmImage(*image)),
       pool_(std::make_unique<SessionPool>(image, cfg_.pool)),
-      tracer_(cfg_.trace, cfg_.traceBufferEvents)
+      tracer_(cfg_.trace, cfg_.traceBufferEvents),
+      startNs_(trace::nowNs())
 {
     cfg_.workers = std::max(1u, cfg_.workers);
     cfg_.maxQueuedPerTenant = std::max<size_t>(1, cfg_.maxQueuedPerTenant);
@@ -78,6 +80,10 @@ FleetServer::stats() const
     s.acquireWaits = p.acquireWaits;
     s.sessionsLive = p.live;
     s.sessionsIdle = p.idle;
+    {
+        sim::LockGuard g(queueLock_);
+        s.queueDepth = totalQueued_;
+    }
     return s;
 }
 
@@ -91,6 +97,13 @@ FleetServer::statsReply() const
     r.counters.reserve(counters.size());
     for (const gpu::NamedCounter &c : counters)
         r.counters.emplace_back(c.name, c.value);
+    r.uptimeNs = trace::nowNs() - startNs_;
+    {
+        sim::LockGuard g(statsLock_);
+        r.tenants.reserve(tenantStats_.size());
+        for (const auto &[name, row] : tenantStats_)
+            r.tenants.push_back(row);   // std::map: sorted by name.
+    }
     return r;
 }
 
@@ -101,6 +114,7 @@ FleetServer::submitAsync(JobRequest req,
                          std::function<void(JobResultMsg)> done)
 {
     uint64_t now = trace::nowNs();
+    std::string tenant = req.tenant;   // req is moved into the queue.
     std::string reject;
     uint64_t queued_now = 0;
     uint64_t tenants = 0;
@@ -130,6 +144,10 @@ FleetServer::submitAsync(JobRequest req,
     {
         sim::LockGuard g(statsLock_);
         ++stats_.jobsSubmitted;
+        StatsReply::TenantRow &row = tenantStats_[tenant];
+        if (row.name.empty())
+            row.name = tenant;
+        ++row.submitted;
         if (!reject.empty()) {
             ++stats_.jobsRejected;
         } else {
@@ -337,7 +355,17 @@ FleetServer::workerMain(unsigned idx)
             stats_.execNsTotal += m.execNs;
             stats_.bytesIn += bytes_in;
             stats_.bytesOut += m.readback.size();
+            StatsReply::TenantRow &row = tenantStats_[job.req.tenant];
+            if (row.name.empty())
+                row.name = job.req.tenant;
+            if (m.status == JobStatus::Ok)
+                ++row.completed;
+            else
+                ++row.faulted;
+            row.queueNs += m.queueNs;
+            row.execNs += m.execNs;
         }
+        publishFleetMetrics();
         if (tb) {
             tb->span("job", "fleet", t0, "session", m.sessionId,
                      "status", static_cast<uint64_t>(m.status));
@@ -346,6 +374,67 @@ FleetServer::workerMain(unsigned idx)
         job.done(m);
         job = PendingJob{};   // Drop the closure (and any socket refs).
     }
+}
+
+void
+FleetServer::publishFleetMetrics()
+{
+    if (!metrics::registry().enabled())
+        return;
+    // Merged lifetime view (locks statsLock_/queueLock_ internally,
+    // and the pool's own lock — all leaves, never nested here).
+    FleetStats now = stats();
+    std::vector<gpu::NamedCounter> deltas;
+    {
+        sim::LockGuard g(statsLock_);
+        // Saturating deltas: two workers can race stats() reads, so a
+        // later-locking worker may hold an older `now`; whoever locked
+        // first already published those counts.
+        auto sub = [](uint64_t a, uint64_t b) {
+            return a > b ? a - b : 0;
+        };
+        FleetStats d;
+        d.jobsSubmitted = sub(now.jobsSubmitted, published_.jobsSubmitted);
+        d.jobsCompleted = sub(now.jobsCompleted, published_.jobsCompleted);
+        d.jobsFaulted = sub(now.jobsFaulted, published_.jobsFaulted);
+        d.jobsRejected = sub(now.jobsRejected, published_.jobsRejected);
+        d.jobsBadRequest =
+            sub(now.jobsBadRequest, published_.jobsBadRequest);
+        d.queueNsTotal = sub(now.queueNsTotal, published_.queueNsTotal);
+        d.execNsTotal = sub(now.execNsTotal, published_.execNsTotal);
+        d.bytesIn = sub(now.bytesIn, published_.bytesIn);
+        d.bytesOut = sub(now.bytesOut, published_.bytesOut);
+        d.spawns = sub(now.spawns, published_.spawns);
+        d.recycles = sub(now.recycles, published_.recycles);
+        d.recycleFailures =
+            sub(now.recycleFailures, published_.recycleFailures);
+        d.acquireWaits = sub(now.acquireWaits, published_.acquireWaits);
+        auto newer = [&](uint64_t FleetStats::*f) {
+            published_.*f = std::max(published_.*f, now.*f);
+        };
+        newer(&FleetStats::jobsSubmitted);
+        newer(&FleetStats::jobsCompleted);
+        newer(&FleetStats::jobsFaulted);
+        newer(&FleetStats::jobsRejected);
+        newer(&FleetStats::jobsBadRequest);
+        newer(&FleetStats::queueNsTotal);
+        newer(&FleetStats::execNsTotal);
+        newer(&FleetStats::bytesIn);
+        newer(&FleetStats::bytesOut);
+        newer(&FleetStats::spawns);
+        newer(&FleetStats::recycles);
+        newer(&FleetStats::recycleFailures);
+        newer(&FleetStats::acquireWaits);
+        gpu::appendCounters(deltas, d);
+    }
+    metrics::Registry &reg = metrics::registry();
+    reg.publish(deltas);
+    // Level-valued series go in as gauges (store-latest), not sums.
+    reg.setGauge("fleet.queue_depth", now.queueDepth);
+    reg.setGauge("fleet.sessions_live", now.sessionsLive);
+    reg.setGauge("fleet.sessions_idle", now.sessionsIdle);
+    reg.setGauge("fleet.queue_peak", now.queuePeak);
+    reg.setGauge("fleet.tenants_seen", now.tenantsSeen);
 }
 
 // -------------------------------------------------------------- socket

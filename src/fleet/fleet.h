@@ -123,11 +123,12 @@ class FleetServer
     /** What the image offers (sent as the FLTW greeting). */
     Welcome welcome() const;
 
-    /** Merged fleet.* counters (server + pool gauges). */
-    FleetStats stats() const EXCLUDES(statsLock_);
+    /** Merged fleet.* counters (server + pool + queue gauges). */
+    FleetStats stats() const EXCLUDES(statsLock_, queueLock_);
 
-    /** stats() rendered as the FLTS wire payload. */
-    StatsReply statsReply() const;
+    /** stats() rendered as the FLTS wire payload: counters plus the
+     *  v2 uptime + per-tenant rows. */
+    StatsReply statsReply() const EXCLUDES(statsLock_, queueLock_);
 
     /** The warm image's inventory (matrix size, registries). */
     const WarmImageInfo &imageInfo() const { return info_; }
@@ -165,6 +166,15 @@ class FleetServer
 
     mutable sim::Mutex statsLock_;
     FleetStats stats_ GUARDED_BY(statsLock_);
+    /** Per-tenant lifetime totals, served in the v2 FLTS reply. */
+    std::map<std::string, StatsReply::TenantRow> tenantStats_
+        GUARDED_BY(statsLock_);
+    /** Merged counters as of the last §5k metrics publish; the
+     *  registry gets saturating deltas against this baseline. */
+    FleetStats published_ GUARDED_BY(statsLock_);
+
+    /** Construction time (trace::nowNs), for FLTS uptime. */
+    const uint64_t startNs_;
 
     std::atomic<bool> shutdown_{false};
 
@@ -175,6 +185,10 @@ class FleetServer
     std::vector<std::thread> workers_;
 
     void workerMain(unsigned idx);
+    /** Pushes the fleet.* counter deltas since the last call into the
+     *  always-on metrics registry (§5k) and refreshes the queue/pool
+     *  gauges.  Called by workers after each job. */
+    void publishFleetMetrics() EXCLUDES(statsLock_, queueLock_);
     bool popNext(PendingJob &out) EXCLUDES(queueLock_);
     JobResultMsg runJob(rt::Session &s, uint32_t session_id,
                         const JobRequest &req);

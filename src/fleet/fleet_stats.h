@@ -39,6 +39,7 @@ struct FleetStats
     uint64_t acquireWaits = 0;     ///< Pool: acquires that blocked.
     uint64_t sessionsLive = 0;     ///< Gauge: sessions in existence.
     uint64_t sessionsIdle = 0;     ///< Gauge: sessions parked, ready.
+    uint64_t queueDepth = 0;       ///< Gauge: jobs queued right now.
 };
 
 } // namespace bifsim::fleet

@@ -206,6 +206,17 @@ StatsReply::serialize(snap::ChunkWriter &w) const
         w.str(name);
         w.u64(value);
     }
+    // v2 extension: uptime + per-tenant rows.
+    w.u64(uptimeNs);
+    w.u32(static_cast<uint32_t>(tenants.size()));
+    for (const TenantRow &t : tenants) {
+        w.str(t.name);
+        w.u64(t.submitted);
+        w.u64(t.completed);
+        w.u64(t.faulted);
+        w.u64(t.queueNs);
+        w.u64(t.execNs);
+    }
 }
 
 StatsReply
@@ -220,6 +231,26 @@ StatsReply::parse(snap::ChunkReader &r)
         std::string name = r.str();
         uint64_t value = r.u64();
         s.counters.emplace_back(std::move(name), value);
+    }
+    if (r.remaining() == 0)
+        return s;   // v1 payload: counters only.
+    s.uptimeNs = r.u64();
+    uint32_t nt = r.u32();
+    // Each row is at least a length-prefixed name + five u64s.
+    if (static_cast<uint64_t>(nt) * (4 + 5 * 8) > r.remaining())
+        r.fail("tenant count " + std::to_string(nt) + " impossible");
+    s.tenants.reserve(nt);
+    for (uint32_t i = 0; i < nt; ++i) {
+        TenantRow t;
+        t.name = r.str();
+        if (t.name.size() > kMaxTenantName)
+            r.fail("tenant name exceeds cap");
+        t.submitted = r.u64();
+        t.completed = r.u64();
+        t.faulted = r.u64();
+        t.queueNs = r.u64();
+        t.execNs = r.u64();
+        s.tenants.push_back(std::move(t));
     }
     r.expectEnd();
     return s;

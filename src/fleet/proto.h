@@ -43,8 +43,10 @@
 
 namespace bifsim::fleet {
 
-/** Protocol revision carried in the welcome frame. */
-constexpr uint32_t kProtoVersion = 1;
+/** Protocol revision carried in the welcome frame.  v2 extends the
+ *  FLTS stats reply with server uptime and per-tenant accounting
+ *  rows; v1 replies (bare counter list) still parse. */
+constexpr uint32_t kProtoVersion = 2;
 
 /** Hard ceiling on one frame's payload; larger lengths are rejected
  *  before any allocation, so a hostile header cannot balloon memory. */
@@ -154,12 +156,30 @@ struct Welcome
     static Welcome parse(snapshot::ChunkReader &r);
 };
 
-/** Server counters (FLTS payload): name -> value, sorted by name. */
+/** Server counters (FLTS payload): name -> value in registry order,
+ *  plus (proto v2) server uptime and per-tenant accounting rows so
+ *  clients can derive per-tenant rates without scraping logs. */
 struct StatsReply
 {
+    /** One tenant's lifetime totals on this server. */
+    struct TenantRow
+    {
+        std::string name;
+        uint64_t submitted = 0;   ///< Admission attempts.
+        uint64_t completed = 0;   ///< Jobs that ran to Ok.
+        uint64_t faulted = 0;     ///< Fault + BadRequest outcomes.
+        uint64_t queueNs = 0;     ///< Summed admission->dispatch ns.
+        uint64_t execNs = 0;      ///< Summed dispatch->completion ns.
+    };
+
     std::vector<std::pair<std::string, uint64_t>> counters;
+    uint64_t uptimeNs = 0;        ///< Server age (v2; 0 from v1 peers).
+    std::vector<TenantRow> tenants;   ///< Sorted by name (v2).
 
     void serialize(snapshot::ChunkWriter &w) const;
+
+    /** Decodes both layouts: a v1 payload ends after the counter
+     *  list; a v2 payload carries uptime + tenant rows after it. */
     static StatsReply parse(snapshot::ChunkReader &r);
 };
 

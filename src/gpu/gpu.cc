@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "metrics/metrics.h"
 #include "replay/replay.h"
 
 namespace bifsim::gpu {
@@ -230,6 +231,7 @@ GpuDevice::reset()
     faultStatus_ = 0;
     faultAddress_ = 0;
     sys_ = SystemStats{};
+    sysPublished_ = sys_;   // Rebaseline: deltas must not wrap.
     total_ = KernelStats{};
     lastJob_ = JobResult{};
     sched_ = SchedStats{};
@@ -347,6 +349,7 @@ GpuDevice::restoreState(snapshot::ChunkReader &r)
     faultStatus_ = fault_status;
     faultAddress_ = fault_address;
     sys_ = sys;
+    sysPublished_ = sys_;   // Rebaseline: deltas must not wrap.
     total_ = std::move(total);
     lastJob_ = std::move(last);
     cacheStats_ = cache_stats;
@@ -429,6 +432,7 @@ GpuDevice::resetStats()
 {
     sim::LockGuard g(lock_);
     sys_ = SystemStats{};
+    sysPublished_ = sys_;   // Rebaseline: deltas must not wrap.
     total_ = KernelStats{};
     lastJob_ = JobResult{};
     sched_ = SchedStats{};
@@ -681,6 +685,27 @@ GpuDevice::runJob(const JobDescriptor &desc)
         appendCounters(counters, jobSched);
         for (const NamedCounter &c : counters)
             jmBuf_->counter(c.name, c.value);
+    }
+    // Always-on metrics (§5k): job completion is the natural merge
+    // point, so the per-job kernel/TLB/sched deltas publish as one
+    // batch.  sys_ counters accumulate outside runJob too (MMIO,
+    // IRQs), so their delta is taken against the last published
+    // baseline; a faulted job's sys increments fold into the next
+    // successful publish.
+    if (metrics::registry().enabled()) {
+        std::vector<NamedCounter> deltas;
+        appendCounters(deltas, result.kernel);
+        appendCounters(deltas, result.tlb);
+        appendCounters(deltas, jobSched);
+        SystemStats sysDelta = sys_;
+        sysDelta.pagesAccessed -= sysPublished_.pagesAccessed;
+        sysDelta.ctrlRegReads -= sysPublished_.ctrlRegReads;
+        sysDelta.ctrlRegWrites -= sysPublished_.ctrlRegWrites;
+        sysDelta.irqsAsserted -= sysPublished_.irqsAsserted;
+        sysDelta.computeJobs -= sysPublished_.computeJobs;
+        sysPublished_ = sys_;
+        appendCounters(deltas, sysDelta);
+        metrics::registry().publish(deltas);
     }
     raiseIrqLocked(kIrqJobDone);
     return true;

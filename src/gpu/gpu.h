@@ -355,6 +355,10 @@ class GpuDevice : public Device
     bool irqLevel_ GUARDED_BY(lock_) = false;
 
     SystemStats sys_ GUARDED_BY(lock_);
+    /** sys_ as of the last metrics publish (§5k): sys_ counters also
+     *  grow outside runJob (MMIO, IRQs), so the always-on registry
+     *  gets the delta against this baseline at each job completion. */
+    SystemStats sysPublished_ GUARDED_BY(lock_);
     KernelStats total_ GUARDED_BY(lock_);
     JobResult lastJob_ GUARDED_BY(lock_);
     SchedStats sched_ GUARDED_BY(lock_);   ///< Accumulated over jobs.

@@ -28,6 +28,10 @@ namespace bifsim::fleet {
 struct FleetStats;
 }
 
+namespace bifsim::metrics {
+struct RegistryStats;
+}
+
 namespace bifsim::gpu {
 
 /** Decode-time static metrics for one clause. */
@@ -228,6 +232,11 @@ void appendCounters(std::vector<NamedCounter> &out,
  *  spawn/recycle activity) under the "fleet." prefix. */
 void appendCounters(std::vector<NamedCounter> &out,
                     const fleet::FleetStats &f);
+
+/** Appends the metrics registry's self-observation counters (§5k)
+ *  under the "metrics." prefix. */
+void appendCounters(std::vector<NamedCounter> &out,
+                    const metrics::RegistryStats &m);
 
 /** Per-worker collector, merged into the job totals at completion. */
 struct WorkerCollector

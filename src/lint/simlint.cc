@@ -278,7 +278,8 @@ checkCounterRegistry(const Options &opts)
         if (dot == std::string::npos || dot == 0 || dot + 1 >= n.size())
             return false;
         static const std::set<std::string> prefixes = {
-            "kernel", "tlb", "sys", "sched", "cpu", "fleet"};
+            "kernel", "tlb", "sys", "sched", "cpu", "fleet",
+            "metrics"};
         if (!prefixes.count(n.substr(0, dot)))
             return false;
         for (size_t i = dot + 1; i < n.size(); ++i) {
@@ -308,7 +309,7 @@ checkCounterRegistry(const Options &opts)
                 Diag{opts.statsFile, lineNo, "counters",
                      "counter \"" + name + "\" does not match the "
                      "prefix.lower_snake grammar (prefixes: kernel, "
-                     "tlb, sys, sched, cpu, fleet)"});
+                     "tlb, sys, sched, cpu, fleet, metrics)"});
             continue;
         }
         auto [it, fresh] = emitted.emplace(name, lineNo);
@@ -327,41 +328,54 @@ checkCounterRegistry(const Options &opts)
         return diags;
     }
 
-    fs::path docPath = fs::path(opts.root) / opts.countersDoc;
-    std::vector<std::string> docLines;
-    if (!readLines(docPath, docLines)) {
-        diags.push_back(missingFile(opts.countersDoc, "counters"));
-        return diags;
-    }
-    // Documented names: backticked tokens shaped like counter names.
-    std::map<std::string, int> documented;
-    for (size_t i = 0; i < docLines.size(); ++i) {
-        const std::string &l = docLines[i];
-        for (size_t pos = 0; (pos = l.find('`', pos)) !=
-                             std::string::npos;) {
-            size_t endq = l.find('`', pos + 1);
-            if (endq == std::string::npos)
-                break;
-            std::string name = l.substr(pos + 1, endq - pos - 1);
-            if (validName(name) && !documented.count(name))
-                documented[name] = static_cast<int>(i + 1);
-            pos = endq + 1;
+    // Every emitted counter must be documented TWICE: in the
+    // per-struct reference (docs/COUNTERS.md) and in the
+    // exported-series view the metrics registry serves
+    // (docs/METRICS.md) — an undocumented series is invisible to
+    // anyone reading the HUD or a sweep diff.  Documented names are
+    // backticked tokens shaped like counter names.
+    std::vector<std::map<std::string, int>> documented;
+    const std::string docs[] = {opts.countersDoc, opts.metricsDoc};
+    for (const std::string &doc : docs) {
+        std::vector<std::string> docLines;
+        if (!readLines(fs::path(opts.root) / doc, docLines)) {
+            diags.push_back(missingFile(doc, "counters"));
+            return diags;
         }
+        std::map<std::string, int> names;
+        for (size_t i = 0; i < docLines.size(); ++i) {
+            const std::string &l = docLines[i];
+            for (size_t pos = 0; (pos = l.find('`', pos)) !=
+                                 std::string::npos;) {
+                size_t endq = l.find('`', pos + 1);
+                if (endq == std::string::npos)
+                    break;
+                std::string name = l.substr(pos + 1, endq - pos - 1);
+                if (validName(name) && !names.count(name))
+                    names[name] = static_cast<int>(i + 1);
+                pos = endq + 1;
+            }
+        }
+        documented.push_back(std::move(names));
     }
     for (const auto &[name, line] : emitted) {
-        if (!documented.count(name))
-            diags.push_back(
-                Diag{opts.statsFile, line, "counters",
-                     "counter \"" + name + "\" is not documented in " +
-                     opts.countersDoc});
+        for (size_t d = 0; d < documented.size(); ++d) {
+            if (!documented[d].count(name))
+                diags.push_back(
+                    Diag{opts.statsFile, line, "counters",
+                         "counter \"" + name +
+                         "\" is not documented in " + docs[d]});
+        }
     }
-    for (const auto &[name, line] : documented) {
-        if (!emitted.count(name))
-            diags.push_back(
-                Diag{opts.countersDoc, line, "counters",
-                     "documented counter \"" + name + "\" is not "
-                     "emitted by any appendCounters overload in " +
-                     opts.statsFile});
+    for (size_t d = 0; d < documented.size(); ++d) {
+        for (const auto &[name, line] : documented[d]) {
+            if (!emitted.count(name))
+                diags.push_back(
+                    Diag{docs[d], line, "counters",
+                         "documented counter \"" + name + "\" is not "
+                         "emitted by any appendCounters overload in " +
+                         opts.statsFile});
+        }
     }
     return diags;
 }

@@ -14,9 +14,10 @@
  *  2. DBT X-macro parity: the `DBT_OPS(X)` op list and the
  *     `HANDLER(Op)` bodies in src/cpu/dbt.cc are the same set.
  *  3. Counter registry: every counter name `appendCounters` emits is
- *     unique, matches `prefix.lower_snake`, and is documented in
- *     docs/COUNTERS.md — and the docs name no counter that doesn't
- *     exist.
+ *     unique, matches `prefix.lower_snake`, and is documented in BOTH
+ *     docs/COUNTERS.md (the per-struct reference) and docs/METRICS.md
+ *     (the exported-series view the metrics registry serves) — and
+ *     neither doc names a counter that doesn't exist.
  *  4. Mutex coverage: no raw std mutex/condition-variable member in
  *     src/ outside thread_annotations.h, and every `sim::Mutex`
  *     member is referenced by at least one thread-safety annotation
@@ -56,6 +57,7 @@ struct Options
     std::string dbtFile = "src/cpu/dbt.cc";
     std::string statsFile = "src/instrument/stats.cc";
     std::string countersDoc = "docs/COUNTERS.md";
+    std::string metricsDoc = "docs/METRICS.md";
 };
 
 /** @name Individual checks (each returns its findings, empty = clean).

@@ -1,0 +1,146 @@
+#include "metrics/hud.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string_view>
+
+#include "metrics/metrics.h"
+
+namespace bifsim::metrics {
+
+namespace {
+
+/** Looks up a slot without interning: a counter that has never been
+ *  published should render as absent/zero, not occupy a slot. */
+uint16_t
+findSlot(const Registry &reg, const char *name)
+{
+    // Registry::slot interns; scan the existing names instead.
+    for (uint16_t i = 0; i < reg.slotCount() && i < kMaxSlots; ++i) {
+        const char *n = reg.slotName(i);
+        if (n && std::string_view(n) == name)
+            return i;
+    }
+    return kInvalidSlot;
+}
+
+double
+rateOf(const Registry &reg, const char *name, uint64_t window_ns)
+{
+    uint16_t s = findSlot(reg, name);
+    return s == kInvalidSlot ? 0.0 : reg.rate(s, window_ns);
+}
+
+uint64_t
+totalOf(const Registry &reg,
+        const std::array<uint64_t, kMaxSlots> &totals,
+        const char *name)
+{
+    uint16_t s = findSlot(reg, name);
+    return s == kInvalidSlot ? 0 : totals[s];
+}
+
+std::string
+fmtRate(double v)
+{
+    char buf[32];
+    if (v >= 1e9)
+        std::snprintf(buf, sizeof buf, "%7.2fG", v * 1e-9);
+    else if (v >= 1e6)
+        std::snprintf(buf, sizeof buf, "%7.2fM", v * 1e-6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof buf, "%7.2fk", v * 1e-3);
+    else
+        std::snprintf(buf, sizeof buf, "%7.1f ", v);
+    return buf;
+}
+
+void
+addLine(std::string &out, bool pad, const char *fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+void
+addLine(std::string &out, bool pad, const char *fmt, ...)
+{
+    constexpr size_t kWidth = 64;
+    char buf[160];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    std::string line(buf);
+    if (pad && line.size() < kWidth)
+        line.append(kWidth - line.size(), ' ');
+    out += line;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+renderHud(const Registry &reg, const HudOptions &opt)
+{
+    const uint64_t w = opt.windowNs;
+    Sample newest;
+    bool have = reg.ringAt(0, newest);
+    std::array<uint64_t, kMaxSlots> totals =
+        have ? newest.v : reg.totals();
+
+    // CPU.
+    double mips = rateOf(reg, "cpu.instret", w) * 1e-6;
+    uint64_t instret = totalOf(reg, totals, "cpu.instret");
+
+    // GPU: thread-weighted kernel instructions per second + jobs/s.
+    double kinstr = rateOf(reg, "kernel.arith_instrs", w) +
+                    rateOf(reg, "kernel.ls_instrs", w) +
+                    rateOf(reg, "kernel.cf_instrs", w);
+    double jobs = rateOf(reg, "sys.compute_jobs", w);
+    uint64_t jobsTotal = totalOf(reg, totals, "sys.compute_jobs");
+
+    // TLB: windowed hit ratio.  Rates share the window, so the ratio
+    // of rates equals the ratio of deltas.
+    double hits = rateOf(reg, "tlb.last_page_hits", w) +
+                  rateOf(reg, "tlb.array_hits", w);
+    double walks = rateOf(reg, "tlb.walks", w);
+    double tlbPct = hits + walks > 0 ? 100.0 * hits / (hits + walks) : 0;
+
+    // Scheduler: successful steals per attempt, windowed.
+    double steals = rateOf(reg, "sched.steals", w);
+    double attempts = rateOf(reg, "sched.steal_attempts", w);
+    double stealPct = attempts > 0 ? 100.0 * steals / attempts : 0;
+
+    std::string out;
+    bool pad = opt.padLines;
+    addLine(out, pad, "cpu   %s insts/s   (%llu retired)",
+            fmtRate(mips * 1e6).c_str(),
+            static_cast<unsigned long long>(instret));
+    addLine(out, pad, "gpu   %s kinsts/s  %6.1f jobs/s  (%llu jobs)",
+            fmtRate(kinstr).c_str(), jobs,
+            static_cast<unsigned long long>(jobsTotal));
+    addLine(out, pad, "tlb   %5.1f%% hit      %s walks/s", tlbPct,
+            fmtRate(walks).c_str());
+    addLine(out, pad, "sched %5.1f%% steal    %s attempts/s", stealPct,
+            fmtRate(attempts).c_str());
+
+    // Fleet block only when a server has ever published (gauges are
+    // set on the first completed job).
+    uint64_t live = totalOf(reg, totals, "fleet.sessions_live");
+    uint64_t submitted = totalOf(reg, totals, "fleet.jobs_submitted");
+    if (live || submitted) {
+        double fjobs = rateOf(reg, "fleet.jobs_completed", w);
+        addLine(out, pad,
+                "fleet %6.1f jobs/s  depth %-4llu live %-3llu idle %-3llu",
+                fjobs,
+                static_cast<unsigned long long>(
+                    totalOf(reg, totals, "fleet.queue_depth")),
+                static_cast<unsigned long long>(live),
+                static_cast<unsigned long long>(
+                    totalOf(reg, totals, "fleet.sessions_idle")));
+    }
+    return out;
+}
+
+} // namespace bifsim::metrics

@@ -1,0 +1,111 @@
+#ifndef BIFSIM_METRICS_SWEEP_H
+#define BIFSIM_METRICS_SWEEP_H
+
+/**
+ * @file
+ * Baseline diffing for the BENCH_*.json family (docs/METRICS.md §4).
+ *
+ * The simsweep runner regenerates every bench file through the
+ * unified bench::Report schema, then diffs each against its committed
+ * baseline here.  The policy is per-metric, keyed on the flattened
+ * dotted path, and directional:
+ *
+ *  - identity/provenance keys (bench, schema, host.*, gate.*) are
+ *    checked for equality or skipped — they describe the run, they
+ *    are not performance;
+ *  - raw timing (secs, ms, ns totals, MIPS, rates-per-second) is
+ *    never gated: it measures the CI host, not the simulator;
+ *  - ratios of timings (speedup) and of counts (hit rates,
+ *    agreement) ARE gated, directionally — host speed divides out of
+ *    a ratio.  Bounded ratios get tight absolute slack; overheads
+ *    clamp their baseline at zero; unbounded speedups gate only when
+ *    the baseline shows a real (>= 2x) effect, so a noise-band 1x
+ *    series on an undersized host cannot flake;
+ *  - schedule-dependent counts (steals, spawns, waits, ...) are
+ *    skipped; deterministic counts (instruction totals, job counts,
+ *    bytes) are gated tightly in both directions, because the
+ *    simulator promises them bit-stable for a fixed scale;
+ *  - a key present in the baseline but absent from the candidate is
+ *    always a regression (a silently vanished metric is the failure
+ *    mode this harness exists to catch); a new key in the candidate
+ *    is reported but never fails.
+ *
+ * Pure functions over json::Value — no file I/O except loadFile, no
+ * globals — so the pass/fail fixtures in tests/test_metrics.cc can
+ * drive them hermetically.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace bifsim::metrics::sweep {
+
+/** One flattened scalar: numbers and bools become `num`; strings keep
+ *  their text (compared for equality when gated). */
+struct Flat
+{
+    bool isStr = false;
+    double num = 0;
+    std::string str;
+};
+
+/**
+ * Flattens @p doc to dotted keys: objects by member name, arrays by
+ * element "name" member when every element has one (stable across
+ * reordering), by index otherwise.
+ */
+std::map<std::string, Flat> flatten(const json::Value &doc);
+
+/** What the tolerance policy decided for one key. */
+enum class Rule : uint8_t
+{
+    Identity,    ///< Must match exactly (bench name, scale, schema).
+    Timing,      ///< Host-dependent; never gated.
+    Schedule,    ///< Nondeterministic count; never gated.
+    Ratio,       ///< Gated, lower-is-regression, generous tolerance.
+    Count,       ///< Gated, both directions, tight tolerance.
+    Provenance,  ///< host.*/gate.*: recorded, never gated.
+};
+
+/** Classifies a flattened key (exposed for tests and --explain). */
+Rule classify(const std::string &key);
+
+enum class DiffStatus : uint8_t
+{
+    Ok,          ///< Within tolerance (or not gated).
+    Regression,  ///< Outside tolerance in the bad direction.
+    Missing,     ///< In baseline, absent from candidate: regression.
+    Added,       ///< In candidate only: informational.
+};
+
+struct DiffRow
+{
+    std::string key;
+    Rule rule = Rule::Timing;
+    DiffStatus status = DiffStatus::Ok;
+    double base = 0;
+    double cand = 0;
+    std::string detail;   ///< Human-readable reason for failures.
+};
+
+struct DiffResult
+{
+    std::vector<DiffRow> rows;
+    size_t regressions = 0;   ///< Regression + Missing rows.
+
+    /** Multi-line report; @p verbose includes Ok rows. */
+    std::string render(const std::string &title,
+                       bool verbose = false) const;
+};
+
+/** Diffs @p candidate against @p baseline under the policy above. */
+DiffResult diff(const json::Value &baseline,
+                const json::Value &candidate);
+
+} // namespace bifsim::metrics::sweep
+
+#endif // BIFSIM_METRICS_SWEEP_H

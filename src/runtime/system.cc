@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <chrono>
 
+#include "instrument/stats.h"
+#include "metrics/metrics.h"
+
 namespace bifsim::rt {
+
+namespace {
+
+/** CPU metrics publish granularity (retired instructions).  Large
+ *  enough that the fleet's runCpu(50) polling loop publishes ~never
+ *  from the threshold path, small enough that the HUD sees MIPS move
+ *  several times a second at simulated speeds. */
+constexpr uint64_t kCpuPublishBatch = 65536;
+
+} // namespace
 
 System::System(SystemConfig cfg)
     : cfg_(cfg), mem_(kRamBase, cfg.ramBytes, cfg.ramImage)
@@ -72,15 +85,19 @@ System::runCpu(uint64_t max_insts)
 
         if (r == sa32::StopReason::MaxInsts)
             continue;   // Slice exhausted; overall budget decides.
-        if (r != sa32::StopReason::Wfi)
+        if (r != sa32::StopReason::Wfi) {
+            publishCpuMetrics(false);
             return r;
+        }
 
         // The guest is waiting for an interrupt.  Sleep until a device
         // wakes us (GPU IRQ through the INTC) or a short timeout lets
         // guest time advance for the timer.  Bail out eventually so a
         // guest with nothing pending cannot hang the host.
-        if (++idle_spins > 50000)
+        if (++idle_spins > 50000) {
+            publishCpuMetrics(false);
             return sa32::StopReason::Wfi;
+        }
         {
             // Predicate-checked sleep: a wake() that fired between the
             // WFI stop above and this park is latched in wakePending_
@@ -98,7 +115,62 @@ System::runCpu(uint64_t max_insts)
         }
         timer_->tick(1000);   // Guest time passes while asleep.
     }
+    publishCpuMetrics(false);
     return sa32::StopReason::MaxInsts;
+}
+
+void
+System::publishCpuMetrics(bool force)
+{
+    if (!metrics::registry().enabled())
+        return;
+    const sa32::CoreStats &now = cpu_->stats();
+    if (!force && now.instret - cpuPublished_.instret < kCpuPublishBatch)
+        return;
+    // CoreStats counters are monotone while the core runs, so the
+    // member-wise difference is the delta batch.  A reset() or
+    // snapshot restore since the last publish can move any of them
+    // backwards; when that happened, rebaseline to zero and publish
+    // the post-reset counts as-is (the registry is cumulative across
+    // the process, not a mirror of one core).
+    sa32::CoreStats d = now;
+    if (now.instret < cpuPublished_.instret ||
+        now.traps < cpuPublished_.traps ||
+        now.interrupts < cpuPublished_.interrupts ||
+        now.blocksDecoded < cpuPublished_.blocksDecoded ||
+        now.blockHits < cpuPublished_.blockHits ||
+        now.cacheFlushes < cpuPublished_.cacheFlushes ||
+        now.dbtBlocks < cpuPublished_.dbtBlocks ||
+        now.dbtChainLinks < cpuPublished_.dbtChainLinks ||
+        now.dbtChainFollows < cpuPublished_.dbtChainFollows ||
+        now.dbtChainBreaks < cpuPublished_.dbtChainBreaks ||
+        now.dbtRetires < cpuPublished_.dbtRetires) {
+        cpuPublished_ = sa32::CoreStats{};
+    }
+    d.instret -= cpuPublished_.instret;
+    d.blocksDecoded -= cpuPublished_.blocksDecoded;
+    d.blockHits -= cpuPublished_.blockHits;
+    d.traps -= cpuPublished_.traps;
+    d.interrupts -= cpuPublished_.interrupts;
+    d.cacheFlushes -= cpuPublished_.cacheFlushes;
+    d.dbtBlocks -= cpuPublished_.dbtBlocks;
+    d.dbtChainLinks -= cpuPublished_.dbtChainLinks;
+    d.dbtChainFollows -= cpuPublished_.dbtChainFollows;
+    d.dbtChainBreaks -= cpuPublished_.dbtChainBreaks;
+    d.dbtRetires -= cpuPublished_.dbtRetires;
+    cpuPublished_ = now;
+    if (d.instret == 0 && d.traps == 0 && d.interrupts == 0 &&
+        d.cacheFlushes == 0)
+        return;
+    std::vector<gpu::NamedCounter> deltas;
+    gpu::appendCounters(deltas, d);
+    metrics::registry().publish(deltas);
+}
+
+void
+System::publishMetrics()
+{
+    publishCpuMetrics(true);
 }
 
 void

@@ -126,7 +126,20 @@ class System
      */
     void restoreSnapshot(const snapshot::Image &image);
 
+    /**
+     * Flushes this System's CPU counter deltas into the process-wide
+     * metrics registry (§5k) regardless of the sampling threshold.
+     * runCpu() publishes on its own every ~64k retired instructions;
+     * call this before reading the registry when exact agreement with
+     * cpu().stats() matters (tests, end-of-run reports).
+     */
+    void publishMetrics();
+
   private:
+    /** Sampled CPU publish: no-op until the instret delta since the
+     *  last publish reaches the batch threshold (or @p force). */
+    void publishCpuMetrics(bool force);
+
     SystemConfig cfg_;
     PhysMem mem_;
     Bus bus_;
@@ -147,6 +160,11 @@ class System
     sim::Mutex wakeLock_;
     sim::CondVar wakeCv_;
     bool wakePending_ GUARDED_BY(wakeLock_) = false;
+
+    /** CPU counters as of the last metrics publish.  Touched only on
+     *  the thread driving runCpu() (a System is single-driver, §5f),
+     *  so it needs no lock. */
+    sa32::CoreStats cpuPublished_;
 };
 
 } // namespace bifsim::rt

@@ -1,0 +1,518 @@
+/** @file Always-on metrics registry (DESIGN.md §5k): slot interning
+ *  and table exhaustion, seqlock batch consistency under a concurrent
+ *  publisher (the TSan job runs this), sampled-vs-exact totals across
+ *  threads, gauge store-latest semantics, ring wraparound and
+ *  windowed rates, HUD rendering, and the sweep differ's flatten /
+ *  classify / tolerance fixtures that simsweep's CI gate rides on. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "instrument/stats.h"
+#include "metrics/hud.h"
+#include "metrics/metrics.h"
+#include "metrics/sweep.h"
+
+namespace bifsim {
+namespace {
+
+using gpu::NamedCounter;
+using metrics::kInvalidSlot;
+using metrics::kMaxSlots;
+using metrics::Registry;
+
+/** Interned names must have static storage duration; tests that need
+ *  many distinct names draw them from this leaked pool.  A deque, not
+ *  a vector: growth must never move the strings, or SSO'd name bytes
+ *  would dangle behind the pointers already handed out.  Each test
+ *  uses its own prefix: the publish fast path caches name->slot per
+ *  (thread, registry *address*), and heap reuse across tests could
+ *  otherwise resurrect a stale cache entry for a recycled name. */
+const char *
+pooledName(const std::string &s)
+{
+    static std::deque<std::string> *pool = new std::deque<std::string>();
+    pool->push_back(s);
+    return pool->back().c_str();
+}
+
+// ------------------------------------------------------ Slot table
+
+TEST(MetricsRegistry, SlotInterningIsStable)
+{
+    Registry reg;
+    uint16_t a = reg.slot("t1.alpha");
+    uint16_t b = reg.slot("t1.beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, reg.slot("t1.alpha"));   // Same name, same slot.
+    EXPECT_STREQ("t1.alpha", reg.slotName(a));
+    EXPECT_STREQ("t1.beta", reg.slotName(b));
+    EXPECT_EQ(2u, reg.slotCount());
+    EXPECT_EQ(nullptr, reg.slotName(kMaxSlots - 1));
+}
+
+TEST(MetricsRegistry, FullTableDropsNotGrows)
+{
+    Registry reg;
+    std::vector<const char *> names;
+    for (size_t i = 0; i < kMaxSlots; ++i)
+        names.push_back(pooledName("t2.c" + std::to_string(i)));
+    for (const char *n : names)
+        EXPECT_NE(kInvalidSlot, reg.slot(n));
+    EXPECT_EQ(kMaxSlots, reg.slotCount());
+
+    const char *extra = pooledName("t2.one_too_many");
+    EXPECT_EQ(kInvalidSlot, reg.slot(extra));
+    EXPECT_GE(reg.stats().slotsDropped, 1u);
+
+    // A publish naming the dropped counter must not crash or corrupt
+    // a live slot.
+    reg.publish({{extra, 7}, {names[0], 3}});
+    EXPECT_EQ(3u, reg.totals()[reg.slot(names[0])]);
+}
+
+// ---------------------------------------------------- Publish paths
+
+TEST(MetricsRegistry, PublishAccumulatesDeltas)
+{
+    Registry reg;
+    reg.publish({{"t3.x", 5}, {"t3.y", 2}});
+    reg.publish({{"t3.x", 1}, {"t3.y", 0}});
+    auto totals = reg.totals();
+    EXPECT_EQ(6u, totals[reg.slot("t3.x")]);
+    EXPECT_EQ(2u, totals[reg.slot("t3.y")]);
+    EXPECT_EQ(2u, reg.stats().publishes);
+}
+
+TEST(MetricsRegistry, ZeroDeltasDoNotIntern)
+{
+    Registry reg;
+    reg.publish({{"t4.used", 1}, {"t4.never_nonzero", 0}});
+    // Only the nonzero counter occupies a slot: publish skips zero
+    // deltas before interning, so an all-zero stats struct costs no
+    // table space.
+    EXPECT_EQ(1u, reg.slotCount());
+    EXPECT_STREQ("t4.used", reg.slotName(0));
+}
+
+TEST(MetricsRegistry, DisabledRegistryDropsBatches)
+{
+    Registry reg;
+    reg.publish({{"t5.k", 1}});
+    reg.setEnabled(false);
+    EXPECT_FALSE(reg.enabled());
+    reg.publish({{"t5.k", 100}});
+    reg.setEnabled(true);
+    reg.publish({{"t5.k", 2}});
+    EXPECT_EQ(3u, reg.totals()[reg.slot("t5.k")]);
+    EXPECT_EQ(2u, reg.stats().publishes);
+}
+
+TEST(MetricsRegistry, GaugeStoresLatestNotSum)
+{
+    Registry reg;
+    reg.setGauge("t6.depth", 5);
+    reg.setGauge("t6.depth", 3);
+    EXPECT_EQ(3u, reg.totals()[reg.slot("t6.depth")]);
+    reg.setGauge("t6.depth", 0);   // Gauges can legally return to 0.
+    EXPECT_EQ(0u, reg.totals()[reg.slot("t6.depth")]);
+}
+
+// -------------------------------------------------- Concurrency
+
+TEST(MetricsRegistry, SampledTotalsMatchExactAfterJoin)
+{
+    Registry reg;
+    constexpr int kThreads = 4;
+    constexpr int kBatches = 1000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&reg] {
+            for (int i = 0; i < kBatches; ++i)
+                reg.publish({{"t7.a", 3}, {"t7.b", 1}});
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    auto totals = reg.totals();
+    EXPECT_EQ(uint64_t{kThreads} * kBatches * 3,
+              totals[reg.slot("t7.a")]);
+    EXPECT_EQ(uint64_t{kThreads} * kBatches, totals[reg.slot("t7.b")]);
+    // One shard per publishing thread (the main thread only interned,
+    // never published).
+    EXPECT_EQ(uint64_t{kThreads}, reg.stats().shards);
+}
+
+TEST(MetricsRegistry, SnapshotSeesBatchesAtomically)
+{
+    // A writer publishes batches whose two counters always move in
+    // lockstep; a concurrent reader sums totals() the whole time.  A
+    // consistent (untorn) read sees them equal; the bounded seqlock
+    // retry can accept a torn *batch* under sustained writer pressure,
+    // so the assertion allows a small divergence — but never a torn
+    // word, never a decrease, never an overshoot.  TSan runs this
+    // test; the seqlock protocol itself is what is under test.
+    Registry reg;
+    constexpr uint64_t kBatches = 20000;
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+        for (uint64_t i = 0; i < kBatches; ++i)
+            reg.publish({{"t8.a", 1}, {"t8.b", 1}});
+        done.store(true, std::memory_order_release);
+    });
+
+    uint64_t prev_a = 0;
+    uint64_t reads = 0;
+    while (!done.load(std::memory_order_acquire)) {
+        auto totals = reg.totals();
+        // Slots intern on the writer's first publish; skip until then.
+        if (reg.slotCount() < 2)
+            continue;
+        uint64_t a = totals[reg.slot("t8.a")];
+        uint64_t b = totals[reg.slot("t8.b")];
+        EXPECT_GE(a, prev_a) << "totals went backwards";
+        EXPECT_LE(a, kBatches);
+        EXPECT_LE(b, kBatches);
+        uint64_t diff = a > b ? a - b : b - a;
+        EXPECT_LE(diff, 64u) << "torn far beyond one retry window";
+        prev_a = a;
+        ++reads;
+    }
+    writer.join();
+    auto totals = reg.totals();
+    EXPECT_EQ(kBatches, totals[reg.slot("t8.a")]);
+    EXPECT_EQ(kBatches, totals[reg.slot("t8.b")]);
+    EXPECT_GT(reads, 0u);
+}
+
+// ------------------------------------------------------------ Ring
+
+TEST(MetricsRegistry, RingWrapsKeepingNewest)
+{
+    Registry reg(4);
+    EXPECT_EQ(4u, reg.ringCapacity());
+    for (uint64_t i = 1; i <= 7; ++i) {
+        reg.publish({{"t9.ticks", 1}});
+        reg.sample();
+    }
+    EXPECT_EQ(4u, reg.ringSize());
+    EXPECT_EQ(7u, reg.ringPushed());
+    EXPECT_EQ(7u, reg.stats().samples);
+
+    uint16_t s = reg.slot("t9.ticks");
+    metrics::Sample smp;
+    ASSERT_TRUE(reg.ringAt(0, smp));
+    EXPECT_EQ(7u, smp.v[s]);          // Newest sample.
+    uint64_t newest_ns = smp.ns;
+    ASSERT_TRUE(reg.ringAt(3, smp));
+    EXPECT_EQ(4u, smp.v[s]);          // Oldest retained (5,6,7 evicted
+                                      // samples 1..3).
+    EXPECT_LE(smp.ns, newest_ns);     // Timeline is monotone.
+    EXPECT_FALSE(reg.ringAt(4, smp)); // Wrapped away.
+}
+
+TEST(MetricsRegistry, RateMatchesHandComputedRingDelta)
+{
+    Registry reg;
+    reg.publish({{"t10.n", 100}});
+    reg.sample();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    reg.publish({{"t10.n", 900}});
+    reg.sample();
+
+    uint16_t s = reg.slot("t10.n");
+    metrics::Sample newest, oldest;
+    ASSERT_TRUE(reg.ringAt(0, newest));
+    ASSERT_TRUE(reg.ringAt(1, oldest));
+    ASSERT_GT(newest.ns, oldest.ns);
+    double expect = static_cast<double>(newest.v[s] - oldest.v[s]) /
+                    (static_cast<double>(newest.ns - oldest.ns) * 1e-9);
+    EXPECT_NEAR(expect, reg.rate(s, UINT64_MAX / 2), expect * 1e-9);
+}
+
+TEST(MetricsRegistry, RateNeedsTwoSamples)
+{
+    Registry reg;
+    reg.publish({{"t11.n", 5}});
+    EXPECT_EQ(0.0, reg.rate(reg.slot("t11.n"), 1'000'000'000));
+    reg.sample();
+    EXPECT_EQ(0.0, reg.rate(reg.slot("t11.n"), 1'000'000'000));
+}
+
+// ------------------------------------------------------------- HUD
+
+TEST(MetricsHud, RendersStableFrameShape)
+{
+    Registry reg;
+    reg.publish({{"cpu.instret", 1000000},
+                 {"kernel.arith_instrs", 5000},
+                 {"kernel.ls_instrs", 2000},
+                 {"kernel.cf_instrs", 500},
+                 {"sys.compute_jobs", 3},
+                 {"tlb.last_page_hits", 90},
+                 {"tlb.array_hits", 8},
+                 {"tlb.walks", 2},
+                 {"sched.steals", 4},
+                 {"sched.steal_attempts", 10}});
+    reg.sample();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    reg.publish({{"cpu.instret", 1000000}});
+    reg.sample();
+
+    std::string frame = metrics::renderHud(reg);
+    ASSERT_FALSE(frame.empty());
+    EXPECT_EQ('\n', frame.back());
+    EXPECT_NE(std::string::npos, frame.find("cpu"));
+    EXPECT_NE(std::string::npos, frame.find("tlb"));
+    EXPECT_EQ(std::string::npos, frame.find("fleet"))
+        << "fleet block must stay hidden until a server publishes";
+
+    auto lines = [](const std::string &s) {
+        size_t n = 0;
+        for (char c : s)
+            n += c == '\n';
+        return n;
+    };
+    EXPECT_EQ(4u, lines(frame));
+
+    // A second frame has the same line count (cursor-up rewrite
+    // contract) until a new subsystem appears.
+    reg.sample();
+    EXPECT_EQ(4u, lines(metrics::renderHud(reg)));
+
+    // Fleet gauges unhide the fleet line.
+    reg.setGauge("fleet.sessions_live", 2);
+    reg.setGauge("fleet.queue_depth", 1);
+    reg.sample();
+    std::string fleet_frame = metrics::renderHud(reg);
+    EXPECT_EQ(5u, lines(fleet_frame));
+    EXPECT_NE(std::string::npos, fleet_frame.find("fleet"));
+}
+
+// ------------------------------------------------- Sweep: flatten
+
+TEST(SweepFlatten, DotsObjectsAndNamesArrays)
+{
+    json::Value doc = json::Value::parse(R"({
+      "bench": "demo",
+      "nested": {"inner": {"leaf": 3}},
+      "named": [{"name": "a", "v": 1}, {"name": "b", "v": 2}],
+      "plain": [10, 20],
+      "flag": true
+    })");
+    auto flat = metrics::sweep::flatten(doc);
+
+    EXPECT_EQ(1u, flat.count("bench"));
+    EXPECT_TRUE(flat.at("bench").isStr);
+    EXPECT_EQ("demo", flat.at("bench").str);
+    EXPECT_EQ(3.0, flat.at("nested.inner.leaf").num);
+    // Named arrays key by element name, and the "name" member itself
+    // is dropped (it already is the key).
+    EXPECT_EQ(1.0, flat.at("named.a.v").num);
+    EXPECT_EQ(2.0, flat.at("named.b.v").num);
+    EXPECT_EQ(0u, flat.count("named.a.name"));
+    // Unnamed arrays key by index; bools flatten to 0/1.
+    EXPECT_EQ(10.0, flat.at("plain.0").num);
+    EXPECT_EQ(20.0, flat.at("plain.1").num);
+    EXPECT_EQ(1.0, flat.at("flag").num);
+}
+
+// ------------------------------------------------ Sweep: classify
+
+TEST(SweepClassify, RoutesKeysToRules)
+{
+    using metrics::sweep::Rule;
+    using metrics::sweep::classify;
+
+    EXPECT_EQ(Rule::Identity, classify("bench"));
+    EXPECT_EQ(Rule::Identity, classify("schema"));
+    EXPECT_EQ(Rule::Identity, classify("scale"));
+    EXPECT_EQ(Rule::Provenance, classify("host.hw_threads"));
+    EXPECT_EQ(Rule::Provenance, classify("gate.threshold"));
+
+    EXPECT_EQ(Rule::Timing, classify("cold_boot_secs"));
+    EXPECT_EQ(Rule::Timing, classify("job_p99_ms"));
+    EXPECT_EQ(Rule::Timing, classify("kernels.mad_loop.off.mips"));
+    EXPECT_EQ(Rule::Timing, classify("publish_hook_ns"));
+    // Wall-clock A/B deltas and host-noise estimates are host
+    // measurements even though they end in "overhead".
+    EXPECT_EQ(Rule::Timing,
+              classify("kernels.mad_loop.wall_overhead"));
+    EXPECT_EQ(Rule::Timing, classify("noise_floor_overhead"));
+
+    EXPECT_EQ(Rule::Ratio, classify("warm_spawn_speedup"));
+    EXPECT_EQ(Rule::Ratio, classify("tlb.hit_rate"));
+    EXPECT_EQ(Rule::Ratio, classify("cpu.instret_agree"));
+    EXPECT_EQ(Rule::Ratio,
+              classify("kernels.mad_loop.modeled_overhead"));
+
+    EXPECT_EQ(Rule::Schedule, classify("sched.steals"));
+    EXPECT_EQ(Rule::Schedule, classify("pool_spawns"));
+    EXPECT_EQ(Rule::Schedule, classify("driver_loop.driver_instret"));
+    EXPECT_EQ(Rule::Schedule, classify("trace.events"));
+
+    EXPECT_EQ(Rule::Count, classify("image_bytes"));
+    EXPECT_EQ(Rule::Count, classify("jobs_run"));
+    EXPECT_EQ(Rule::Count, classify("guest_boot.instret"));
+}
+
+// ---------------------------------------------------- Sweep: diff
+
+metrics::sweep::DiffResult
+diffDocs(const char *base, const char *cand)
+{
+    return metrics::sweep::diff(json::Value::parse(base),
+                                json::Value::parse(cand));
+}
+
+TEST(SweepDiff, SeededSpeedupRegressionFails)
+{
+    auto res = diffDocs(R"({"warm_speedup": 12.0})",
+                        R"({"warm_speedup": 4.0})");
+    EXPECT_EQ(1u, res.regressions);
+    std::string report = res.render("seeded");
+    EXPECT_NE(std::string::npos, report.find("REGRESSION"));
+    EXPECT_NE(std::string::npos, report.find("warm_speedup"));
+}
+
+TEST(SweepDiff, NoiseBandSpeedupSelfDisarms)
+{
+    // Baseline below 2x carries no effect to regress from (a host
+    // with fewer cores than the sweep measures ~1x +- noise).
+    auto res = diffDocs(R"({"scaling_speedup": 1.2})",
+                        R"({"scaling_speedup": 0.5})");
+    EXPECT_EQ(0u, res.regressions);
+}
+
+TEST(SweepDiff, OverheadClampsNegativeBaseline)
+{
+    // A lucky baseline run measured negative overhead; the clamp
+    // keeps the band satisfiable.
+    EXPECT_EQ(0u, diffDocs(R"({"trace_overhead": -0.03})",
+                           R"({"trace_overhead": 0.05})")
+                      .regressions);
+    EXPECT_EQ(1u, diffDocs(R"({"trace_overhead": -0.03})",
+                           R"({"trace_overhead": 0.2})")
+                      .regressions);
+}
+
+TEST(SweepDiff, BoundedRatiosAreTight)
+{
+    EXPECT_EQ(0u, diffDocs(R"({"tlb_hit_rate": 0.99})",
+                           R"({"tlb_hit_rate": 0.95})")
+                      .regressions);
+    EXPECT_EQ(1u, diffDocs(R"({"tlb_hit_rate": 0.99})",
+                           R"({"tlb_hit_rate": 0.93})")
+                      .regressions);
+}
+
+TEST(SweepDiff, DeterministicCountsGateBothWays)
+{
+    EXPECT_EQ(0u, diffDocs(R"({"instret": 1000})",
+                           R"({"instret": 1005})")
+                      .regressions);
+    EXPECT_EQ(1u, diffDocs(R"({"instret": 1000})",
+                           R"({"instret": 1020})")
+                      .regressions);
+    EXPECT_EQ(1u, diffDocs(R"({"instret": 1000})",
+                           R"({"instret": 980})")
+                      .regressions);
+}
+
+TEST(SweepDiff, TimingAndScheduleNeverGate)
+{
+    auto res = diffDocs(
+        R"({"boot_secs": 0.1, "sched_steals": 5, "mips": 900})",
+        R"({"boot_secs": 5.0, "sched_steals": 5000, "mips": 90})");
+    EXPECT_EQ(0u, res.regressions);
+}
+
+TEST(SweepDiff, MissingKeyIsRegressionAddedIsNot)
+{
+    auto res = diffDocs(R"({"kept": 1, "vanished": 2})",
+                        R"({"kept": 1, "brand_new": 3})");
+    EXPECT_EQ(1u, res.regressions);
+    bool saw_missing = false, saw_added = false;
+    for (const auto &row : res.rows) {
+        if (row.key == "vanished")
+            saw_missing =
+                row.status == metrics::sweep::DiffStatus::Missing;
+        if (row.key == "brand_new")
+            saw_added =
+                row.status == metrics::sweep::DiffStatus::Added;
+    }
+    EXPECT_TRUE(saw_missing);
+    EXPECT_TRUE(saw_added);
+}
+
+TEST(SweepDiff, IdentityMismatchFails)
+{
+    EXPECT_EQ(1u, diffDocs(R"({"bench": "fleet"})",
+                           R"({"bench": "replay"})")
+                      .regressions);
+    EXPECT_EQ(1u,
+              diffDocs(R"({"scale": 1.0})", R"({"scale": 0.25})")
+                  .regressions);
+    EXPECT_EQ(0u, diffDocs(R"({"bench": "fleet", "scale": 0.25})",
+                           R"({"bench": "fleet", "scale": 0.25})")
+                      .regressions);
+}
+
+TEST(SweepDiff, HeadBenchDocPassesAgainstItself)
+{
+    // The shape simsweep actually diffs: envelope + nested metrics.
+    const char *doc = R"({
+      "bench": "metrics_overhead", "schema": 2, "scale": 0.25,
+      "host": {"hw_threads": 1},
+      "gate": {"enforced": true, "metric": "x", "threshold": 0.02,
+               "value": 0.0004},
+      "metrics": {
+        "kernels": [
+          {"name": "mad_loop", "instrs": 26236928,
+           "off": {"secs": 0.29, "mips": 90.0},
+           "on": {"secs": 0.29, "mips": 90.0},
+           "wall_overhead": 0.01, "modeled_overhead": 0.000004}
+        ],
+        "publish_hook_ns": 291.0,
+        "publishes": 200184,
+        "noise_floor_overhead": 0.017
+      }
+    })";
+    auto res = diffDocs(doc, doc);
+    EXPECT_EQ(0u, res.regressions);
+}
+
+// ----------------------------------------------------------- JSON
+
+TEST(MetricsJson, BenchDocRoundTripsThroughDump)
+{
+    json::Value doc = json::Value::object();
+    doc.set("bench", json::Value("demo"));
+    doc.set("count", json::Value(uint64_t{26236928}));
+    doc.set("ratio", json::Value(0.017));
+    json::Value parsed = json::Value::parse(doc.dump());
+    auto a = metrics::sweep::flatten(doc);
+    auto b = metrics::sweep::flatten(parsed);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.at("count").num, b.at("count").num);
+    EXPECT_DOUBLE_EQ(a.at("ratio").num, b.at("ratio").num);
+}
+
+TEST(MetricsJson, ParseErrorsThrowSimError)
+{
+    EXPECT_THROW(json::Value::parse("{\"unterminated\": "), SimError);
+    EXPECT_THROW(json::Value::parseFile("/nonexistent/bench.json"),
+                 SimError);
+}
+
+} // namespace
+} // namespace bifsim
